@@ -1,0 +1,381 @@
+package repro
+
+// bench_test.go is the repository-level benchmark harness: one benchmark
+// per table and figure of the paper's evaluation (driving the same runners
+// as cmd/experiments), plus the end-to-end pipeline stages and the ablation
+// studies listed in DESIGN.md §5.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The shared environment (synthetic city, vectorised dataset, full
+// analysis) is built once per scale and reused across benchmarks; each
+// benchmark iteration then measures only the experiment's own work.
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/experiments"
+	"repro/internal/forecast"
+	"repro/internal/label"
+	"repro/internal/nmf"
+	"repro/internal/synth"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchEnvErr  error
+)
+
+// benchScale picks the workload size: the small scale by default so the
+// full suite stays laptop-friendly; set REPRO_BENCH_SCALE=paper for the
+// four-week, 1200-tower configuration used for EXPERIMENTS.md.
+func benchScale() experiments.Scale {
+	if os.Getenv("REPRO_BENCH_SCALE") == "paper" {
+		return experiments.PaperScale()
+	}
+	return experiments.SmallScale()
+}
+
+func sharedEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = experiments.Build(benchScale())
+	})
+	if benchEnvErr != nil {
+		b.Fatalf("building benchmark environment: %v", benchEnvErr)
+	}
+	return benchEnv
+}
+
+// benchExperiment runs one registered experiment repeatedly.
+func benchExperiment(b *testing.B, name string) {
+	env := sharedEnv(b)
+	runner, err := experiments.RunnerByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(env); err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// --- One benchmark per paper artefact -----------------------------------
+
+func BenchmarkFigure1_TemporalDistribution(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFigure2_SpatialDensity(b *testing.B)         { benchExperiment(b, "fig2") }
+func BenchmarkFigure3_ResidentVsOffice(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFigure4_TrafficByLatLon(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkFigure5_RegionHeatmaps(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFigure6_DBIPatternsAndCDF(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkTable1_ClusterShares(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkFigure7_ClusterGeoDensity(b *testing.B)      { benchExperiment(b, "fig7") }
+func BenchmarkTable2_POIAtDensestPoint(b *testing.B)       { benchExperiment(b, "table2") }
+func BenchmarkFigure8_CaseStudy(b *testing.B)              { benchExperiment(b, "fig8") }
+func BenchmarkTable3_NormalizedPOI(b *testing.B)           { benchExperiment(b, "table3") }
+func BenchmarkFigure9_POIShares(b *testing.B)              { benchExperiment(b, "fig9") }
+func BenchmarkFigure10_WeekdayWeekendRatios(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkTable4_PeakValleyFeatures(b *testing.B)      { benchExperiment(b, "table4") }
+func BenchmarkTable5_PeakValleyTimes(b *testing.B)         { benchExperiment(b, "table5") }
+func BenchmarkFigure11_Interrelationships(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFigure12_DFTReconstruction(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkFigure13_SpectrumVariance(b *testing.B)      { benchExperiment(b, "fig13") }
+func BenchmarkFigure14_PatternReconstruction(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFigure15_AmplitudePhaseScatter(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFigure16_AmplitudePhaseStats(b *testing.B)   { benchExperiment(b, "fig16") }
+func BenchmarkFigure17_PrimaryComponents(b *testing.B)     { benchExperiment(b, "fig17") }
+func BenchmarkTable6_ConvexCombination(b *testing.B)       { benchExperiment(b, "table6") }
+func BenchmarkFigure18_FreqCombination(b *testing.B)       { benchExperiment(b, "fig18") }
+func BenchmarkFigure19_TimeCombination(b *testing.B)       { benchExperiment(b, "fig19") }
+
+// --- End-to-end pipeline stages ------------------------------------------
+
+// BenchmarkPipeline_GenerateCity measures synthetic city generation.
+func BenchmarkPipeline_GenerateCity(b *testing.B) {
+	scale := benchScale()
+	cfg := synth.DefaultConfig()
+	cfg.Towers = scale.Towers
+	cfg.Days = scale.Days
+	cfg.Seed = scale.Seed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.GenerateCity(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline_BuildDataset measures traffic generation plus
+// vectorisation for the whole city.
+func BenchmarkPipeline_BuildDataset(b *testing.B) {
+	env := sharedEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.City.BuildDataset(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline_FullAnalysis measures the complete model: clustering,
+// metric tuner, labelling, time- and frequency-domain analysis.
+func BenchmarkPipeline_FullAnalysis(b *testing.B) {
+	env := sharedEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(env.Dataset, env.City.POIs, core.Options{ForceK: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) --------------------------------------------
+
+// BenchmarkAblation_Linkage compares the three linkage criteria on the same
+// dataset, reporting the Davies-Bouldin index each achieves at K=5.
+func BenchmarkAblation_Linkage(b *testing.B) {
+	env := sharedEnv(b)
+	for _, linkage := range []cluster.Linkage{cluster.AverageLinkage, cluster.SingleLinkage, cluster.CompleteLinkage} {
+		linkage := linkage
+		b.Run(linkage.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var lastDBI float64
+			for i := 0; i < b.N; i++ {
+				dendro, err := cluster.Hierarchical(env.Dataset.Normalized, linkage)
+				if err != nil {
+					b.Fatal(err)
+				}
+				assign, err := dendro.CutK(5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dbi, err := cluster.DaviesBouldin(env.Dataset.Normalized, assign)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastDBI = dbi
+			}
+			b.ReportMetric(lastDBI, "DBI@5")
+		})
+	}
+}
+
+// BenchmarkAblation_KMeansBaseline compares the k-means baseline at K=5
+// against the hierarchical result, reporting its DBI.
+func BenchmarkAblation_KMeansBaseline(b *testing.B) {
+	env := sharedEnv(b)
+	b.ReportAllocs()
+	var lastDBI float64
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.KMeans(env.Dataset.Normalized, cluster.KMeansOptions{K: 5, Seed: int64(i + 1), Restarts: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dbi, err := cluster.DaviesBouldin(env.Dataset.Normalized, res.Assignment)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastDBI = dbi
+	}
+	b.ReportMetric(lastDBI, "DBI@5")
+}
+
+// BenchmarkAblation_ReconstructionComponents extends Figure 12 by sweeping
+// the number of retained spectral components and reporting the energy loss.
+func BenchmarkAblation_ReconstructionComponents(b *testing.B) {
+	env := sharedEnv(b)
+	agg, err := env.Dataset.AggregateRaw(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	week, day, half, err := dsp.PrincipalBins(env.Dataset.NumSlots(), env.Dataset.Days)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		bins []int
+	}{
+		{"day-only", []int{day}},
+		{"day+week", []int{day, week}},
+		{"principal-3", []int{week, day, half}},
+		{"principal+2harmonics", []int{week, day, half, 3 * day, 4 * day}},
+		{"principal+sidebands", []int{week, day, half, day - week, day + week, half - week, half + week}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				_, l, err := dsp.Reconstruct(agg, c.bins...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = l
+			}
+			b.ReportMetric(100*loss, "energy-loss-%")
+		})
+	}
+}
+
+// BenchmarkAblation_NoiseRobustness re-generates the city at increasing
+// traffic noise and reports the clustering purity against ground truth.
+func BenchmarkAblation_NoiseRobustness(b *testing.B) {
+	scale := benchScale()
+	for _, noise := range []float64{0.05, 0.10, 0.20, 0.40} {
+		noise := noise
+		b.Run(formatNoise(noise), func(b *testing.B) {
+			b.ReportAllocs()
+			var purity float64
+			for i := 0; i < b.N; i++ {
+				cfg := synth.DefaultConfig()
+				cfg.Towers = scale.Towers / 2
+				cfg.Days = 14
+				cfg.Seed = scale.Seed
+				cfg.NoiseSigma = noise
+				city, err := synth.GenerateCity(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ds, err := city.BuildDataset()
+				if err != nil {
+					b.Fatal(err)
+				}
+				dendro, err := cluster.Hierarchical(ds.Normalized, cluster.AverageLinkage)
+				if err != nil {
+					b.Fatal(err)
+				}
+				assign, err := dendro.CutK(5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				truth, err := city.GroundTruthRegions(ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				truthInts := make([]int, len(truth))
+				for j, r := range truth {
+					truthInts[j] = int(r)
+				}
+				_, p, err := cluster.PurityAgainstTruth(assign, truthInts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				purity = p
+			}
+			b.ReportMetric(purity, "purity@5")
+		})
+	}
+}
+
+// BenchmarkAblation_NMFDecomposition compares the NMF decomposition
+// baseline against the paper's clustering: factorise the raw traffic matrix
+// at rank 5 and report how well the dominant-basis assignment matches the
+// hierarchical clustering (adjusted Rand index).
+func BenchmarkAblation_NMFDecomposition(b *testing.B) {
+	env := sharedEnv(b)
+	b.ReportAllocs()
+	var ari float64
+	for i := 0; i < b.N; i++ {
+		res, err := nmf.Factorize(env.Dataset.Raw, nmf.Options{Rank: 5, Seed: int64(i + 1), MaxIterations: 80})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := cluster.AdjustedRandIndex(res.DominantBasis(), env.Result.Assignment.Labels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ari = a
+	}
+	b.ReportMetric(ari, "ARI-vs-hierarchical")
+}
+
+// BenchmarkAblation_POIOnlyLabeling compares the POI-only baseline labeller
+// (no traffic information) against the traffic-based pipeline, reporting
+// its ground-truth accuracy.
+func BenchmarkAblation_POIOnlyLabeling(b *testing.B) {
+	env := sharedEnv(b)
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		labels, err := label.LabelTowersByPOI(env.Result.TowerPOI, label.POIOnlyOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		overall, _, err := label.Accuracy(labels, env.Truth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = overall
+	}
+	b.ReportMetric(acc, "accuracy")
+}
+
+// BenchmarkAblation_ForecastModels backtests the per-tower forecasting
+// models of package forecast on a sample of towers, reporting the median
+// normalised RMSE of each model (the Figure 12 observation turned into the
+// ISP use case).
+func BenchmarkAblation_ForecastModels(b *testing.B) {
+	env := sharedEnv(b)
+	ds := env.Dataset
+	if ds.Days < 14 {
+		b.Skip("forecast ablation needs at least two weeks of data")
+	}
+	trainDays := ds.Days - 7
+	models := []func() forecast.Model{
+		func() forecast.Model { return &forecast.SpectralModel{Components: forecast.Principal} },
+		func() forecast.Model { return &forecast.SpectralModel{Components: forecast.HarmonicsAndSidebands} },
+		func() forecast.Model { return &forecast.LastWeekModel{} },
+		func() forecast.Model { return &forecast.SlotOfWeekMeanModel{} },
+	}
+	for _, mk := range models {
+		mk := mk
+		name := mk().Name()
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var nrmse float64
+			for i := 0; i < b.N; i++ {
+				var sum float64
+				var n int
+				for row := 0; row < ds.NumTowers(); row += 10 {
+					metrics, err := forecast.Backtest(mk(), ds.Raw[row], ds.Days, trainDays, ds.SlotsPerDay())
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum += metrics.NRMSE
+					n++
+				}
+				nrmse = sum / float64(n)
+			}
+			b.ReportMetric(nrmse, "mean-NRMSE")
+		})
+	}
+}
+
+func formatNoise(noise float64) string {
+	switch {
+	case noise < 0.075:
+		return "noise-0.05"
+	case noise < 0.15:
+		return "noise-0.10"
+	case noise < 0.3:
+		return "noise-0.20"
+	default:
+		return "noise-0.40"
+	}
+}

@@ -1,0 +1,209 @@
+// Command analyze runs the full traffic-pattern pipeline on a trace
+// directory produced by cmd/gentrace (or, with -synthetic, on an in-memory
+// synthetic city) and prints the paper's headline tables: the cluster
+// shares (Table 1), the averaged POI per cluster (Table 3), the time-domain
+// characteristics (Tables 4 and 5) and the convex-combination coefficients
+// of a few comprehensive towers (Table 6).
+//
+// Examples:
+//
+//	analyze -trace ./trace
+//	analyze -synthetic -towers 600 -days 28
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/poi"
+	"repro/internal/report"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/urban"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analyze: ")
+
+	var (
+		traceDir  = flag.String("trace", "", "trace directory produced by gentrace (towers.csv, poi.csv, logs.csv)")
+		synthetic = flag.Bool("synthetic", false, "skip the trace files and analyse an in-memory synthetic city")
+		towers    = flag.Int("towers", 600, "towers for -synthetic")
+		days      = flag.Int("days", 28, "days for -synthetic")
+		seed      = flag.Int64("seed", 1, "seed for -synthetic")
+		clusters  = flag.Int("k", 0, "force the number of clusters (0 = pick by Davies-Bouldin index)")
+	)
+	flag.Parse()
+
+	if err := run(*traceDir, *synthetic, *towers, *days, *seed, *clusters); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(traceDir string, synthetic bool, towers, days int, seed int64, forceK int) error {
+	var (
+		ds   *pipeline.Dataset
+		pois []poi.POI
+		err  error
+	)
+	switch {
+	case synthetic:
+		cfg := synth.DefaultConfig()
+		cfg.Towers = towers
+		cfg.Days = days
+		cfg.Seed = seed
+		city, cerr := synth.GenerateCity(cfg)
+		if cerr != nil {
+			return fmt.Errorf("generating city: %w", cerr)
+		}
+		ds, err = city.BuildDataset()
+		if err != nil {
+			return fmt.Errorf("building dataset: %w", err)
+		}
+		pois = city.POIs
+	case traceDir != "":
+		ds, pois, err = loadTrace(traceDir)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("either -trace or -synthetic is required")
+	}
+
+	res, err := core.Analyze(ds, pois, core.Options{ForceK: forceK})
+	if err != nil {
+		return fmt.Errorf("analysing: %w", err)
+	}
+	printResult(res)
+	return nil
+}
+
+// loadTrace reads a gentrace output directory, cleans the logs and
+// vectorises them.
+func loadTrace(dir string) (*pipeline.Dataset, []poi.POI, error) {
+	towersFile, err := os.Open(filepath.Join(dir, "towers.csv"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening towers.csv: %w", err)
+	}
+	defer towersFile.Close()
+	towers, geocoder, err := trace.ReadTowersCSV(bufio.NewReader(towersFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	log.Printf("loaded %d towers", len(towers))
+
+	poiFile, err := os.Open(filepath.Join(dir, "poi.csv"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening poi.csv: %w", err)
+	}
+	defer poiFile.Close()
+	pois, err := poi.ReadCSV(bufio.NewReader(poiFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	log.Printf("loaded %d POIs", len(pois))
+
+	logsFile, err := os.Open(filepath.Join(dir, "logs.csv"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening logs.csv: %w", err)
+	}
+	defer logsFile.Close()
+	records, skipped, err := trace.ReadCSV(bufio.NewReaderSize(logsFile, 1<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	log.Printf("loaded %d records (%d malformed rows skipped)", len(records), skipped)
+
+	cleaned, stats := trace.Clean(records)
+	log.Printf("cleaning: %d in, %d invalid, %d duplicates, %d conflicts, %d out",
+		stats.Input, stats.Invalid, stats.Duplicates, stats.Conflicts, stats.Output)
+
+	resolved, err := trace.ResolveTowers(cleaned, geocoder)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Derive the time window from the records.
+	if len(cleaned) == 0 {
+		return nil, nil, fmt.Errorf("no usable records in %s", dir)
+	}
+	start := cleaned[0].Start
+	end := cleaned[0].End
+	for _, r := range cleaned {
+		if r.Start.Before(start) {
+			start = r.Start
+		}
+		if r.End.After(end) {
+			end = r.End
+		}
+	}
+	start = start.Truncate(24 * 3600e9)
+	daysCovered := int(end.Sub(start).Hours()/24) + 1
+
+	ds, err := pipeline.VectorizeRecords(cleaned, resolved, pipeline.VectorizerOptions{
+		Start: start,
+		Days:  daysCovered,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("vectorizing: %w", err)
+	}
+	log.Printf("vectorised %d towers × %d slots (%d days)", ds.NumTowers(), ds.NumSlots(), ds.Days)
+	return ds, pois, nil
+}
+
+func printResult(res *core.Result) {
+	fmt.Printf("Identified %d traffic patterns (Davies-Bouldin optimum)\n\n", res.OptimalK)
+
+	t1 := &report.Table{Title: "Table 1: cluster shares", Headers: []string{"cluster", "region", "towers", "share"}}
+	for i, c := range res.Clusters {
+		t1.AddRow(i+1, c.Region.String(), len(c.Members), c.Share)
+	}
+	fmt.Println(t1.String())
+
+	t3 := &report.Table{Title: "Table 3: averaged normalised POI", Headers: []string{"region", "resident", "transport", "office", "entertainment"}}
+	for _, c := range res.Clusters {
+		t3.AddRow(c.Region.String(), c.AveragedPOI[poi.Resident], c.AveragedPOI[poi.Transport], c.AveragedPOI[poi.Office], c.AveragedPOI[poi.Entertainment])
+	}
+	fmt.Println(t3.String())
+
+	t45 := &report.Table{
+		Title:   "Tables 4 & 5: time-domain characteristics (weekday)",
+		Headers: []string{"region", "weekday/weekend ratio", "peak-valley ratio", "peak hour", "valley hour"},
+	}
+	for _, c := range res.Clusters {
+		s := c.TimeSummary
+		t45.AddRow(c.Region.String(), s.WeekdayWeekendRatio, s.Weekday.PeakValleyRatio, s.Weekday.PeakHour, s.Weekday.ValleyHour)
+	}
+	fmt.Println(t45.String())
+
+	// Table 6 for a few comprehensive towers, when present.
+	comp, err := res.ClusterByRegion(urban.Comprehensive)
+	if err != nil || len(comp.Members) == 0 {
+		return
+	}
+	t6 := &report.Table{
+		Title:   "Table 6: convex combination coefficients of comprehensive towers",
+		Headers: []string{"tower row", "resident", "transport", "office", "entertainment", "residual"},
+	}
+	n := 5
+	if n > len(comp.Members) {
+		n = len(comp.Members)
+	}
+	for i := 0; i < n; i++ {
+		row := comp.Members[i*len(comp.Members)/n]
+		dec, _, err := res.DecomposeTower(row)
+		if err != nil {
+			log.Printf("decomposing tower %d: %v", row, err)
+			continue
+		}
+		t6.AddRow(row, dec.Coefficients[0], dec.Coefficients[1], dec.Coefficients[2], dec.Coefficients[3], dec.Residual)
+	}
+	fmt.Println(t6.String())
+}

@@ -1,0 +1,111 @@
+// Command gentrace generates a synthetic city and its cellular trace to
+// disk: tower metadata (towers.csv), the POI inventory (poi.csv) and the
+// raw CDR-style connection logs (logs.csv), including the duplicated and
+// conflicting records that the preprocessing stage has to clean.
+//
+// The output directory can be fed directly to cmd/analyze.
+//
+// Example:
+//
+//	gentrace -out ./trace -towers 400 -users 2000 -days 28 -seed 7
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/poi"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gentrace: ")
+
+	var (
+		out    = flag.String("out", "trace-out", "output directory")
+		towers = flag.Int("towers", 400, "number of cellular towers")
+		users  = flag.Int("users", 2000, "number of subscribers")
+		days   = flag.Int("days", 28, "days of traffic to generate")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if err := run(*out, *towers, *users, *days, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out string, towers, users, days int, seed int64) error {
+	cfg := synth.DefaultConfig()
+	cfg.Towers = towers
+	cfg.Users = users
+	cfg.Days = days
+	cfg.Seed = seed
+
+	city, err := synth.GenerateCity(cfg)
+	if err != nil {
+		return fmt.Errorf("generating city: %w", err)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return fmt.Errorf("creating output directory: %w", err)
+	}
+
+	// Tower metadata.
+	if err := writeFile(filepath.Join(out, "towers.csv"), func(w *bufio.Writer) error {
+		return trace.WriteTowersCSV(w, city.TowerInfos())
+	}); err != nil {
+		return err
+	}
+	log.Printf("wrote %d towers", len(city.Towers))
+
+	// POI inventory.
+	if err := writeFile(filepath.Join(out, "poi.csv"), func(w *bufio.Writer) error {
+		return poi.WriteCSV(w, city.POIs)
+	}); err != nil {
+		return err
+	}
+	log.Printf("wrote %d POIs", len(city.POIs))
+
+	// Connection logs (streamed).
+	series, err := city.GenerateSeries()
+	if err != nil {
+		return fmt.Errorf("generating traffic series: %w", err)
+	}
+	var count int
+	if err := writeFile(filepath.Join(out, "logs.csv"), func(w *bufio.Writer) error {
+		cw := trace.NewCSVWriter(w)
+		if err := city.GenerateLogsFunc(series, synth.LogOptions{}, cw.Write); err != nil {
+			return err
+		}
+		count = cw.Count()
+		return cw.Flush()
+	}); err != nil {
+		return err
+	}
+	log.Printf("wrote %d connection records over %d days", count, days)
+	log.Printf("trace ready in %s (analyze it with: analyze -trace %s)", out, out)
+	return nil
+}
+
+// writeFile creates path and hands a buffered writer to fill.
+func writeFile(path string, fill func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := fill(w); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("flushing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,81 @@
+// Anomaly detection: once every tower has a compact model of its traffic
+// pattern (the paper's frequency-domain observation), deviations from that
+// pattern — flash crowds, outages, special events — stand out. This example
+// injects a stadium-event surge and a mid-day outage into two towers of a
+// synthetic city and shows the detector finding them without flagging the
+// ordinary rush-hour variation of the other towers.
+//
+//	go run ./examples/anomaly
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/anomaly"
+	"repro/internal/linalg"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := synth.SmallConfig()
+	cfg.Towers = 120
+	cfg.Days = 14
+	cfg.Seed = 61
+	city, err := synth.GenerateCity(cfg)
+	if err != nil {
+		log.Fatalf("generating city: %v", err)
+	}
+	series, err := city.GenerateSeries()
+	if err != nil {
+		log.Fatalf("generating series: %v", err)
+	}
+	perDay := cfg.SlotsPerDay()
+
+	// Inject a two-hour flash-crowd surge (5x traffic) at tower 10 on day
+	// 9 starting 19:00, and a one-hour outage at tower 20 on day 4 at noon.
+	traffic := make([]linalg.Vector, len(series))
+	for i, s := range series {
+		traffic[i] = linalg.Vector(s.Bytes).Clone()
+	}
+	surgeTower, outageTower := 10, 20
+	surgeStart := 9*perDay + 19*60/cfg.SlotMinutes
+	for s := surgeStart; s < surgeStart+12; s++ {
+		traffic[surgeTower][s] *= 5
+	}
+	outageStart := 4*perDay + 12*60/cfg.SlotMinutes
+	for s := outageStart; s < outageStart+6; s++ {
+		traffic[outageTower][s] *= 0.01
+	}
+
+	reports, err := anomaly.DetectAll(traffic, cfg.Days, anomaly.Options{})
+	if err != nil {
+		log.Fatalf("detecting: %v", err)
+	}
+
+	flaggedTowers := 0
+	totalAnomalies := 0
+	for i, r := range reports {
+		if len(r.Anomalies) == 0 {
+			continue
+		}
+		flaggedTowers++
+		totalAnomalies += len(r.Anomalies)
+		top := r.Anomalies[0]
+		day := top.Slot / perDay
+		hour := float64(top.Slot%perDay) * float64(cfg.SlotMinutes) / 60
+		kind := "surge"
+		if top.Observed < top.Expected {
+			kind = "drop"
+		}
+		fmt.Printf("tower %3d (%-13s): %2d anomalous slots, strongest a %s on day %d at %04.1fh (observed %.2e vs expected %.2e, score %.0f)\n",
+			city.Towers[i].ID, city.Towers[i].Region, len(r.Anomalies), kind, day, hour, top.Observed, top.Expected, top.Score)
+	}
+	fmt.Printf("\n%d of %d towers flagged, %d anomalous slots in total.\n", flaggedTowers, len(reports), totalAnomalies)
+	fmt.Printf("Injected events: a 5x surge at tower %d (day 9, 19:00-21:00) and an outage at tower %d (day 4, 12:00-13:00).\n",
+		city.Towers[surgeTower].ID, city.Towers[outageTower].ID)
+	fmt.Println("The per-tower spectral model keeps ordinary rush-hour variation inside the normal band, so the")
+	fmt.Println("flagged towers are (almost) exactly the ones with injected events.")
+}

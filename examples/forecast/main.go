@@ -1,0 +1,103 @@
+// Traffic forecasting: the ISP use case from the paper's introduction. The
+// frequency-domain model of Section 5 says most of a tower's traffic lives
+// in a handful of spectral components, so a model that stores only those
+// components can forecast future weeks with a tiny fraction of the state a
+// replay-based model needs. This example backtests the forecasting models
+// of internal/forecast on every tower of a synthetic city: train on the
+// first three weeks, predict the fourth.
+//
+//	go run ./examples/forecast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/forecast"
+	"repro/internal/linalg"
+	"repro/internal/synth"
+	"repro/internal/urban"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := synth.SmallConfig()
+	cfg.Towers = 200
+	cfg.Days = 28
+	cfg.Seed = 31
+	city, err := synth.GenerateCity(cfg)
+	if err != nil {
+		log.Fatalf("generating city: %v", err)
+	}
+	series, err := city.GenerateSeries()
+	if err != nil {
+		log.Fatalf("generating series: %v", err)
+	}
+
+	trainDays := 21
+	models := []func() forecast.Model{
+		func() forecast.Model { return &forecast.SpectralModel{Components: forecast.Principal} },
+		func() forecast.Model { return &forecast.SpectralModel{Components: forecast.HarmonicsAndSidebands} },
+		func() forecast.Model { return &forecast.LastWeekModel{} },
+		func() forecast.Model { return &forecast.SlotOfWeekMeanModel{} },
+	}
+
+	type cell struct{ mapes linalg.Vector }
+	results := make(map[string]map[urban.Region]*cell)
+	states := make(map[string]int)
+	var names []string
+	for _, mk := range models {
+		name := mk().Name()
+		names = append(names, name)
+		results[name] = make(map[urban.Region]*cell)
+	}
+
+	for i, s := range series {
+		region := city.Towers[i].Region
+		for _, mk := range models {
+			m := mk()
+			metrics, err := forecast.Backtest(m, s.Bytes, cfg.Days, trainDays, cfg.SlotsPerDay())
+			if err != nil {
+				log.Fatalf("backtesting tower %d with %s: %v", i, m.Name(), err)
+			}
+			c := results[m.Name()][region]
+			if c == nil {
+				c = &cell{}
+				results[m.Name()][region] = c
+			}
+			c.mapes = append(c.mapes, metrics.MAPE)
+			states[m.Name()] = m.StateSize()
+		}
+	}
+
+	fmt.Printf("Median per-tower MAPE on the held-out fourth week (%d towers):\n\n", len(series))
+	fmt.Printf("  %-13s", "region")
+	for _, name := range names {
+		fmt.Printf("  %24s", name)
+	}
+	fmt.Println()
+	for _, region := range urban.Regions {
+		fmt.Printf("  %-13s", region)
+		for _, name := range names {
+			c := results[name][region]
+			if c == nil {
+				fmt.Printf("  %24s", "-")
+				continue
+			}
+			fmt.Printf("  %23.1f%%", 100*linalg.Quantile(c.mapes, 0.5))
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\n  %-13s", "state/tower")
+	for _, name := range names {
+		fmt.Printf("  %24d", states[name])
+	}
+	fmt.Println()
+
+	fmt.Println("\nThe paper's three principal components capture the broad shape with seven numbers per tower;")
+	fmt.Println("adding the daily harmonics and their weekly sidebands recovers the sharp rush-hour humps and the")
+	fmt.Println("weekday/weekend modulation, approaching the 1,008-number replay baseline with ~26x less state —")
+	fmt.Println("the kind of compact per-tower model an ISP can afford when planning load balancing or pricing.")
+}

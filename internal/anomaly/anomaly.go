@@ -1,0 +1,194 @@
+// Package anomaly detects traffic anomalies at individual cellular towers
+// using the paper's frequency-domain model as the notion of "normal": a
+// tower's expected traffic is its band-limited reconstruction from the
+// principal spectral components (plus, optionally, daily harmonics and
+// weekly sidebands), and slots whose residual is far outside the tower's
+// own residual distribution are flagged. This is the operational flip side
+// of the paper's ISP use case — once every tower has a compact model of its
+// pattern, deviations (special events, outages, flash crowds) stand out.
+package anomaly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dsp"
+	"repro/internal/linalg"
+)
+
+// Options configure the detector.
+type Options struct {
+	// Threshold is the number of robust standard deviations (scaled MAD) a
+	// slot's residual must exceed to be flagged (default 5).
+	Threshold float64
+	// Harmonics is the number of daily harmonics kept in the expected
+	// traffic model beyond the principal components (default 4); their
+	// weekly sidebands are kept as well. More harmonics give a tighter
+	// "normal" band but start absorbing genuine anomalies.
+	Harmonics int
+	// MinRelativeDeviation additionally requires the residual to be at
+	// least this fraction of the tower's mean traffic, which suppresses
+	// statistically-significant-but-tiny deviations during quiet hours
+	// (default 0.5).
+	MinRelativeDeviation float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold <= 0 {
+		o.Threshold = 5
+	}
+	if o.Harmonics <= 0 {
+		o.Harmonics = 4
+	}
+	if o.MinRelativeDeviation <= 0 {
+		o.MinRelativeDeviation = 0.5
+	}
+	return o
+}
+
+// Anomaly is one flagged slot.
+type Anomaly struct {
+	// Slot is the index into the traffic vector.
+	Slot int
+	// Observed and Expected are the actual and modelled traffic of the slot.
+	Observed, Expected float64
+	// Score is the residual in robust standard deviations.
+	Score float64
+}
+
+// Report is the outcome of detection on one tower.
+type Report struct {
+	// Expected is the modelled traffic (band-limited reconstruction).
+	Expected linalg.Vector
+	// Residual is Observed − Expected per slot.
+	Residual linalg.Vector
+	// Scale is the robust scale (1.4826 × MAD) of the *relative* residuals
+	// (Observed − Expected) / Expected. Traffic noise is multiplicative —
+	// busy slots deviate by more bytes than quiet ones — so scoring
+	// relative residuals keeps the false-positive rate flat across the day.
+	Scale float64
+	// Anomalies lists the flagged slots in descending score order.
+	Anomalies []Anomaly
+}
+
+// Errors returned by Detect.
+var (
+	ErrEmptySignal = errors.New("anomaly: empty traffic vector")
+	ErrBadShape    = errors.New("anomaly: traffic does not cover whole weeks")
+)
+
+// Detect models the tower's expected traffic from its own spectrum and
+// flags the slots whose residuals are extreme. traffic must cover nDays
+// whole days (a multiple of 7).
+func Detect(traffic linalg.Vector, nDays int, opts Options) (*Report, error) {
+	if len(traffic) == 0 {
+		return nil, ErrEmptySignal
+	}
+	if !traffic.IsFinite() {
+		return nil, fmt.Errorf("%w: non-finite traffic values", ErrEmptySignal)
+	}
+	opts = opts.withDefaults()
+	week, day, half, err := dsp.PrincipalBins(len(traffic), nDays)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadShape, err)
+	}
+	bins := []int{week, day, half}
+	for h := 2; h <= opts.Harmonics+1; h++ {
+		bins = append(bins, h*day)
+		if h*day-week > 0 {
+			bins = append(bins, h*day-week)
+		}
+		bins = append(bins, h*day+week)
+	}
+	bins = append(bins, day-week, day+week)
+	valid := bins[:0]
+	for _, b := range bins {
+		if b > 0 && b < len(traffic) {
+			valid = append(valid, b)
+		}
+	}
+	expected, _, err := dsp.Reconstruct(traffic, valid...)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range expected {
+		if v < 0 {
+			expected[i] = 0
+		}
+	}
+
+	mean := traffic.Mean()
+	// Floor for the denominator of relative residuals so near-zero expected
+	// slots do not explode the score.
+	floor := 0.05 * mean
+	if floor <= 0 {
+		floor = 1
+	}
+	residual := make(linalg.Vector, len(traffic))
+	relative := make(linalg.Vector, len(traffic))
+	for i := range traffic {
+		residual[i] = traffic[i] - expected[i]
+		relative[i] = residual[i] / math.Max(expected[i], floor)
+	}
+	scale := robustScale(relative)
+	// A scale that is effectively zero means the model reproduces the
+	// signal to numerical precision (e.g. constant traffic); there is
+	// nothing to score against.
+	if scale < 1e-9 {
+		scale = 0
+	}
+
+	report := &Report{Expected: expected, Residual: residual, Scale: scale}
+	if scale == 0 {
+		return report, nil
+	}
+	for i, rel := range relative {
+		score := math.Abs(rel) / scale
+		if score < opts.Threshold {
+			continue
+		}
+		if math.Abs(residual[i]) < opts.MinRelativeDeviation*mean {
+			continue
+		}
+		report.Anomalies = append(report.Anomalies, Anomaly{
+			Slot:     i,
+			Observed: traffic[i],
+			Expected: expected[i],
+			Score:    score,
+		})
+	}
+	sort.Slice(report.Anomalies, func(a, b int) bool {
+		return report.Anomalies[a].Score > report.Anomalies[b].Score
+	})
+	return report, nil
+}
+
+// robustScale returns 1.4826 × the median absolute deviation of v, a
+// standard-deviation estimate that ignores the outliers being hunted.
+func robustScale(v linalg.Vector) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	med := linalg.Quantile(v, 0.5)
+	abs := make(linalg.Vector, len(v))
+	for i, x := range v {
+		abs[i] = math.Abs(x - med)
+	}
+	return 1.4826 * linalg.Quantile(abs, 0.5)
+}
+
+// DetectAll runs Detect on every tower and returns the reports in input
+// order.
+func DetectAll(traffic []linalg.Vector, nDays int, opts Options) ([]*Report, error) {
+	out := make([]*Report, len(traffic))
+	for i, v := range traffic {
+		r, err := Detect(v, nDays, opts)
+		if err != nil {
+			return nil, fmt.Errorf("anomaly: tower %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,378 @@
+// Package cluster implements the pattern-identifier and metric-tuner stages
+// of the paper's system (Section 3.2): agglomerative hierarchical
+// clustering of the per-tower traffic vectors with average linkage and a
+// Euclidean metric, cut either by a distance threshold or by cluster count,
+// with the Davies–Bouldin index as the model-selection criterion. A k-means
+// baseline and additional validity indices (silhouette) are provided for
+// the ablation studies in the benchmark harness.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// Linkage selects how the distance between two clusters is derived from
+// point-to-point distances.
+type Linkage int
+
+// Supported linkage criteria.
+const (
+	// AverageLinkage is the paper's choice: the mean pairwise distance
+	// between members of the two clusters.
+	AverageLinkage Linkage = iota
+	// SingleLinkage is the minimum pairwise distance.
+	SingleLinkage
+	// CompleteLinkage is the maximum pairwise distance.
+	CompleteLinkage
+)
+
+// String implements fmt.Stringer.
+func (l Linkage) String() string {
+	switch l {
+	case AverageLinkage:
+		return "average"
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	default:
+		return fmt.Sprintf("linkage(%d)", int(l))
+	}
+}
+
+// Errors returned by the clustering functions.
+var (
+	ErrNoPoints    = errors.New("cluster: no points")
+	ErrBadK        = errors.New("cluster: invalid cluster count")
+	ErrShapeRagged = errors.New("cluster: points have differing dimensions")
+)
+
+// Merge records one agglomeration step of the dendrogram. Leaves are
+// numbered 0..N-1; the merge at index i creates the internal node N+i.
+type Merge struct {
+	// A and B are the node IDs merged at this step (leaf or internal).
+	A, B int
+	// Distance is the linkage distance at which the merge happened.
+	Distance float64
+	// Size is the number of leaves under the new node.
+	Size int
+}
+
+// Dendrogram is the full merge tree produced by hierarchical clustering.
+type Dendrogram struct {
+	// N is the number of leaves (input points).
+	N int
+	// Linkage is the criterion the tree was built with.
+	Linkage Linkage
+	// Merges has exactly N-1 entries ordered as performed by the
+	// algorithm. Merge distances are non-decreasing for reducible linkages
+	// (average, single, complete).
+	Merges []Merge
+}
+
+// Hierarchical builds the dendrogram of the points under the given linkage
+// using the nearest-neighbour-chain algorithm, which runs in O(N²) time and
+// O(N²) memory for the distance matrix. Distances are Euclidean, matching
+// the paper.
+func Hierarchical(points []linalg.Vector, linkage Linkage) (*Dendrogram, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("%w: point %d has %d dims, want %d", ErrShapeRagged, i, len(p), dim)
+		}
+	}
+	if n == 1 {
+		return &Dendrogram{N: 1, Linkage: linkage, Merges: nil}, nil
+	}
+
+	dist, err := distanceMatrix(points)
+	if err != nil {
+		return nil, err
+	}
+
+	// Active cluster bookkeeping. Slot i of the matrices always holds the
+	// "current" cluster occupying the slot of original leaf i. Merges are
+	// recorded against slots and converted into dendrogram node IDs after
+	// sorting by distance (the NN-chain finds reciprocal pairs in an order
+	// that is not globally sorted; for reducible linkages the sorted order
+	// is a valid agglomeration order).
+	active := make([]bool, n)
+	size := make([]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+	}
+
+	d := func(i, j int) float64 { return dist[i*n+j] }
+	setD := func(i, j int, v float64) { dist[i*n+j] = v; dist[j*n+i] = v }
+
+	type slotMerge struct {
+		slotA, slotB int
+		distance     float64
+	}
+	slotMerges := make([]slotMerge, 0, n-1)
+	chain := make([]int, 0, n)
+
+	anyActive := func() int {
+		for i, a := range active {
+			if a {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for len(slotMerges) < n-1 {
+		if len(chain) == 0 {
+			chain = append(chain, anyActive())
+		}
+		for {
+			top := chain[len(chain)-1]
+			// Nearest active neighbour of top.
+			best, bestDist := -1, math.Inf(1)
+			for j := 0; j < n; j++ {
+				if j == top || !active[j] {
+					continue
+				}
+				if dj := d(top, j); dj < bestDist {
+					best, bestDist = j, dj
+				}
+			}
+			if best == -1 {
+				// Only one active cluster left but merges incomplete —
+				// cannot happen, guard against infinite loop.
+				return nil, errors.New("cluster: internal error: no active neighbour")
+			}
+			if len(chain) >= 2 && chain[len(chain)-2] == best {
+				// Reciprocal nearest neighbours: merge top and best.
+				a, b := top, best
+				chain = chain[:len(chain)-2]
+				na, nb := size[a], size[b]
+				// Lance–Williams update of distances from the merged
+				// cluster (stored in slot a) to every other active cluster.
+				for k := 0; k < n; k++ {
+					if !active[k] || k == a || k == b {
+						continue
+					}
+					var nd float64
+					switch linkage {
+					case AverageLinkage:
+						nd = (float64(na)*d(a, k) + float64(nb)*d(b, k)) / float64(na+nb)
+					case SingleLinkage:
+						nd = math.Min(d(a, k), d(b, k))
+					case CompleteLinkage:
+						nd = math.Max(d(a, k), d(b, k))
+					default:
+						return nil, fmt.Errorf("cluster: unknown linkage %v", linkage)
+					}
+					setD(a, k, nd)
+				}
+				slotMerges = append(slotMerges, slotMerge{slotA: a, slotB: b, distance: bestDist})
+				active[b] = false
+				size[a] = na + nb
+				break
+			}
+			chain = append(chain, best)
+		}
+	}
+
+	// Sort merges by distance and relabel slots into dendrogram node IDs
+	// with a union-find over the leaves.
+	sort.SliceStable(slotMerges, func(i, j int) bool { return slotMerges[i].distance < slotMerges[j].distance })
+	parent := make([]int, 2*n-1)
+	nodeSize := make([]int, 2*n-1)
+	for i := range parent {
+		parent[i] = i
+		if i < n {
+			nodeSize[i] = 1
+		}
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	merges := make([]Merge, 0, n-1)
+	for i, sm := range slotMerges {
+		ra, rb := find(sm.slotA), find(sm.slotB)
+		newNode := n + i
+		parent[ra] = newNode
+		parent[rb] = newNode
+		nodeSize[newNode] = nodeSize[ra] + nodeSize[rb]
+		merges = append(merges, Merge{A: ra, B: rb, Distance: sm.distance, Size: nodeSize[newNode]})
+	}
+	return &Dendrogram{N: n, Linkage: linkage, Merges: merges}, nil
+}
+
+// distanceMatrix computes the full N×N Euclidean distance matrix in
+// parallel.
+func distanceMatrix(points []linalg.Vector) ([]float64, error) {
+	n := len(points)
+	dist := make([]float64, n*n)
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	errOnce := sync.Once{}
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				for j := i + 1; j < n; j++ {
+					sq, err := linalg.SquaredDistance(points[i], points[j])
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+					v := math.Sqrt(sq)
+					dist[i*n+j] = v
+					dist[j*n+i] = v
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return dist, nil
+}
+
+// Assignment maps each input point to a cluster label in [0, K).
+type Assignment struct {
+	// Labels[i] is the cluster of point i.
+	Labels []int
+	// K is the number of clusters.
+	K int
+}
+
+// Members returns the point indices of each cluster, indexed by label.
+func (a *Assignment) Members() [][]int {
+	out := make([][]int, a.K)
+	for i, l := range a.Labels {
+		out[l] = append(out[l], i)
+	}
+	return out
+}
+
+// Sizes returns the number of points in each cluster.
+func (a *Assignment) Sizes() []int {
+	out := make([]int, a.K)
+	for _, l := range a.Labels {
+		out[l]++
+	}
+	return out
+}
+
+// CutK cuts the dendrogram into exactly k clusters by undoing the last k-1
+// merges. Labels are renumbered to 0..k-1 in order of first appearance.
+func (d *Dendrogram) CutK(k int) (*Assignment, error) {
+	if k < 1 || k > d.N {
+		return nil, fmt.Errorf("%w: k=%d with %d points", ErrBadK, k, d.N)
+	}
+	return d.cut(len(d.Merges) - (k - 1))
+}
+
+// CutThreshold cuts the dendrogram at the given linkage distance: merges
+// with Distance ≤ threshold are applied, the rest undone. This is the
+// paper's stop condition ("stops the clustering when the distance between
+// two clusters is above the threshold value").
+func (d *Dendrogram) CutThreshold(threshold float64) (*Assignment, error) {
+	applied := 0
+	for _, m := range d.Merges {
+		if m.Distance <= threshold {
+			applied++
+		}
+	}
+	return d.cut(applied)
+}
+
+// cut applies the first `applied` merges and returns the resulting labels.
+func (d *Dendrogram) cut(applied int) (*Assignment, error) {
+	if applied < 0 || applied > len(d.Merges) {
+		return nil, fmt.Errorf("%w: applying %d of %d merges", ErrBadK, applied, len(d.Merges))
+	}
+	// Union-find over node IDs.
+	parent := make([]int, d.N+applied)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < applied; i++ {
+		m := d.Merges[i]
+		newNode := d.N + i
+		parent[find(m.A)] = newNode
+		parent[find(m.B)] = newNode
+	}
+	labels := make([]int, d.N)
+	remap := make(map[int]int)
+	for i := 0; i < d.N; i++ {
+		root := find(i)
+		l, ok := remap[root]
+		if !ok {
+			l = len(remap)
+			remap[root] = l
+		}
+		labels[i] = l
+	}
+	return &Assignment{Labels: labels, K: len(remap)}, nil
+}
+
+// MergeDistances returns the linkage distances of the merges in order.
+func (d *Dendrogram) MergeDistances() []float64 {
+	out := make([]float64, len(d.Merges))
+	for i, m := range d.Merges {
+		out[i] = m.Distance
+	}
+	return out
+}
+
+// ThresholdForK returns a threshold value that, when passed to
+// CutThreshold, yields exactly k clusters: the midpoint between the last
+// applied merge distance and the first undone one. It assumes monotone
+// merge distances (true for average/single/complete linkage).
+func (d *Dendrogram) ThresholdForK(k int) (float64, error) {
+	if k < 1 || k > d.N {
+		return 0, fmt.Errorf("%w: k=%d with %d points", ErrBadK, k, d.N)
+	}
+	dists := d.MergeDistances()
+	sort.Float64s(dists)
+	applied := len(dists) - (k - 1)
+	switch {
+	case applied <= 0:
+		if len(dists) == 0 {
+			return 0, nil
+		}
+		return dists[0] / 2, nil
+	case applied >= len(dists):
+		return dists[len(dists)-1] + 1, nil
+	default:
+		return (dists[applied-1] + dists[applied]) / 2, nil
+	}
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// KMeansOptions configure the k-means baseline.
+type KMeansOptions struct {
+	// K is the number of clusters. Required.
+	K int
+	// MaxIterations bounds the Lloyd iterations (default 100).
+	MaxIterations int
+	// Seed drives the k-means++ initialisation.
+	Seed int64
+	// Restarts runs the algorithm this many times with different
+	// initialisations and keeps the lowest-inertia result (default 1).
+	Restarts int
+}
+
+func (o KMeansOptions) withDefaults() KMeansOptions {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
+	return o
+}
+
+// KMeansResult is the outcome of a k-means run.
+type KMeansResult struct {
+	Assignment *Assignment
+	Centroids  []linalg.Vector
+	// Inertia is the sum of squared distances of points to their assigned
+	// centroid.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations of the best restart.
+	Iterations int
+}
+
+// KMeans clusters the points with Lloyd's algorithm and k-means++
+// initialisation. It is the baseline the benchmark harness compares the
+// paper's hierarchical clustering against.
+func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
+	opts = opts.withDefaults()
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	if opts.K < 1 || opts.K > n {
+		return nil, fmt.Errorf("%w: k=%d with %d points", ErrBadK, opts.K, n)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("%w: point %d has %d dims, want %d", ErrShapeRagged, i, len(p), dim)
+		}
+	}
+
+	var best *KMeansResult
+	for r := 0; r < opts.Restarts; r++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(r)*104729))
+		res, err := kmeansOnce(points, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnce(points []linalg.Vector, opts KMeansOptions, rng *rand.Rand) (*KMeansResult, error) {
+	n := len(points)
+	centroids, err := kmeansPlusPlusInit(points, opts.K, rng)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, n)
+	var iterations int
+	for iterations = 0; iterations < opts.MaxIterations; iterations++ {
+		changed := false
+		// Assignment step.
+		for i, p := range points {
+			best, bestDist := 0, math.Inf(1)
+			for c, centroid := range centroids {
+				d, err := linalg.SquaredDistance(p, centroid)
+				if err != nil {
+					return nil, err
+				}
+				if d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iterations > 0 {
+			break
+		}
+		// Update step.
+		dim := len(points[0])
+		sums := make([]linalg.Vector, opts.K)
+		counts := make([]int, opts.K)
+		for c := range sums {
+			sums[c] = make(linalg.Vector, dim)
+		}
+		for i, p := range points {
+			if err := sums[labels[i]].AddInPlace(p); err != nil {
+				return nil, err
+			}
+			counts[labels[i]]++
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				centroids[c] = points[rng.Intn(n)].Clone()
+				continue
+			}
+			centroids[c] = sums[c].Scale(1 / float64(counts[c]))
+		}
+	}
+	var inertia float64
+	for i, p := range points {
+		d, err := linalg.SquaredDistance(p, centroids[labels[i]])
+		if err != nil {
+			return nil, err
+		}
+		inertia += d
+	}
+	return &KMeansResult{
+		Assignment: &Assignment{Labels: labels, K: opts.K},
+		Centroids:  centroids,
+		Inertia:    inertia,
+		Iterations: iterations,
+	}, nil
+}
+
+// kmeansPlusPlusInit picks initial centroids with the k-means++ scheme:
+// each next centroid is drawn with probability proportional to its squared
+// distance from the nearest centroid chosen so far.
+func kmeansPlusPlusInit(points []linalg.Vector, k int, rng *rand.Rand) ([]linalg.Vector, error) {
+	n := len(points)
+	centroids := make([]linalg.Vector, 0, k)
+	centroids = append(centroids, points[rng.Intn(n)].Clone())
+	distSq := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		latest := centroids[len(centroids)-1]
+		for i, p := range points {
+			d, err := linalg.SquaredDistance(p, latest)
+			if err != nil {
+				return nil, err
+			}
+			if len(centroids) == 1 || d < distSq[i] {
+				distSq[i] = d
+			}
+			total += distSq[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with existing centroids.
+			centroids = append(centroids, points[rng.Intn(n)].Clone())
+			continue
+		}
+		target := rng.Float64() * total
+		var cum float64
+		chosen := n - 1
+		for i, d := range distSq {
+			cum += d
+			if cum >= target {
+				chosen = i
+				break
+			}
+		}
+		centroids = append(centroids, points[chosen].Clone())
+	}
+	return centroids, nil
+}

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// Centroids returns the centroid of each cluster of the assignment.
+// Empty clusters get a zero vector.
+func Centroids(points []linalg.Vector, a *Assignment) ([]linalg.Vector, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if len(a.Labels) != len(points) {
+		return nil, fmt.Errorf("cluster: %d labels for %d points", len(a.Labels), len(points))
+	}
+	dim := len(points[0])
+	out := make([]linalg.Vector, a.K)
+	counts := make([]int, a.K)
+	for i := range out {
+		out[i] = make(linalg.Vector, dim)
+	}
+	for i, p := range points {
+		l := a.Labels[i]
+		if l < 0 || l >= a.K {
+			return nil, fmt.Errorf("cluster: label %d out of range [0,%d)", l, a.K)
+		}
+		if err := out[l].AddInPlace(p); err != nil {
+			return nil, err
+		}
+		counts[l]++
+	}
+	for i := range out {
+		if counts[i] > 0 {
+			out[i].ScaleInPlace(1 / float64(counts[i]))
+		}
+	}
+	return out, nil
+}
+
+// DaviesBouldin computes the Davies–Bouldin index of the clustering, the
+// metric-tuner criterion of Section 3.2:
+//
+//	DBI = (1/R) Σ_i max_{j≠i} (S_i + S_j) / M_ij
+//
+// where S_i is the average distance of cluster i's members to their
+// centroid and M_ij the distance between the centroids of clusters i and
+// j. Lower is better. Clusters with fewer than one member are skipped.
+// The index is undefined for fewer than two non-empty clusters.
+func DaviesBouldin(points []linalg.Vector, a *Assignment) (float64, error) {
+	centroids, err := Centroids(points, a)
+	if err != nil {
+		return 0, err
+	}
+	scatter, counts, err := clusterScatter(points, a, centroids)
+	if err != nil {
+		return 0, err
+	}
+	// Keep only non-empty clusters.
+	var idx []int
+	for i, c := range counts {
+		if c > 0 {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) < 2 {
+		return 0, errors.New("cluster: Davies-Bouldin needs at least two non-empty clusters")
+	}
+	var sum float64
+	for _, i := range idx {
+		worst := math.Inf(-1)
+		for _, j := range idx {
+			if i == j {
+				continue
+			}
+			m, err := linalg.Distance(centroids[i], centroids[j])
+			if err != nil {
+				return 0, err
+			}
+			if m == 0 {
+				// Coincident centroids: the ratio is unbounded; treat as a
+				// very bad separation rather than dividing by zero.
+				worst = math.Inf(1)
+				continue
+			}
+			if r := (scatter[i] + scatter[j]) / m; r > worst {
+				worst = r
+			}
+		}
+		sum += worst
+	}
+	return sum / float64(len(idx)), nil
+}
+
+// clusterScatter returns S_i (mean member-to-centroid distance) and member
+// counts per cluster.
+func clusterScatter(points []linalg.Vector, a *Assignment, centroids []linalg.Vector) ([]float64, []int, error) {
+	scatter := make([]float64, a.K)
+	counts := make([]int, a.K)
+	for i, p := range points {
+		l := a.Labels[i]
+		d, err := linalg.Distance(p, centroids[l])
+		if err != nil {
+			return nil, nil, err
+		}
+		scatter[l] += d
+		counts[l]++
+	}
+	for i := range scatter {
+		if counts[i] > 0 {
+			scatter[i] /= float64(counts[i])
+		}
+	}
+	return scatter, counts, nil
+}
+
+// DistancesToCentroid returns, for each cluster, the sorted distances of
+// its members to the cluster centroid — the data behind the per-cluster
+// distance CDF of Figure 6(b).
+func DistancesToCentroid(points []linalg.Vector, a *Assignment) ([][]float64, error) {
+	centroids, err := Centroids(points, a)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, a.K)
+	for i, p := range points {
+		l := a.Labels[i]
+		d, err := linalg.Distance(p, centroids[l])
+		if err != nil {
+			return nil, err
+		}
+		out[l] = append(out[l], d)
+	}
+	for i := range out {
+		sort.Float64s(out[i])
+	}
+	return out, nil
+}
+
+// Silhouette computes the mean silhouette coefficient of the clustering, an
+// additional validity index used in the ablation benches. It is O(N²·d).
+// Points in singleton clusters contribute a silhouette of zero.
+func Silhouette(points []linalg.Vector, a *Assignment) (float64, error) {
+	n := len(points)
+	if n == 0 {
+		return 0, ErrNoPoints
+	}
+	if len(a.Labels) != n {
+		return 0, fmt.Errorf("cluster: %d labels for %d points", len(a.Labels), n)
+	}
+	if a.K < 2 {
+		return 0, errors.New("cluster: silhouette needs at least two clusters")
+	}
+	sizes := a.Sizes()
+	var total float64
+	for i := 0; i < n; i++ {
+		li := a.Labels[i]
+		if sizes[li] <= 1 {
+			continue // silhouette of a singleton is defined as 0
+		}
+		// Mean distance to own cluster (a) and to the nearest other
+		// cluster (b).
+		sumByCluster := make([]float64, a.K)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d, err := linalg.Distance(points[i], points[j])
+			if err != nil {
+				return 0, err
+			}
+			sumByCluster[a.Labels[j]] += d
+		}
+		own := sumByCluster[li] / float64(sizes[li]-1)
+		other := math.Inf(1)
+		for c := 0; c < a.K; c++ {
+			if c == li || sizes[c] == 0 {
+				continue
+			}
+			if v := sumByCluster[c] / float64(sizes[c]); v < other {
+				other = v
+			}
+		}
+		if math.IsInf(other, 1) {
+			continue
+		}
+		max := math.Max(own, other)
+		if max > 0 {
+			total += (other - own) / max
+		}
+	}
+	return total / float64(n), nil
+}
+
+// DBICurvePoint is one evaluation of the Davies–Bouldin index at a given
+// cluster count, together with the cut threshold that produces it.
+type DBICurvePoint struct {
+	K         int
+	Threshold float64
+	DBI       float64
+}
+
+// DBICurve evaluates the Davies–Bouldin index for every cluster count in
+// [minK, maxK], reproducing the metric-tuner sweep behind Figure 6(a).
+func DBICurve(points []linalg.Vector, dendro *Dendrogram, minK, maxK int) ([]DBICurvePoint, error) {
+	if minK < 2 {
+		return nil, fmt.Errorf("%w: minK=%d (need at least 2)", ErrBadK, minK)
+	}
+	if maxK < minK || maxK > dendro.N {
+		return nil, fmt.Errorf("%w: maxK=%d with minK=%d and %d points", ErrBadK, maxK, minK, dendro.N)
+	}
+	out := make([]DBICurvePoint, 0, maxK-minK+1)
+	for k := minK; k <= maxK; k++ {
+		assign, err := dendro.CutK(k)
+		if err != nil {
+			return nil, err
+		}
+		dbi, err := DaviesBouldin(points, assign)
+		if err != nil {
+			return nil, err
+		}
+		threshold, err := dendro.ThresholdForK(k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DBICurvePoint{K: k, Threshold: threshold, DBI: dbi})
+	}
+	return out, nil
+}
+
+// OptimalK returns the cluster count minimising the Davies–Bouldin index
+// over [minK, maxK], together with the full curve.
+func OptimalK(points []linalg.Vector, dendro *Dendrogram, minK, maxK int) (int, []DBICurvePoint, error) {
+	curve, err := DBICurve(points, dendro, minK, maxK)
+	if err != nil {
+		return 0, nil, err
+	}
+	best := curve[0]
+	for _, p := range curve[1:] {
+		if p.DBI < best.DBI {
+			best = p
+		}
+	}
+	return best.K, curve, nil
+}
+
+// AdjustedRandIndex measures the agreement between two labelings of the
+// same points, corrected for chance. It is used to validate recovered
+// clusters against the synthetic ground truth (1 = identical partitions,
+// ~0 = random agreement).
+func AdjustedRandIndex(labelsA, labelsB []int) (float64, error) {
+	if len(labelsA) != len(labelsB) {
+		return 0, fmt.Errorf("cluster: label slices differ in length: %d vs %d", len(labelsA), len(labelsB))
+	}
+	n := len(labelsA)
+	if n == 0 {
+		return 0, ErrNoPoints
+	}
+	// Contingency table.
+	table := make(map[[2]int]float64)
+	rowSum := make(map[int]float64)
+	colSum := make(map[int]float64)
+	for i := 0; i < n; i++ {
+		table[[2]int{labelsA[i], labelsB[i]}]++
+		rowSum[labelsA[i]]++
+		colSum[labelsB[i]]++
+	}
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	var sumTable, sumRow, sumCol float64
+	for _, v := range table {
+		sumTable += choose2(v)
+	}
+	for _, v := range rowSum {
+		sumRow += choose2(v)
+	}
+	for _, v := range colSum {
+		sumCol += choose2(v)
+	}
+	total := choose2(float64(n))
+	if total == 0 {
+		return 1, nil
+	}
+	expected := sumRow * sumCol / total
+	maxIndex := (sumRow + sumCol) / 2
+	if maxIndex == expected {
+		return 1, nil
+	}
+	return (sumTable - expected) / (maxIndex - expected), nil
+}
+
+// PurityAgainstTruth returns, for each predicted cluster, the fraction of
+// its members whose ground-truth label equals the cluster's majority truth
+// label, plus the overall purity. It quantifies how well recovered traffic
+// patterns match ground-truth functional regions.
+func PurityAgainstTruth(predicted *Assignment, truth []int) (perCluster []float64, overall float64, err error) {
+	if len(predicted.Labels) != len(truth) {
+		return nil, 0, fmt.Errorf("cluster: %d predictions for %d truths", len(predicted.Labels), len(truth))
+	}
+	if len(truth) == 0 {
+		return nil, 0, ErrNoPoints
+	}
+	perCluster = make([]float64, predicted.K)
+	correctTotal := 0
+	for c, members := range predicted.Members() {
+		if len(members) == 0 {
+			continue
+		}
+		counts := make(map[int]int)
+		for _, i := range members {
+			counts[truth[i]]++
+		}
+		best := 0
+		for _, v := range counts {
+			if v > best {
+				best = v
+			}
+		}
+		perCluster[c] = float64(best) / float64(len(members))
+		correctTotal += best
+	}
+	return perCluster, float64(correctTotal) / float64(len(truth)), nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/urban"
+)
+
+// Classification is the outcome of assigning a new tower to one of the
+// discovered traffic patterns.
+type Classification struct {
+	// Cluster is the index of the nearest pattern.
+	Cluster int
+	// Region is the functional region of that pattern.
+	Region urban.Region
+	// Distance is the Euclidean distance between the tower's normalised
+	// vector and the pattern centroid.
+	Distance float64
+	// Margin is the gap between the distance to the second-nearest
+	// centroid and Distance; small margins mean the tower sits near a
+	// boundary between patterns (typically a mixed-function area).
+	Margin float64
+}
+
+// ErrNotComparable is returned when a traffic vector cannot be compared to
+// the model's patterns.
+var ErrNotComparable = errors.New("core: traffic vector not comparable to the model")
+
+// ClassifyTraffic assigns a new tower's traffic to the nearest discovered
+// pattern — the operation an ISP performs when a tower is deployed after
+// the model was built. The vector must cover the same slots as the model's
+// dataset (same slot width and number of slots); it is z-score normalised
+// internally, so raw byte counts can be passed directly.
+func (r *Result) ClassifyTraffic(traffic linalg.Vector) (*Classification, error) {
+	if len(r.Clusters) == 0 {
+		return nil, errors.New("core: result has no clusters")
+	}
+	if len(traffic) != r.Dataset.NumSlots() {
+		return nil, fmt.Errorf("%w: vector has %d slots, model expects %d", ErrNotComparable, len(traffic), r.Dataset.NumSlots())
+	}
+	if !traffic.IsFinite() {
+		return nil, fmt.Errorf("%w: vector contains non-finite values", ErrNotComparable)
+	}
+	normalized := linalg.ZScoreNormalize(traffic)
+
+	best, second := math.Inf(1), math.Inf(1)
+	bestIdx := -1
+	for i, view := range r.Clusters {
+		if len(view.Members) == 0 {
+			continue
+		}
+		d, err := linalg.Distance(normalized, view.Centroid)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case d < best:
+			second = best
+			best = d
+			bestIdx = i
+		case d < second:
+			second = d
+		}
+	}
+	if bestIdx < 0 {
+		return nil, errors.New("core: all clusters are empty")
+	}
+	margin := 0.0
+	if !math.IsInf(second, 1) {
+		margin = second - best
+	}
+	return &Classification{
+		Cluster:  bestIdx,
+		Region:   r.Clusters[bestIdx].Region,
+		Distance: best,
+		Margin:   margin,
+	}, nil
+}
+
+// ClassifyAll classifies a batch of traffic vectors.
+func (r *Result) ClassifyAll(traffic []linalg.Vector) ([]*Classification, error) {
+	out := make([]*Classification, len(traffic))
+	for i, v := range traffic {
+		c, err := r.ClassifyTraffic(v)
+		if err != nil {
+			return nil, fmt.Errorf("core: classifying vector %d: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/synth"
+)
+
+func TestClassifyTrafficRecoversOwnTowers(t *testing.T) {
+	city, ds, res := buildShared(t)
+	_ = city
+	// Classifying the raw traffic of existing towers must put almost all of
+	// them back into their own cluster.
+	correct := 0
+	sample := 0
+	for row := 0; row < ds.NumTowers(); row += 3 {
+		c, err := res.ClassifyTraffic(ds.Raw[row])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Cluster == res.Assignment.Labels[row] {
+			correct++
+		}
+		if c.Distance < 0 || math.IsNaN(c.Distance) || c.Margin < 0 {
+			t.Fatalf("degenerate classification %+v", c)
+		}
+		sample++
+	}
+	if frac := float64(correct) / float64(sample); frac < 0.95 {
+		t.Errorf("self-classification accuracy = %g, want > 0.95", frac)
+	}
+}
+
+func TestClassifyTrafficNewTower(t *testing.T) {
+	city, ds, res := buildShared(t)
+	// Generate a brand-new city with the same configuration but a different
+	// seed; its towers were never seen by the model, yet their ground-truth
+	// region should usually match the classified pattern's region.
+	cfg := city.Config
+	cfg.Seed = 12345
+	fresh, err := synth.GenerateCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshDS, err := fresh.BuildDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := fresh.GroundTruthRegions(freshDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshDS.NumSlots() != ds.NumSlots() {
+		t.Fatal("fresh dataset has a different shape")
+	}
+	correct, total := 0, 0
+	for row := 0; row < freshDS.NumTowers(); row += 5 {
+		c, err := res.ClassifyTraffic(freshDS.Raw[row])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if c.Region == truth[row] {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(total); frac < 0.7 {
+		t.Errorf("new-tower classification accuracy = %g, want > 0.7", frac)
+	}
+}
+
+func TestClassifyTrafficErrors(t *testing.T) {
+	_, ds, res := buildShared(t)
+	if _, err := res.ClassifyTraffic(make(linalg.Vector, 10)); !errors.Is(err, ErrNotComparable) {
+		t.Errorf("wrong length: %v", err)
+	}
+	bad := make(linalg.Vector, ds.NumSlots())
+	bad[0] = math.NaN()
+	if _, err := res.ClassifyTraffic(bad); !errors.Is(err, ErrNotComparable) {
+		t.Errorf("NaN vector: %v", err)
+	}
+	empty := &Result{}
+	if _, err := empty.ClassifyTraffic(bad); err == nil {
+		t.Error("result without clusters should fail")
+	}
+}
+
+func TestClassifyAll(t *testing.T) {
+	_, ds, res := buildShared(t)
+	batch := []linalg.Vector{ds.Raw[0], ds.Raw[1]}
+	out, err := res.ClassifyAll(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("classified %d vectors", len(out))
+	}
+	if _, err := res.ClassifyAll([]linalg.Vector{{1}}); err == nil {
+		t.Error("bad batch member should fail")
+	}
+}

@@ -1,0 +1,311 @@
+// Package core ties the individual stages of the reproduction together into
+// the model the paper describes: a three-dimensional view of cellular
+// traffic combining time (traffic patterns from hierarchical clustering),
+// location (urban functional region labels from POI context), and frequency
+// (the three principal spectral components and the four primary components
+// every tower decomposes into).
+//
+// The entry point is Analyze, which takes a vectorised dataset (from
+// package pipeline) plus the POI inventory of the city and produces a
+// Result carrying every artefact needed to regenerate the paper's tables
+// and figures.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/freqdomain"
+	"repro/internal/label"
+	"repro/internal/linalg"
+	"repro/internal/pipeline"
+	"repro/internal/poi"
+	"repro/internal/timedomain"
+	"repro/internal/urban"
+)
+
+// Options configure the end-to-end analysis. The zero value is usable and
+// matches the paper's configuration where applicable.
+type Options struct {
+	// Linkage is the hierarchical clustering linkage (default average,
+	// matching the paper).
+	Linkage cluster.Linkage
+	// MinClusters and MaxClusters bound the Davies–Bouldin sweep of the
+	// metric tuner (defaults 2 and 10).
+	MinClusters, MaxClusters int
+	// ForceK skips the metric tuner and cuts the dendrogram into exactly
+	// ForceK clusters. Zero lets the Davies–Bouldin index choose.
+	ForceK int
+	// POIRadiusMeters is the POI counting radius around each tower
+	// (default 200, as in the paper).
+	POIRadiusMeters float64
+	// SmoothWindowSlots is the moving-average window applied to daily
+	// profiles before extracting peaks and valleys (default 3 slots).
+	SmoothWindowSlots int
+	// RepOptions tune the representative-tower search of the
+	// frequency-domain stage.
+	RepOptions freqdomain.RepOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinClusters <= 1 {
+		o.MinClusters = 2
+	}
+	if o.MaxClusters <= 0 {
+		o.MaxClusters = 10
+	}
+	if o.POIRadiusMeters <= 0 {
+		o.POIRadiusMeters = poi.DefaultRadiusMeters
+	}
+	if o.SmoothWindowSlots <= 0 {
+		o.SmoothWindowSlots = 3
+	}
+	return o
+}
+
+// ClusterView bundles everything the model knows about one traffic-pattern
+// cluster.
+type ClusterView struct {
+	// Index is the cluster label in the assignment.
+	Index int
+	// Region is the urban functional region attached by the labeller.
+	Region urban.Region
+	// Members are the dataset rows in this cluster.
+	Members []int
+	// Share is the fraction of towers in this cluster (Table 1).
+	Share float64
+	// Centroid is the centroid of the members' normalised traffic vectors.
+	Centroid linalg.Vector
+	// AggregateRaw is the summed raw traffic of the members.
+	AggregateRaw linalg.Vector
+	// TimeSummary holds the Table 4/5 statistics of the aggregate traffic.
+	TimeSummary timedomain.PatternSummary
+	// AveragedPOI is the Table 3 row of this cluster.
+	AveragedPOI poi.Counts
+	// Representative is the dataset row of the most representative tower
+	// (Section 5.2), or -1.
+	Representative int
+}
+
+// Result is the full outcome of the analysis.
+type Result struct {
+	// Dataset is the input dataset (not copied).
+	Dataset *pipeline.Dataset
+	// Dendrogram is the full merge tree of the pattern identifier.
+	Dendrogram *cluster.Dendrogram
+	// Assignment maps dataset rows to cluster labels.
+	Assignment *cluster.Assignment
+	// DBICurve is the metric tuner's Davies–Bouldin sweep (Figure 6a).
+	DBICurve []cluster.DBICurvePoint
+	// OptimalK is the cluster count selected by the metric tuner (or
+	// ForceK when set).
+	OptimalK int
+	// Clusters describes each cluster; index matches assignment labels.
+	Clusters []ClusterView
+	// ClusterLabels[c] is the functional region of cluster c.
+	ClusterLabels []urban.Region
+	// TowerRegions[i] is the functional region inferred for dataset row i.
+	TowerRegions []urban.Region
+	// TowerPOI[i] is the raw POI count around dataset row i's tower.
+	TowerPOI []poi.Counts
+	// Features[i] is the frequency-domain feature of dataset row i.
+	Features []freqdomain.Features
+	// Clock converts dataset slots to wall-clock time.
+	Clock timedomain.Clock
+	// Labeling carries the full labelling diagnostics (Table 3 matrix,
+	// dominance).
+	Labeling *label.Result
+}
+
+// Analyze runs the full pipeline on a vectorised dataset: clustering with
+// the metric tuner, POI labelling, time-domain characterisation and
+// frequency-domain feature extraction.
+func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error) {
+	if ds == nil {
+		return nil, errors.New("core: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid dataset: %w", err)
+	}
+	opts = opts.withDefaults()
+	if ds.Days%7 != 0 {
+		return nil, fmt.Errorf("core: dataset covers %d days; whole weeks are required for frequency analysis", ds.Days)
+	}
+
+	clock := timedomain.Clock{Start: ds.Start, SlotMinutes: ds.SlotMinutes}
+
+	// Pattern identifier: hierarchical clustering of normalised vectors.
+	dendro, err := cluster.Hierarchical(ds.Normalized, opts.Linkage)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering: %w", err)
+	}
+
+	// Metric tuner: Davies–Bouldin sweep (unless K is forced).
+	maxK := opts.MaxClusters
+	if maxK > ds.NumTowers() {
+		maxK = ds.NumTowers()
+	}
+	minK := opts.MinClusters
+	if minK > maxK {
+		minK = maxK
+	}
+	var (
+		curve []cluster.DBICurvePoint
+		k     int
+	)
+	if opts.ForceK > 0 {
+		k = opts.ForceK
+		if k > ds.NumTowers() {
+			return nil, fmt.Errorf("core: ForceK=%d exceeds %d towers", opts.ForceK, ds.NumTowers())
+		}
+		if minK >= 2 && maxK >= minK && ds.NumTowers() > maxK {
+			// Still compute the curve for reporting when feasible.
+			curve, err = cluster.DBICurve(ds.Normalized, dendro, minK, maxK)
+			if err != nil {
+				return nil, fmt.Errorf("core: DBI curve: %w", err)
+			}
+		}
+	} else {
+		k, curve, err = cluster.OptimalK(ds.Normalized, dendro, minK, maxK)
+		if err != nil {
+			return nil, fmt.Errorf("core: metric tuner: %w", err)
+		}
+	}
+	assign, err := dendro.CutK(k)
+	if err != nil {
+		return nil, fmt.Errorf("core: cutting dendrogram: %w", err)
+	}
+
+	// Geographical context: POI counting and cluster labelling.
+	counter, err := poi.NewCounter(pois, opts.POIRadiusMeters)
+	if err != nil {
+		return nil, fmt.Errorf("core: indexing POIs: %w", err)
+	}
+	towerPOI := counter.CountAll(ds.Locations, opts.POIRadiusMeters)
+	members := assign.Members()
+	labeling, err := label.LabelClusters(towerPOI, members)
+	if err != nil {
+		return nil, fmt.Errorf("core: labelling clusters: %w", err)
+	}
+	towerRegions, err := label.TowerLabels(labeling.Labels, assign.Labels)
+	if err != nil {
+		return nil, fmt.Errorf("core: expanding labels: %w", err)
+	}
+
+	// Frequency-domain features and representative towers.
+	features, err := freqdomain.Extract(ds.Normalized, ds.Days)
+	if err != nil {
+		return nil, fmt.Errorf("core: frequency features: %w", err)
+	}
+	reps, err := freqdomain.RepresentativeTowers(features, assign, opts.RepOptions)
+	if err != nil {
+		return nil, fmt.Errorf("core: representative towers: %w", err)
+	}
+
+	// Per-cluster views.
+	centroids, err := cluster.Centroids(ds.Normalized, assign)
+	if err != nil {
+		return nil, fmt.Errorf("core: centroids: %w", err)
+	}
+	clusters := make([]ClusterView, assign.K)
+	for c := 0; c < assign.K; c++ {
+		view := ClusterView{
+			Index:          c,
+			Region:         labeling.Labels[c],
+			Members:        members[c],
+			Share:          float64(len(members[c])) / float64(ds.NumTowers()),
+			Centroid:       centroids[c],
+			Representative: reps[c],
+			AveragedPOI:    labeling.AveragedPOI[c],
+		}
+		if len(members[c]) > 0 {
+			agg, err := ds.AggregateRaw(members[c])
+			if err != nil {
+				return nil, fmt.Errorf("core: aggregating cluster %d: %w", c, err)
+			}
+			view.AggregateRaw = agg
+			summary, err := timedomain.Summarize(agg, clock, opts.SmoothWindowSlots)
+			if err != nil {
+				return nil, fmt.Errorf("core: summarising cluster %d: %w", c, err)
+			}
+			view.TimeSummary = summary
+		}
+		clusters[c] = view
+	}
+
+	return &Result{
+		Dataset:       ds,
+		Dendrogram:    dendro,
+		Assignment:    assign,
+		DBICurve:      curve,
+		OptimalK:      k,
+		Clusters:      clusters,
+		ClusterLabels: labeling.Labels,
+		TowerRegions:  towerRegions,
+		TowerPOI:      towerPOI,
+		Features:      features,
+		Clock:         clock,
+		Labeling:      labeling,
+	}, nil
+}
+
+// ClusterByRegion returns the cluster view labelled with the given region,
+// or an error if no cluster carries that label. When several clusters share
+// the label (possible for comprehensive), the largest is returned.
+func (r *Result) ClusterByRegion(region urban.Region) (*ClusterView, error) {
+	best := -1
+	for i, c := range r.Clusters {
+		if c.Region != region {
+			continue
+		}
+		if best == -1 || len(c.Members) > len(r.Clusters[best].Members) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil, fmt.Errorf("core: no cluster labelled %v", region)
+	}
+	return &r.Clusters[best], nil
+}
+
+// PrimaryComponents returns the frequency features of the representative
+// towers of the four primary regions in canonical order (resident,
+// transport, office, entertainment). It fails if any primary region is
+// missing from the labelling.
+func (r *Result) PrimaryComponents() ([]freqdomain.Features, error) {
+	out := make([]freqdomain.Features, 0, len(urban.PrimaryRegions))
+	for _, region := range urban.PrimaryRegions {
+		view, err := r.ClusterByRegion(region)
+		if err != nil {
+			return nil, err
+		}
+		if view.Representative < 0 || view.Representative >= len(r.Features) {
+			return nil, fmt.Errorf("core: cluster %v has no representative tower", region)
+		}
+		out = append(out, r.Features[view.Representative])
+	}
+	return out, nil
+}
+
+// DecomposeTower expresses dataset row i as a convex combination of the
+// four primary components (Section 5.3) and returns the decomposition plus
+// the tower's NTF-IDF for comparison (Table 6).
+func (r *Result) DecomposeTower(row int) (*freqdomain.Decomposition, poi.Counts, error) {
+	if row < 0 || row >= len(r.Features) {
+		return nil, poi.Counts{}, fmt.Errorf("core: row %d out of range [0,%d)", row, len(r.Features))
+	}
+	primaries, err := r.PrimaryComponents()
+	if err != nil {
+		return nil, poi.Counts{}, err
+	}
+	dec, err := freqdomain.Decompose(r.Features[row], primaries)
+	if err != nil {
+		return nil, poi.Counts{}, err
+	}
+	ntf, err := poi.NTFIDF(r.TowerPOI)
+	if err != nil {
+		return nil, poi.Counts{}, err
+	}
+	return dec, ntf[row], nil
+}

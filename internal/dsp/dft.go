@@ -1,0 +1,238 @@
+// Package dsp implements the discrete Fourier transform machinery used by
+// the frequency-domain analysis of Section 5 of the paper: forward and
+// inverse DFT of real-valued traffic vectors, spectrum inspection
+// (amplitude, phase, energy), and band-limited reconstruction from a small
+// set of retained frequency components.
+//
+// The traffic vectors analysed by the paper have N = 4032 samples
+// (28 days × 144 ten-minute slots). 4032 = 2^6 · 63 is highly composite, so
+// a mixed-radix Cooley–Tukey recursion with a direct-DFT base case gives
+// O(N log N)-ish behaviour without external dependencies; a plain O(N²)
+// fallback is kept for prime lengths and used as the reference in tests.
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrEmpty is returned when a transform is requested on an empty signal.
+var ErrEmpty = errors.New("dsp: empty signal")
+
+// DFT computes the discrete Fourier transform of the real signal x,
+// returning the complex spectrum X with len(X) == len(x). The convention
+// matches the paper:
+//
+//	X[k] = Σ_{n=0..N-1} x[n] · e^{-2πi·k·n/N}
+func DFT(x []float64) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return dftComplex(c, false), nil
+}
+
+// IDFT computes the inverse discrete Fourier transform of the spectrum X,
+// returning a complex signal. The inverse includes the 1/N factor:
+//
+//	x[n] = (1/N) Σ_{k=0..N-1} X[k] · e^{+2πi·k·n/N}
+func IDFT(x []complex128) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	out := dftComplex(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out, nil
+}
+
+// IDFTReal computes the inverse DFT and returns only the real part. It is
+// intended for spectra of real signals (conjugate-symmetric), where the
+// imaginary part of the inverse is numerical noise.
+func IDFTReal(x []complex128) ([]float64, error) {
+	c, err := IDFT(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(c))
+	for i, v := range c {
+		out[i] = real(v)
+	}
+	return out, nil
+}
+
+// dftComplex dispatches between the recursive mixed-radix transform and the
+// direct transform. inverse selects the sign of the exponent (no 1/N
+// scaling is applied here).
+func dftComplex(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if n == 1 {
+		return []complex128{x[0]}
+	}
+	if f := smallestFactor(n); f < n {
+		return cooleyTukey(x, f, inverse)
+	}
+	return directDFT(x, inverse)
+}
+
+// directDFT is the O(N²) reference transform, used for prime lengths.
+func directDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := sign * 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// cooleyTukey performs one decimation step with radix p (a factor of
+// len(x)) and recurses on the sub-transforms.
+func cooleyTukey(x []complex128, p int, inverse bool) []complex128 {
+	n := len(x)
+	q := n / p
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Split into p interleaved sub-signals of length q and transform each.
+	subs := make([][]complex128, p)
+	for r := 0; r < p; r++ {
+		sub := make([]complex128, q)
+		for j := 0; j < q; j++ {
+			sub[j] = x[j*p+r]
+		}
+		subs[r] = dftComplex(sub, inverse)
+	}
+	out := make([]complex128, n)
+	// Combine: X[k] = Σ_r e^{sign·2πi·k·r/N} · Sub_r[k mod q]
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for r := 0; r < p; r++ {
+			angle := sign * 2 * math.Pi * float64(k) * float64(r) / float64(n)
+			sum += cmplx.Exp(complex(0, angle)) * subs[r][k%q]
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// smallestFactor returns the smallest prime factor of n, or n itself when
+// n is prime.
+func smallestFactor(n int) int {
+	if n%2 == 0 {
+		return 2
+	}
+	for f := 3; f*f <= n; f += 2 {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return n
+}
+
+// Amplitude returns |X[k]| for every bin of the spectrum.
+func Amplitude(spectrum []complex128) []float64 {
+	out := make([]float64, len(spectrum))
+	for i, c := range spectrum {
+		out[i] = cmplx.Abs(c)
+	}
+	return out
+}
+
+// Phase returns arg(X[k]) in (-π, π] for every bin of the spectrum.
+func Phase(spectrum []complex128) []float64 {
+	out := make([]float64, len(spectrum))
+	for i, c := range spectrum {
+		out[i] = cmplx.Phase(c)
+	}
+	return out
+}
+
+// Energy returns the total energy of the time-domain signal, Σ x[n]².
+func Energy(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// SpectralEnergy returns (1/N)·Σ |X[k]|², which by Parseval's theorem
+// equals the time-domain energy Σ x[n]².
+func SpectralEnergy(spectrum []complex128) float64 {
+	if len(spectrum) == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range spectrum {
+		s += real(c)*real(c) + imag(c)*imag(c)
+	}
+	return s / float64(len(spectrum))
+}
+
+// KeepComponents zeroes every bin of the spectrum except bin 0 (the DC
+// term), the listed bins k, and their conjugate mirrors N-k. This is the
+// Xʳ[k] masking step of Section 5.1. The input is not modified.
+func KeepComponents(spectrum []complex128, ks ...int) ([]complex128, error) {
+	n := len(spectrum)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	keep := make(map[int]bool, 2*len(ks)+1)
+	keep[0] = true
+	for _, k := range ks {
+		if k < 0 || k >= n {
+			return nil, fmt.Errorf("dsp: component %d out of range [0,%d)", k, n)
+		}
+		keep[k] = true
+		keep[(n-k)%n] = true
+	}
+	out := make([]complex128, n)
+	for i, c := range spectrum {
+		if keep[i] {
+			out[i] = c
+		}
+	}
+	return out, nil
+}
+
+// Reconstruct rebuilds a time-domain signal from the real signal x while
+// retaining only the DC term and the frequency components ks (plus their
+// conjugate mirrors). It returns the reconstructed signal and the relative
+// energy loss |E(x) - E(xr)| / E(x) as defined in Section 5.1 of the paper.
+func Reconstruct(x []float64, ks ...int) (reconstructed []float64, energyLoss float64, err error) {
+	spectrum, err := DFT(x)
+	if err != nil {
+		return nil, 0, err
+	}
+	masked, err := KeepComponents(spectrum, ks...)
+	if err != nil {
+		return nil, 0, err
+	}
+	reconstructed, err = IDFTReal(masked)
+	if err != nil {
+		return nil, 0, err
+	}
+	orig := Energy(x)
+	if orig == 0 {
+		return reconstructed, 0, nil
+	}
+	energyLoss = math.Abs(orig-Energy(reconstructed)) / orig
+	return reconstructed, energyLoss, nil
+}

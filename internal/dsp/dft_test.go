@@ -1,0 +1,360 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDFTEmpty(t *testing.T) {
+	if _, err := DFT(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("DFT(nil): got %v, want ErrEmpty", err)
+	}
+	if _, err := IDFT(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("IDFT(nil): got %v, want ErrEmpty", err)
+	}
+	if _, err := KeepComponents(nil, 1); !errors.Is(err, ErrEmpty) {
+		t.Errorf("KeepComponents(nil): got %v, want ErrEmpty", err)
+	}
+}
+
+func TestDFTConstantSignal(t *testing.T) {
+	x := []float64{2, 2, 2, 2}
+	spec, err := DFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(spec[0])-8) > 1e-9 || math.Abs(imag(spec[0])) > 1e-9 {
+		t.Errorf("DC bin = %v, want 8", spec[0])
+	}
+	for k := 1; k < 4; k++ {
+		if cmplx.Abs(spec[k]) > 1e-9 {
+			t.Errorf("bin %d = %v, want 0 for constant signal", k, spec[k])
+		}
+	}
+}
+
+func TestDFTSingleTone(t *testing.T) {
+	// A pure cosine at bin 3 of a 48-sample signal should put all its
+	// energy (split evenly) at bins 3 and 45.
+	n := 48
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * 3 * float64(i) / float64(n))
+	}
+	spec, err := DFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmplx.Abs(spec[3]); math.Abs(got-float64(n)/2) > 1e-6 {
+		t.Errorf("|X[3]| = %g, want %g", got, float64(n)/2)
+	}
+	if got := cmplx.Abs(spec[45]); math.Abs(got-float64(n)/2) > 1e-6 {
+		t.Errorf("|X[45]| = %g, want %g", got, float64(n)/2)
+	}
+	for k := 0; k < n; k++ {
+		if k == 3 || k == 45 {
+			continue
+		}
+		if cmplx.Abs(spec[k]) > 1e-6 {
+			t.Errorf("|X[%d]| = %g, want ~0", k, cmplx.Abs(spec[k]))
+		}
+	}
+}
+
+func TestDFTMatchesDirectOnCompositeAndPrimeLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 5, 7, 8, 12, 13, 60, 63, 97, 144} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		fast := dftComplex(x, false)
+		ref := directDFT(x, false)
+		for k := range ref {
+			if cmplx.Abs(fast[k]-ref[k]) > 1e-6*float64(n) {
+				t.Errorf("n=%d bin %d: fast %v vs direct %v", n, k, fast[k], ref[k])
+			}
+		}
+	}
+}
+
+func TestDFTInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{16, 63, 100, 144} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		spec, err := DFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := IDFTReal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-8 {
+				t.Fatalf("n=%d round trip[%d] = %g, want %g", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 252)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	spec, err := DFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te := Energy(x)
+	se := SpectralEnergy(spec)
+	if math.Abs(te-se) > 1e-6*te {
+		t.Errorf("Parseval violated: time %g vs spectral %g", te, se)
+	}
+	if SpectralEnergy(nil) != 0 {
+		t.Error("SpectralEnergy(nil) should be 0")
+	}
+}
+
+func TestKeepComponents(t *testing.T) {
+	spec := []complex128{1, 2, 3, 4, 5, 6, 7, 8}
+	kept, err := KeepComponents(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bins 0, 2 and 6 (mirror of 2) survive.
+	want := []complex128{1, 0, 3, 0, 0, 0, 7, 0}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Errorf("kept[%d] = %v, want %v", i, kept[i], want[i])
+		}
+	}
+	if _, err := KeepComponents(spec, 99); err == nil {
+		t.Error("out-of-range component should fail")
+	}
+	if _, err := KeepComponents(spec, -1); err == nil {
+		t.Error("negative component should fail")
+	}
+	// Original must be untouched.
+	if spec[1] != 2 {
+		t.Error("KeepComponents modified its input")
+	}
+}
+
+func TestReconstructPureTones(t *testing.T) {
+	// Signal composed only of bins 4 and 28 → keeping those bins loses
+	// essentially no energy.
+	n := 4032
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i)
+		x[i] = 3*math.Cos(2*math.Pi*4*ti/float64(n)+0.3) + 2*math.Sin(2*math.Pi*28*ti/float64(n))
+	}
+	rec, loss, err := Reconstruct(x, 4, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 1e-6 {
+		t.Errorf("energy loss = %g, want ~0", loss)
+	}
+	for i := 0; i < n; i += 997 {
+		if math.Abs(rec[i]-x[i]) > 1e-6 {
+			t.Errorf("rec[%d] = %g, want %g", i, rec[i], x[i])
+		}
+	}
+	// Dropping bin 28 must lose the energy of the second tone:
+	// fraction = (2²/2) / (3²/2 + 2²/2) = 4/13.
+	_, loss2, err := Reconstruct(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss2-4.0/13.0) > 1e-6 {
+		t.Errorf("partial energy loss = %g, want %g", loss2, 4.0/13.0)
+	}
+}
+
+func TestReconstructZeroSignal(t *testing.T) {
+	x := make([]float64, 64)
+	rec, loss, err := Reconstruct(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != 0 {
+		t.Errorf("zero-signal energy loss = %g, want 0", loss)
+	}
+	for _, v := range rec {
+		if v != 0 {
+			t.Error("reconstruction of zero signal should be zero")
+		}
+	}
+}
+
+func TestPrincipalBins(t *testing.T) {
+	w, d, h, err := PrincipalBins(4032, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 4 || d != 28 || h != 56 {
+		t.Errorf("PrincipalBins(4032, 28) = %d,%d,%d want 4,28,56", w, d, h)
+	}
+	if _, _, _, err := PrincipalBins(4032, 27); err == nil {
+		t.Error("non-whole-week coverage should fail")
+	}
+	if _, _, _, err := PrincipalBins(0, 28); err == nil {
+		t.Error("zero samples should fail")
+	}
+	if _, _, _, err := PrincipalBins(10, 7); err == nil {
+		t.Error("half-day bin out of range should fail")
+	}
+}
+
+func TestSpectrumAccessors(t *testing.T) {
+	x := []float64{1, 0, -1, 0, 1, 0, -1, 0} // cosine at bin 2
+	s, err := NewSpectrum(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	c, err := s.Component(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Amplitude-4) > 1e-9 {
+		t.Errorf("amplitude at bin 2 = %g, want 4", c.Amplitude)
+	}
+	if _, err := s.Component(100); err == nil {
+		t.Error("out-of-range component should fail")
+	}
+	cs, err := s.Components(0, 2)
+	if err != nil || len(cs) != 2 {
+		t.Fatalf("Components: %v %v", cs, err)
+	}
+	na, err := s.NormalizedAmplitude(2)
+	if err != nil || math.Abs(na-0.5) > 1e-9 {
+		t.Errorf("NormalizedAmplitude = %g, want 0.5", na)
+	}
+	trunc, err := s.Truncate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := trunc.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(inv[i]-x[i]) > 1e-9 {
+			t.Errorf("truncated inverse[%d] = %g, want %g", i, inv[i], x[i])
+		}
+	}
+	if len(s.Amplitudes()) != 8 || len(s.Phases()) != 8 {
+		t.Error("Amplitudes/Phases length mismatch")
+	}
+}
+
+// Property: DFT is linear — DFT(a·x + y) = a·DFT(x) + DFT(y).
+func TestDFTLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed uint8) bool {
+		n := int(seed%32) + 4
+		a := rng.NormFloat64()
+		x, y, mix := make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+			mix[i] = a*x[i] + y[i]
+		}
+		sx, _ := DFT(x)
+		sy, _ := DFT(y)
+		sm, _ := DFT(mix)
+		for k := 0; k < n; k++ {
+			want := complex(a, 0)*sx[k] + sy[k]
+			if cmplx.Abs(sm[k]-want) > 1e-6*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: round trip through DFT and IDFT reproduces the signal, and
+// Parseval's identity holds.
+func TestDFTRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed uint8) bool {
+		n := int(seed%60) + 2
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		spec, err := DFT(x)
+		if err != nil {
+			return false
+		}
+		back, err := IDFTReal(spec)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-7 {
+				return false
+			}
+		}
+		return math.Abs(Energy(x)-SpectralEnergy(spec)) <= 1e-7*(Energy(x)+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmallestFactor(t *testing.T) {
+	cases := map[int]int{2: 2, 3: 3, 4: 2, 9: 3, 13: 13, 63: 3, 97: 97, 4032: 2}
+	for n, want := range cases {
+		if got := smallestFactor(n); got != want {
+			t.Errorf("smallestFactor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func BenchmarkDFT4032(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 4032)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct4032(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 4032)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Reconstruct(x, BinWeekly, BinDaily, BinHalfDay); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

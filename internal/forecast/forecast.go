@@ -1,0 +1,339 @@
+// Package forecast turns the paper's frequency-domain observation into a
+// practical per-tower traffic forecaster — the ISP use case motivating the
+// study (load balancing and tower-specific pricing need a cheap per-tower
+// traffic model). A tower's traffic is dominated by a handful of spectral
+// components, so a model that stores only those components predicts future
+// weeks with a small fraction of the state a replay-based model needs.
+//
+// Three models are provided:
+//
+//   - SpectralModel: keeps a configurable set of frequency components of
+//     the training window (the paper's three principal components by
+//     default, optionally daily harmonics and their weekly sidebands) and
+//     extrapolates them periodically;
+//   - LastWeekModel: replays the final week of the training window;
+//   - SlotOfWeekMeanModel: predicts the historical mean of each slot of the
+//     week.
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/linalg"
+)
+
+// Errors returned by the forecasting models.
+var (
+	ErrNotFitted   = errors.New("forecast: model not fitted")
+	ErrBadTraining = errors.New("forecast: invalid training window")
+	ErrBadHorizon  = errors.New("forecast: invalid horizon")
+)
+
+// Model is a per-tower traffic forecaster.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Fit trains the model on a traffic vector covering trainDays whole
+	// days at slotsPerDay slots per day.
+	Fit(train linalg.Vector, trainDays, slotsPerDay int) error
+	// Predict returns the forecast for the next horizon slots.
+	Predict(horizon int) (linalg.Vector, error)
+	// StateSize returns the number of float64 values the fitted model
+	// needs to keep per tower (the "cost" axis of the accuracy/state
+	// trade-off).
+	StateSize() int
+}
+
+// validateTraining checks the common training-window invariants.
+func validateTraining(train linalg.Vector, trainDays, slotsPerDay int) error {
+	if trainDays <= 0 || slotsPerDay <= 0 {
+		return fmt.Errorf("%w: %d days × %d slots/day", ErrBadTraining, trainDays, slotsPerDay)
+	}
+	if len(train) != trainDays*slotsPerDay {
+		return fmt.Errorf("%w: %d samples for %d days × %d slots/day", ErrBadTraining, len(train), trainDays, slotsPerDay)
+	}
+	if !train.IsFinite() {
+		return fmt.Errorf("%w: training window contains non-finite values", ErrBadTraining)
+	}
+	return nil
+}
+
+// ComponentSet selects which spectral components a SpectralModel keeps.
+type ComponentSet int
+
+// Available component sets.
+const (
+	// Principal keeps the paper's three components: one week, one day,
+	// half a day (6 numbers per tower).
+	Principal ComponentSet = iota
+	// Harmonics keeps the weekly component plus the first six daily
+	// harmonics.
+	Harmonics
+	// HarmonicsAndSidebands additionally keeps the weekly sidebands of
+	// each daily harmonic (k·day ± week), which encode the
+	// weekday/weekend modulation of the daily shape.
+	HarmonicsAndSidebands
+)
+
+// String implements fmt.Stringer.
+func (c ComponentSet) String() string {
+	switch c {
+	case Principal:
+		return "principal-3"
+	case Harmonics:
+		return "harmonics"
+	case HarmonicsAndSidebands:
+		return "harmonics+sidebands"
+	default:
+		return fmt.Sprintf("componentset(%d)", int(c))
+	}
+}
+
+// SpectralModel forecasts by keeping a small set of DFT components of the
+// training window and extending them periodically.
+type SpectralModel struct {
+	Components ComponentSet
+	// MaxHarmonics bounds the daily harmonics kept by the Harmonics and
+	// HarmonicsAndSidebands sets (default 6).
+	MaxHarmonics int
+
+	reconstructed linalg.Vector
+	bins          []int
+	trainSlots    int
+}
+
+// Name implements Model.
+func (m *SpectralModel) Name() string { return "spectral-" + m.Components.String() }
+
+// Fit implements Model.
+func (m *SpectralModel) Fit(train linalg.Vector, trainDays, slotsPerDay int) error {
+	if err := validateTraining(train, trainDays, slotsPerDay); err != nil {
+		return err
+	}
+	week, day, half, err := dsp.PrincipalBins(len(train), trainDays)
+	if err != nil {
+		return fmt.Errorf("forecast: %w", err)
+	}
+	maxHarmonics := m.MaxHarmonics
+	if maxHarmonics <= 0 {
+		maxHarmonics = 6
+	}
+	var bins []int
+	switch m.Components {
+	case Principal:
+		bins = []int{week, day, half}
+	case Harmonics:
+		bins = []int{week}
+		for h := 1; h <= maxHarmonics; h++ {
+			bins = append(bins, h*day)
+		}
+	case HarmonicsAndSidebands:
+		bins = []int{week}
+		for h := 1; h <= maxHarmonics; h++ {
+			bins = append(bins, h*day, h*day-week, h*day+week)
+		}
+	default:
+		return fmt.Errorf("forecast: unknown component set %v", m.Components)
+	}
+	// Drop bins that fall outside the valid range for this window.
+	valid := bins[:0]
+	for _, b := range bins {
+		if b > 0 && b < len(train) {
+			valid = append(valid, b)
+		}
+	}
+	reconstructed, _, err := dsp.Reconstruct(train, valid...)
+	if err != nil {
+		return fmt.Errorf("forecast: %w", err)
+	}
+	m.reconstructed = reconstructed
+	m.bins = valid
+	m.trainSlots = len(train)
+	return nil
+}
+
+// Predict implements Model. The retained components are periodic over the
+// training window, so the forecast for slot trainSlots+i is the
+// reconstruction at slot i (mod trainSlots).
+func (m *SpectralModel) Predict(horizon int) (linalg.Vector, error) {
+	if m.trainSlots == 0 {
+		return nil, ErrNotFitted
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadHorizon, horizon)
+	}
+	out := make(linalg.Vector, horizon)
+	for i := 0; i < horizon; i++ {
+		v := m.reconstructed[i%m.trainSlots]
+		if v < 0 {
+			v = 0 // traffic cannot be negative
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// StateSize implements Model: amplitude and phase per retained bin, plus the
+// DC term.
+func (m *SpectralModel) StateSize() int {
+	if m.trainSlots == 0 {
+		return 0
+	}
+	return 2*len(m.bins) + 1
+}
+
+// LastWeekModel replays the final week of the training window.
+type LastWeekModel struct {
+	lastWeek linalg.Vector
+}
+
+// Name implements Model.
+func (m *LastWeekModel) Name() string { return "last-week-replay" }
+
+// Fit implements Model.
+func (m *LastWeekModel) Fit(train linalg.Vector, trainDays, slotsPerDay int) error {
+	if err := validateTraining(train, trainDays, slotsPerDay); err != nil {
+		return err
+	}
+	if trainDays < 7 {
+		return fmt.Errorf("%w: last-week replay needs at least 7 days, got %d", ErrBadTraining, trainDays)
+	}
+	weekSlots := 7 * slotsPerDay
+	m.lastWeek = train[len(train)-weekSlots:].Clone()
+	return nil
+}
+
+// Predict implements Model.
+func (m *LastWeekModel) Predict(horizon int) (linalg.Vector, error) {
+	if len(m.lastWeek) == 0 {
+		return nil, ErrNotFitted
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadHorizon, horizon)
+	}
+	out := make(linalg.Vector, horizon)
+	for i := range out {
+		out[i] = m.lastWeek[i%len(m.lastWeek)]
+	}
+	return out, nil
+}
+
+// StateSize implements Model.
+func (m *LastWeekModel) StateSize() int { return len(m.lastWeek) }
+
+// SlotOfWeekMeanModel predicts the historical mean of each slot of the
+// week, averaging over all training weeks.
+type SlotOfWeekMeanModel struct {
+	means linalg.Vector
+}
+
+// Name implements Model.
+func (m *SlotOfWeekMeanModel) Name() string { return "slot-of-week-mean" }
+
+// Fit implements Model.
+func (m *SlotOfWeekMeanModel) Fit(train linalg.Vector, trainDays, slotsPerDay int) error {
+	if err := validateTraining(train, trainDays, slotsPerDay); err != nil {
+		return err
+	}
+	if trainDays < 7 {
+		return fmt.Errorf("%w: slot-of-week mean needs at least 7 days, got %d", ErrBadTraining, trainDays)
+	}
+	weekSlots := 7 * slotsPerDay
+	sums := make(linalg.Vector, weekSlots)
+	counts := make([]int, weekSlots)
+	for i, v := range train {
+		sums[i%weekSlots] += v
+		counts[i%weekSlots]++
+	}
+	for i := range sums {
+		if counts[i] > 0 {
+			sums[i] /= float64(counts[i])
+		}
+	}
+	m.means = sums
+	return nil
+}
+
+// Predict implements Model.
+func (m *SlotOfWeekMeanModel) Predict(horizon int) (linalg.Vector, error) {
+	if len(m.means) == 0 {
+		return nil, ErrNotFitted
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadHorizon, horizon)
+	}
+	out := make(linalg.Vector, horizon)
+	for i := range out {
+		out[i] = m.means[i%len(m.means)]
+	}
+	return out, nil
+}
+
+// StateSize implements Model.
+func (m *SlotOfWeekMeanModel) StateSize() int { return len(m.means) }
+
+// Metrics summarise forecast accuracy over a horizon.
+type Metrics struct {
+	// MAPE is the mean absolute percentage error over slots with
+	// non-trivial traffic (at least 10 % of the mean).
+	MAPE float64
+	// RMSE is the root mean squared error over all slots.
+	RMSE float64
+	// NRMSE is RMSE divided by the mean of the actual traffic.
+	NRMSE float64
+}
+
+// Evaluate compares a forecast against the actual traffic.
+func Evaluate(actual, predicted linalg.Vector) (Metrics, error) {
+	if len(actual) != len(predicted) {
+		return Metrics{}, fmt.Errorf("forecast: %d actual vs %d predicted slots", len(actual), len(predicted))
+	}
+	if len(actual) == 0 {
+		return Metrics{}, errors.New("forecast: empty evaluation window")
+	}
+	mean := actual.Mean()
+	threshold := mean * 0.1
+	var mapeSum float64
+	var mapeN int
+	var sq float64
+	for i := range actual {
+		d := predicted[i] - actual[i]
+		sq += d * d
+		if actual[i] > threshold && actual[i] > 0 {
+			mapeSum += math.Abs(d) / actual[i]
+			mapeN++
+		}
+	}
+	m := Metrics{RMSE: math.Sqrt(sq / float64(len(actual)))}
+	if mapeN > 0 {
+		m.MAPE = mapeSum / float64(mapeN)
+	}
+	if mean > 0 {
+		m.NRMSE = m.RMSE / mean
+	}
+	return m, nil
+}
+
+// Backtest fits the model on the first trainDays days of the series and
+// evaluates its prediction of the remaining slots.
+func Backtest(model Model, series linalg.Vector, totalDays, trainDays, slotsPerDay int) (Metrics, error) {
+	if trainDays <= 0 || trainDays >= totalDays {
+		return Metrics{}, fmt.Errorf("%w: train %d of %d days", ErrBadTraining, trainDays, totalDays)
+	}
+	if len(series) != totalDays*slotsPerDay {
+		return Metrics{}, fmt.Errorf("%w: %d samples for %d days", ErrBadTraining, len(series), totalDays)
+	}
+	trainSlots := trainDays * slotsPerDay
+	if err := model.Fit(series[:trainSlots], trainDays, slotsPerDay); err != nil {
+		return Metrics{}, err
+	}
+	horizon := len(series) - trainSlots
+	predicted, err := model.Predict(horizon)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Evaluate(series[trainSlots:], predicted)
+}

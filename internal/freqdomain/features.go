@@ -1,0 +1,308 @@
+// Package freqdomain implements the frequency-domain representation of
+// Section 5 of the paper: per-tower spectral features at the three
+// principal components (one week, one day, half a day), variance of the
+// spectrum across towers, the search for the most representative tower of
+// each pattern, and the decomposition of an arbitrary tower into a convex
+// combination of the four primary components.
+package freqdomain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/dsp"
+	"repro/internal/linalg"
+)
+
+// Errors returned by the feature extraction functions.
+var (
+	ErrNoVectors = errors.New("freqdomain: no traffic vectors")
+	ErrBadShape  = errors.New("freqdomain: inconsistent vector shape")
+)
+
+// Features holds the amplitude and phase of one tower's traffic spectrum at
+// the three principal frequency components. Amplitudes are normalised by
+// the vector length so they are comparable across traces of different
+// lengths; phases are in (-π, π].
+type Features struct {
+	// Index is the row of the tower in the originating dataset.
+	Index int
+
+	AmpWeek   float64 // |X[k_week]| / N
+	PhaseWeek float64 // arg X[k_week]
+
+	AmpDay   float64 // |X[k_day]| / N
+	PhaseDay float64 // arg X[k_day]
+
+	AmpHalfDay   float64 // |X[k_halfday]| / N
+	PhaseHalfDay float64 // arg X[k_halfday]
+}
+
+// Vector3 returns the three-dimensional feature used by the paper for the
+// polygon visualisation and the convex decomposition: amplitude of one day,
+// phase of one day, amplitude of half a day (Section 5.3).
+func (f Features) Vector3() linalg.Vector {
+	return linalg.Vector{f.AmpDay, f.PhaseDay, f.AmpHalfDay}
+}
+
+// Vector6 returns all six spectral coordinates.
+func (f Features) Vector6() linalg.Vector {
+	return linalg.Vector{f.AmpWeek, f.PhaseWeek, f.AmpDay, f.PhaseDay, f.AmpHalfDay, f.PhaseHalfDay}
+}
+
+// Extract computes the spectral features of every traffic vector. The
+// vectors must all have the same length and cover nDays whole days (a
+// multiple of 7 so the weekly bin exists).
+func Extract(vectors []linalg.Vector, nDays int) ([]Features, error) {
+	if len(vectors) == 0 {
+		return nil, ErrNoVectors
+	}
+	n := len(vectors[0])
+	week, day, half, err := dsp.PrincipalBins(n, nDays)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Features, len(vectors))
+	for i, v := range vectors {
+		if len(v) != n {
+			return nil, fmt.Errorf("%w: vector %d has %d samples, want %d", ErrBadShape, i, len(v), n)
+		}
+		spec, err := dsp.NewSpectrum(v)
+		if err != nil {
+			return nil, err
+		}
+		comps, err := spec.Components(week, day, half)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Features{
+			Index:        i,
+			AmpWeek:      comps[0].Amplitude / float64(n),
+			PhaseWeek:    comps[0].Phase,
+			AmpDay:       comps[1].Amplitude / float64(n),
+			PhaseDay:     comps[1].Phase,
+			AmpHalfDay:   comps[2].Amplitude / float64(n),
+			PhaseHalfDay: comps[2].Phase,
+		}
+	}
+	return out, nil
+}
+
+// AmplitudeVariance returns, for each frequency bin up to maxBin
+// (exclusive), the variance across towers of the normalised DFT amplitude —
+// the statistic plotted in Figure 13. The paper's observation is that the
+// variance spikes at the three principal bins, which is what makes them the
+// most discriminating features.
+func AmplitudeVariance(vectors []linalg.Vector, maxBin int) ([]float64, error) {
+	if len(vectors) == 0 {
+		return nil, ErrNoVectors
+	}
+	n := len(vectors[0])
+	if maxBin <= 0 || maxBin > n {
+		return nil, fmt.Errorf("freqdomain: maxBin %d out of range (0,%d]", maxBin, n)
+	}
+	amps := make([]linalg.Vector, maxBin)
+	for k := range amps {
+		amps[k] = make(linalg.Vector, len(vectors))
+	}
+	for i, v := range vectors {
+		if len(v) != n {
+			return nil, fmt.Errorf("%w: vector %d has %d samples, want %d", ErrBadShape, i, len(v), n)
+		}
+		spec, err := dsp.DFT(v)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < maxBin; k++ {
+			re, im := real(spec[k]), imag(spec[k])
+			amps[k][i] = math.Sqrt(re*re+im*im) / float64(n)
+		}
+	}
+	out := make([]float64, maxBin)
+	for k := range out {
+		out[k] = amps[k].Variance()
+	}
+	return out, nil
+}
+
+// ComponentStats summarises the distribution of one spectral component over
+// a group of towers (one cell of Figure 16). Phase statistics are circular.
+type ComponentStats struct {
+	AmpMean, AmpStd     float64
+	PhaseMean, PhaseStd float64
+}
+
+// GroupStats computes per-group statistics of the three principal
+// components. groups maps a group index to the feature indices belonging to
+// it (typically the members of each traffic-pattern cluster). The result is
+// indexed [group][component] with components ordered week, day, half-day.
+func GroupStats(features []Features, groups [][]int) ([][3]ComponentStats, error) {
+	out := make([][3]ComponentStats, len(groups))
+	for g, members := range groups {
+		if len(members) == 0 {
+			continue
+		}
+		amps := [3]linalg.Vector{}
+		phases := [3]linalg.Vector{}
+		for c := 0; c < 3; c++ {
+			amps[c] = make(linalg.Vector, 0, len(members))
+			phases[c] = make(linalg.Vector, 0, len(members))
+		}
+		for _, idx := range members {
+			if idx < 0 || idx >= len(features) {
+				return nil, fmt.Errorf("freqdomain: feature index %d out of range [0,%d)", idx, len(features))
+			}
+			f := features[idx]
+			amps[0] = append(amps[0], f.AmpWeek)
+			amps[1] = append(amps[1], f.AmpDay)
+			amps[2] = append(amps[2], f.AmpHalfDay)
+			phases[0] = append(phases[0], f.PhaseWeek)
+			phases[1] = append(phases[1], f.PhaseDay)
+			phases[2] = append(phases[2], f.PhaseHalfDay)
+		}
+		for c := 0; c < 3; c++ {
+			pm, ps := linalg.CircularMeanStd(phases[c])
+			out[g][c] = ComponentStats{
+				AmpMean:   amps[c].Mean(),
+				AmpStd:    amps[c].Std(),
+				PhaseMean: pm,
+				PhaseStd:  ps,
+			}
+		}
+	}
+	return out, nil
+}
+
+// RepOptions tune the representative-tower search.
+type RepOptions struct {
+	// DensityRadius is the feature-space radius used to measure local
+	// density (non-noise check). Zero selects 15 % of the median pairwise
+	// feature distance.
+	DensityRadius float64
+	// MinDensity is the minimum number of same-cluster towers (excluding
+	// the candidate) that must lie within DensityRadius for a candidate to
+	// be considered non-noise. Zero selects max(2, 1 % of the cluster).
+	MinDensity int
+}
+
+// RepresentativeTowers finds, for each cluster, the most representative
+// tower in the sense of Section 5.2 of the paper: not the centroid but the
+// non-noise point farthest from the towers of every other cluster in the
+// three-dimensional feature space. It returns one feature index per cluster
+// (-1 for empty clusters).
+func RepresentativeTowers(features []Features, assign *cluster.Assignment, opts RepOptions) ([]int, error) {
+	if len(features) == 0 {
+		return nil, ErrNoVectors
+	}
+	if len(assign.Labels) != len(features) {
+		return nil, fmt.Errorf("freqdomain: %d labels for %d features", len(assign.Labels), len(features))
+	}
+	points := make([]linalg.Vector, len(features))
+	for i, f := range features {
+		points[i] = f.Vector3()
+	}
+	radius := opts.DensityRadius
+	if radius <= 0 {
+		radius = 0.15 * medianPairwiseDistance(points)
+		if radius <= 0 {
+			radius = 1e-9
+		}
+	}
+
+	members := assign.Members()
+	out := make([]int, assign.K)
+	for c := range out {
+		out[c] = -1
+	}
+	for c, mem := range members {
+		if len(mem) == 0 {
+			continue
+		}
+		minDensity := opts.MinDensity
+		if minDensity <= 0 {
+			minDensity = len(mem) / 100
+			if minDensity < 2 {
+				minDensity = 2
+			}
+		}
+		bestIdx, bestScore := -1, math.Inf(-1)
+		var fallbackIdx int = mem[0]
+		var fallbackScore = math.Inf(-1)
+		for _, i := range mem {
+			// Density within the own cluster.
+			density := 0
+			for _, j := range mem {
+				if i == j {
+					continue
+				}
+				d, err := linalg.Distance(points[i], points[j])
+				if err != nil {
+					return nil, err
+				}
+				if d <= radius {
+					density++
+				}
+			}
+			// Distance to the nearest tower of any other cluster.
+			nearestOther := math.Inf(1)
+			for j := range points {
+				if assign.Labels[j] == c {
+					continue
+				}
+				d, err := linalg.Distance(points[i], points[j])
+				if err != nil {
+					return nil, err
+				}
+				if d < nearestOther {
+					nearestOther = d
+				}
+			}
+			if math.IsInf(nearestOther, 1) {
+				// Single-cluster corner case: fall back to density.
+				nearestOther = float64(density)
+			}
+			if nearestOther > fallbackScore {
+				fallbackScore, fallbackIdx = nearestOther, i
+			}
+			if density < minDensity {
+				continue
+			}
+			if nearestOther > bestScore {
+				bestScore, bestIdx = nearestOther, i
+			}
+		}
+		if bestIdx == -1 {
+			// No candidate passed the density filter (tiny cluster); use
+			// the unfiltered best so the caller still gets a representative.
+			bestIdx = fallbackIdx
+		}
+		out[c] = bestIdx
+	}
+	return out, nil
+}
+
+// medianPairwiseDistance estimates the scale of the feature space. For
+// large inputs it subsamples to bound the O(N²) cost.
+func medianPairwiseDistance(points []linalg.Vector) float64 {
+	const maxSample = 300
+	step := 1
+	if len(points) > maxSample {
+		step = len(points) / maxSample
+	}
+	var dists linalg.Vector
+	for i := 0; i < len(points); i += step {
+		for j := i + step; j < len(points); j += step {
+			d, err := linalg.Distance(points[i], points[j])
+			if err != nil {
+				return 0
+			}
+			dists = append(dists, d)
+		}
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	return linalg.Quantile(dists, 0.5)
+}

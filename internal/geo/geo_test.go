@@ -1,0 +1,290 @@
+package geo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{31.23, 121.47}, true}, // Shanghai
+		{Point{91, 0}, false},
+		{Point{-91, 0}, false},
+		{Point{0, 181}, false},
+		{Point{0, -181}, false},
+		{Point{math.NaN(), 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// Shanghai People's Square to Beijing Tiananmen ≈ 1068 km.
+	shanghai := Point{Lat: 31.2304, Lon: 121.4737}
+	beijing := Point{Lat: 39.9042, Lon: 116.4074}
+	d := HaversineKm(shanghai, beijing)
+	if d < 1050 || d > 1090 {
+		t.Errorf("Shanghai-Beijing = %g km, want ~1068", d)
+	}
+	// Identical points are zero metres apart.
+	if DistanceMeters(shanghai, shanghai) != 0 {
+		t.Error("distance to self should be 0")
+	}
+	// One degree of latitude ≈ 111.19 km.
+	d = HaversineKm(Point{Lat: 31, Lon: 121}, Point{Lat: 32, Lon: 121})
+	if math.Abs(d-111.19) > 0.5 {
+		t.Errorf("1 degree latitude = %g km, want ~111.19", d)
+	}
+}
+
+// Property: haversine distance is symmetric, non-negative, and satisfies
+// the triangle inequality.
+func TestHaversineProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f := func(_ uint8) bool {
+		randPoint := func() Point {
+			return Point{Lat: rng.Float64()*170 - 85, Lon: rng.Float64()*360 - 180}
+		}
+		a, b, c := randPoint(), randPoint(), randPoint()
+		dab, dba := HaversineKm(a, b), HaversineKm(b, a)
+		if dab < 0 || math.Abs(dab-dba) > 1e-9 {
+			return false
+		}
+		return HaversineKm(a, c) <= dab+HaversineKm(b, c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	points := []Point{{31.1, 121.3}, {31.4, 121.6}, {31.2, 121.2}}
+	box, err := NewBoundingBox(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.MinLat != 31.1 || box.MaxLat != 31.4 || box.MinLon != 121.2 || box.MaxLon != 121.6 {
+		t.Errorf("box = %+v", box)
+	}
+	if !box.Contains(Point{31.25, 121.4}) {
+		t.Error("box should contain interior point")
+	}
+	if box.Contains(Point{30, 121.4}) {
+		t.Error("box should not contain outside point")
+	}
+	c := box.Center()
+	if math.Abs(c.Lat-31.25) > 1e-9 || math.Abs(c.Lon-121.4) > 1e-9 {
+		t.Errorf("center = %v", c)
+	}
+	if box.AreaKm2() <= 0 {
+		t.Error("area should be positive")
+	}
+	expanded := box.Expand(0.1)
+	if !expanded.Contains(Point{31.05, 121.25}) {
+		t.Error("expanded box should contain near-edge point")
+	}
+	if _, err := NewBoundingBox(nil); err == nil {
+		t.Error("empty bounding box should fail")
+	}
+}
+
+func TestGridBasics(t *testing.T) {
+	box := BoundingBox{MinLat: 31, MaxLat: 32, MinLon: 121, MaxLon: 122}
+	g, err := NewGrid(box, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Add(Point{31.05, 121.05}, 5) {
+		t.Error("Add inside box should succeed")
+	}
+	if g.Add(Point{35, 121}, 5) {
+		t.Error("Add outside box should fail")
+	}
+	if g.At(0, 0) != 5 {
+		t.Errorf("cell(0,0) = %g, want 5", g.At(0, 0))
+	}
+	// Boundary point maps into the last cell, not out of range.
+	if !g.Add(Point{32, 122}, 1) {
+		t.Error("Add on max corner should succeed")
+	}
+	if g.At(9, 9) != 1 {
+		t.Errorf("cell(9,9) = %g, want 1", g.At(9, 9))
+	}
+	if g.Total() != 6 {
+		t.Errorf("Total = %g, want 6", g.Total())
+	}
+	row, col, val := g.MaxCell()
+	if row != 0 || col != 0 || val != 5 {
+		t.Errorf("MaxCell = (%d,%d,%g), want (0,0,5)", row, col, val)
+	}
+	center := g.CellCenter(0, 0)
+	if math.Abs(center.Lat-31.05) > 1e-9 || math.Abs(center.Lon-121.05) > 1e-9 {
+		t.Errorf("CellCenter = %v", center)
+	}
+	if g.CellAreaKm2() <= 0 {
+		t.Error("cell area should be positive")
+	}
+	dens := g.Densities()
+	if dens[0] <= 0 {
+		t.Error("density of non-empty cell should be positive")
+	}
+	g.Reset()
+	if g.Total() != 0 {
+		t.Error("Reset should zero all cells")
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	box := BoundingBox{MinLat: 31, MaxLat: 32, MinLon: 121, MaxLon: 122}
+	if _, err := NewGrid(box, 0, 10); err == nil {
+		t.Error("zero rows should fail")
+	}
+	if _, err := NewGrid(BoundingBox{MinLat: 32, MaxLat: 31, MinLon: 121, MaxLon: 122}, 5, 5); err == nil {
+		t.Error("degenerate box should fail")
+	}
+}
+
+func TestPointIndexWithin(t *testing.T) {
+	center := Point{Lat: 31.2, Lon: 121.4}
+	// ~0.001 degree latitude ≈ 111 m.
+	points := []Point{
+		center,
+		{Lat: 31.2005, Lon: 121.4},  // ~55 m
+		{Lat: 31.2020, Lon: 121.4},  // ~222 m
+		{Lat: 31.2100, Lon: 121.4},  // ~1.1 km
+		{Lat: 31.2, Lon: 121.4010},  // ~95 m
+		{Lat: 31.25, Lon: 121.45},   // far
+	}
+	idx, err := NewPointIndex(points, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.Within(center, 200)
+	want := map[int]bool{0: true, 1: true, 4: true}
+	if len(got) != len(want) {
+		t.Fatalf("Within(200m) = %v, want indices %v", got, want)
+	}
+	for _, i := range got {
+		if !want[i] {
+			t.Errorf("unexpected index %d in radius query", i)
+		}
+	}
+	if n := idx.CountWithin(center, 2000); n != 5 {
+		t.Errorf("CountWithin(2km) = %d, want 5", n)
+	}
+	if _, err := NewPointIndex(nil, 200); err == nil {
+		t.Error("empty index should fail")
+	}
+	if _, err := NewPointIndex(points, 0); err == nil {
+		t.Error("zero radius should fail")
+	}
+}
+
+// Property: the grid radius query returns exactly the same set as a brute
+// force scan.
+func TestPointIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	points := make([]Point, 500)
+	for i := range points {
+		points[i] = Point{Lat: 31 + rng.Float64()*0.5, Lon: 121 + rng.Float64()*0.5}
+	}
+	idx, err := NewPointIndex(points, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		center := Point{Lat: 31 + rng.Float64()*0.5, Lon: 121 + rng.Float64()*0.5}
+		radius := 100 + rng.Float64()*900
+		got := make(map[int]bool)
+		for _, i := range idx.Within(center, radius) {
+			got[i] = true
+		}
+		for i, p := range points {
+			inRadius := DistanceMeters(center, p) <= radius
+			if inRadius != got[i] {
+				t.Fatalf("trial %d: point %d mismatch (brute=%v index=%v)", trial, i, inRadius, got[i])
+			}
+		}
+	}
+}
+
+func TestGeocoder(t *testing.T) {
+	g := NewGeocoder()
+	p := Point{Lat: 31.23, Lon: 121.47}
+	if err := g.Register("88 Century Avenue, Pudong", p); err != nil {
+		t.Fatal(err)
+	}
+	// Lookup is case- and whitespace-insensitive.
+	got, err := g.Resolve("  88 century   avenue, pudong ")
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if got != p {
+		t.Errorf("Resolve = %v, want %v", got, p)
+	}
+	if _, err := g.Resolve("nonexistent road"); !errors.Is(err, ErrAddressNotFound) {
+		t.Errorf("unknown address: got %v, want ErrAddressNotFound", err)
+	}
+	if err := g.Register("", p); err == nil {
+		t.Error("empty address should fail")
+	}
+	if err := g.Register("bad point", Point{Lat: 99, Lon: 0}); err == nil {
+		t.Error("invalid point should fail")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	hits, misses := g.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("Stats = (%d, %d), want (1, 1)", hits, misses)
+	}
+}
+
+func TestGeocoderConcurrent(t *testing.T) {
+	g := NewGeocoder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				addr := "tower " + string(rune('a'+id)) + " block"
+				_ = g.Register(addr, Point{Lat: 31, Lon: 121})
+				_, _ = g.Resolve(addr)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if g.Len() != 8 {
+		t.Errorf("Len after concurrent registration = %d, want 8", g.Len())
+	}
+}
+
+func BenchmarkPointIndexWithin(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	points := make([]Point, 10000)
+	for i := range points {
+		points[i] = Point{Lat: 31 + rng.Float64()*0.5, Lon: 121 + rng.Float64()*0.5}
+	}
+	idx, err := NewPointIndex(points, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	center := Point{Lat: 31.25, Lon: 121.25}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Within(center, 200)
+	}
+}

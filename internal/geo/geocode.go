@@ -1,0 +1,82 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Geocoder resolves textual base-station addresses to geographic
+// coordinates. The paper used the Baidu Map API for this step; because the
+// reproduction is offline, Geocoder is an in-memory registry populated by
+// the synthetic-city generator: every tower address the generator emits is
+// registered here, and the preprocessing stage later looks addresses up
+// exactly as the paper's pipeline queried the map service.
+//
+// Lookups are case-insensitive and whitespace-normalised, mirroring the
+// fuzziness of a real geocoding service. Geocoder is safe for concurrent
+// use.
+type Geocoder struct {
+	mu      sync.RWMutex
+	entries map[string]Point
+	hits    int
+	misses  int
+}
+
+// ErrAddressNotFound is returned by Resolve for unknown addresses.
+var ErrAddressNotFound = errors.New("geo: address not found")
+
+// NewGeocoder returns an empty geocoder.
+func NewGeocoder() *Geocoder {
+	return &Geocoder{entries: make(map[string]Point)}
+}
+
+// normalizeAddress canonicalises an address string for lookup.
+func normalizeAddress(addr string) string {
+	return strings.ToLower(strings.Join(strings.Fields(addr), " "))
+}
+
+// Register adds or replaces the coordinates of an address. It returns an
+// error for empty addresses or invalid coordinates.
+func (g *Geocoder) Register(address string, p Point) error {
+	key := normalizeAddress(address)
+	if key == "" {
+		return errors.New("geo: empty address")
+	}
+	if !p.Valid() {
+		return fmt.Errorf("geo: invalid coordinates %v for %q", p, address)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.entries[key] = p
+	return nil
+}
+
+// Resolve returns the coordinates registered for the address.
+func (g *Geocoder) Resolve(address string) (Point, error) {
+	key := normalizeAddress(address)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p, ok := g.entries[key]
+	if !ok {
+		g.misses++
+		return Point{}, fmt.Errorf("%w: %q", ErrAddressNotFound, address)
+	}
+	g.hits++
+	return p, nil
+}
+
+// Len returns the number of registered addresses.
+func (g *Geocoder) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entries)
+}
+
+// Stats returns the number of successful and failed lookups so far.
+func (g *Geocoder) Stats() (hits, misses int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.hits, g.misses
+}

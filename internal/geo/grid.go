@@ -1,0 +1,196 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Grid is a uniform latitude/longitude raster over a bounding box. It backs
+// the traffic-density maps of Figure 2 and the per-cluster tower-density
+// maps of Figure 7 of the paper, and doubles as a spatial index for
+// radius queries (POI within 200 m of a tower).
+type Grid struct {
+	Box          BoundingBox
+	RowsN, ColsN int       // raster dimensions (rows = latitude, cols = longitude)
+	Cells        []float64 // row-major accumulated values
+}
+
+// NewGrid builds an empty grid of rows × cols cells over the box.
+func NewGrid(box BoundingBox, rows, cols int) (*Grid, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("geo: invalid grid size %dx%d", rows, cols)
+	}
+	if box.MaxLat <= box.MinLat || box.MaxLon <= box.MinLon {
+		return nil, errors.New("geo: degenerate bounding box")
+	}
+	return &Grid{Box: box, RowsN: rows, ColsN: cols, Cells: make([]float64, rows*cols)}, nil
+}
+
+// CellIndex returns the (row, col) cell containing the point, or ok=false
+// if the point lies outside the grid's bounding box.
+func (g *Grid) CellIndex(p Point) (row, col int, ok bool) {
+	if !g.Box.Contains(p) {
+		return 0, 0, false
+	}
+	latFrac := (p.Lat - g.Box.MinLat) / (g.Box.MaxLat - g.Box.MinLat)
+	lonFrac := (p.Lon - g.Box.MinLon) / (g.Box.MaxLon - g.Box.MinLon)
+	row = int(latFrac * float64(g.RowsN))
+	col = int(lonFrac * float64(g.ColsN))
+	if row == g.RowsN {
+		row--
+	}
+	if col == g.ColsN {
+		col--
+	}
+	return row, col, true
+}
+
+// Add accumulates the value into the cell containing the point. Points
+// outside the box are ignored and reported via the return value.
+func (g *Grid) Add(p Point, value float64) bool {
+	row, col, ok := g.CellIndex(p)
+	if !ok {
+		return false
+	}
+	g.Cells[row*g.ColsN+col] += value
+	return true
+}
+
+// At returns the accumulated value of cell (row, col).
+func (g *Grid) At(row, col int) float64 { return g.Cells[row*g.ColsN+col] }
+
+// CellCenter returns the geographic centre of cell (row, col).
+func (g *Grid) CellCenter(row, col int) Point {
+	latStep := (g.Box.MaxLat - g.Box.MinLat) / float64(g.RowsN)
+	lonStep := (g.Box.MaxLon - g.Box.MinLon) / float64(g.ColsN)
+	return Point{
+		Lat: g.Box.MinLat + (float64(row)+0.5)*latStep,
+		Lon: g.Box.MinLon + (float64(col)+0.5)*lonStep,
+	}
+}
+
+// CellAreaKm2 returns the approximate area of one grid cell.
+func (g *Grid) CellAreaKm2() float64 {
+	return g.Box.AreaKm2() / float64(g.RowsN*g.ColsN)
+}
+
+// Densities returns a copy of the cells divided by the cell area, i.e.
+// value per km² — the "traffic density (byte/km²)" of Section 2.2.
+func (g *Grid) Densities() []float64 {
+	area := g.CellAreaKm2()
+	out := make([]float64, len(g.Cells))
+	if area <= 0 {
+		return out
+	}
+	for i, v := range g.Cells {
+		out[i] = v / area
+	}
+	return out
+}
+
+// MaxCell returns the row, column and value of the cell with the largest
+// accumulated value. For Figure 7 / Table 2 this is "the point with the
+// highest tower density" of a cluster.
+func (g *Grid) MaxCell() (row, col int, value float64) {
+	best := math.Inf(-1)
+	for i, v := range g.Cells {
+		if v > best {
+			best = v
+			row = i / g.ColsN
+			col = i % g.ColsN
+		}
+	}
+	return row, col, best
+}
+
+// Total returns the sum of all cell values.
+func (g *Grid) Total() float64 {
+	var s float64
+	for _, v := range g.Cells {
+		s += v
+	}
+	return s
+}
+
+// Reset zeroes all cells, retaining the raster geometry.
+func (g *Grid) Reset() {
+	for i := range g.Cells {
+		g.Cells[i] = 0
+	}
+}
+
+// PointIndex is a spatial index over a fixed set of points supporting
+// radius queries. It buckets points into grid cells sized close to the
+// query radius so a query touches only the 3×3 neighbourhood of cells.
+type PointIndex struct {
+	box      BoundingBox
+	cellDeg  float64
+	buckets  map[[2]int][]int
+	points   []Point
+	radiusOK float64
+}
+
+// NewPointIndex indexes the points for radius queries of roughly
+// expectedRadiusMeters. Larger query radii still work but degrade to
+// scanning more buckets.
+func NewPointIndex(points []Point, expectedRadiusMeters float64) (*PointIndex, error) {
+	if len(points) == 0 {
+		return nil, errors.New("geo: no points to index")
+	}
+	if expectedRadiusMeters <= 0 {
+		return nil, fmt.Errorf("geo: invalid radius %g", expectedRadiusMeters)
+	}
+	box, err := NewBoundingBox(points)
+	if err != nil {
+		return nil, err
+	}
+	// One degree of latitude ≈ 111.19 km. Use it for both axes: cells are
+	// slightly wider in longitude near the equator, which only makes the
+	// candidate set a little larger, never smaller.
+	cellDeg := expectedRadiusMeters / 111190.0
+	idx := &PointIndex{
+		box:      box,
+		cellDeg:  cellDeg,
+		buckets:  make(map[[2]int][]int),
+		points:   points,
+		radiusOK: expectedRadiusMeters,
+	}
+	for i, p := range points {
+		key := idx.bucketKey(p)
+		idx.buckets[key] = append(idx.buckets[key], i)
+	}
+	return idx, nil
+}
+
+func (idx *PointIndex) bucketKey(p Point) [2]int {
+	return [2]int{
+		int(math.Floor((p.Lat - idx.box.MinLat) / idx.cellDeg)),
+		int(math.Floor((p.Lon - idx.box.MinLon) / idx.cellDeg)),
+	}
+}
+
+// Within returns the indices of all indexed points within radiusMeters of
+// the centre point.
+func (idx *PointIndex) Within(center Point, radiusMeters float64) []int {
+	// Number of bucket rings to scan: at least 1, more for larger radii.
+	rings := int(math.Ceil(radiusMeters/idx.radiusOK)) + 1
+	key := idx.bucketKey(center)
+	var out []int
+	for dr := -rings; dr <= rings; dr++ {
+		for dc := -rings; dc <= rings; dc++ {
+			for _, i := range idx.buckets[[2]int{key[0] + dr, key[1] + dc}] {
+				if DistanceMeters(center, idx.points[i]) <= radiusMeters {
+					out = append(out, i)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CountWithin returns the number of indexed points within radiusMeters of
+// the centre point.
+func (idx *PointIndex) CountWithin(center Point, radiusMeters float64) int {
+	return len(idx.Within(center, radiusMeters))
+}

@@ -1,0 +1,177 @@
+// Package label implements the geographical-context step of Section 3.3 of
+// the paper: attaching urban functional region labels (resident, transport,
+// office, entertainment, comprehensive) to the traffic-pattern clusters by
+// looking at the points of interest around each cluster's towers.
+//
+// The paper labels clusters by inspecting the POI distribution at each
+// cluster's densest location and validates the labels against the averaged
+// min-max-normalised POI of all towers (Table 3). This package automates
+// the same decision: it computes the Table 3 matrix, normalises each POI
+// type across clusters to measure relative dominance, and assigns the four
+// single-function labels greedily to the clusters that dominate them; every
+// remaining cluster is labelled comprehensive.
+package label
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/poi"
+	"repro/internal/urban"
+)
+
+// ErrNoClusters is returned when the assignment has no clusters.
+var ErrNoClusters = errors.New("label: no clusters")
+
+// poiTypeToRegion maps each POI type to the functional region it signals.
+var poiTypeToRegion = map[poi.Type]urban.Region{
+	poi.Resident:      urban.Resident,
+	poi.Transport:     urban.Transport,
+	poi.Office:        urban.Office,
+	poi.Entertainment: urban.Entertainment,
+}
+
+// Result is the outcome of labelling a clustering.
+type Result struct {
+	// Labels[c] is the functional region assigned to cluster c.
+	Labels []urban.Region
+	// AveragedPOI[c] is the averaged min-max-normalised POI of cluster c
+	// (the Table 3 row of that cluster).
+	AveragedPOI []poi.Counts
+	// Dominance[c][t] is cluster c's share of POI type t relative to the
+	// cluster with the largest average of that type (1 = this cluster
+	// dominates the type).
+	Dominance []poi.Counts
+}
+
+// LabelClusters assigns a functional region to each cluster.
+//
+// towerPOI holds the raw POI counts around every tower (one entry per
+// dataset row); clusterMembers[c] lists the rows belonging to cluster c.
+// The four single-function labels go to the clusters that most dominate the
+// corresponding POI type (greedy assignment on the dominance matrix, which
+// for five clusters reproduces the paper's manual labelling); all remaining
+// clusters are labelled comprehensive.
+func LabelClusters(towerPOI []poi.Counts, clusterMembers [][]int) (*Result, error) {
+	if len(clusterMembers) == 0 {
+		return nil, ErrNoClusters
+	}
+	if len(towerPOI) == 0 {
+		return nil, poi.ErrNoCounts
+	}
+	if err := poi.ValidateCounts(towerPOI); err != nil {
+		return nil, err
+	}
+	normalized, err := poi.MinMaxNormalize(towerPOI)
+	if err != nil {
+		return nil, err
+	}
+	averaged, err := poi.AverageByGroup(normalized, clusterMembers)
+	if err != nil {
+		return nil, err
+	}
+
+	k := len(clusterMembers)
+	// Dominance: divide each column by its maximum across clusters.
+	dominance := make([]poi.Counts, k)
+	for t := 0; t < poi.NumTypes; t++ {
+		var max float64
+		for c := 0; c < k; c++ {
+			if averaged[c][t] > max {
+				max = averaged[c][t]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if max > 0 {
+				dominance[c][t] = averaged[c][t] / max
+			}
+		}
+	}
+
+	// Greedy assignment: repeatedly take the (cluster, type) pair with the
+	// highest dominance among unassigned clusters and unassigned types.
+	type pair struct {
+		cluster int
+		typ     poi.Type
+		score   float64
+	}
+	var pairs []pair
+	for c := 0; c < k; c++ {
+		if len(clusterMembers[c]) == 0 {
+			continue
+		}
+		for t := 0; t < poi.NumTypes; t++ {
+			pairs = append(pairs, pair{cluster: c, typ: poi.Type(t), score: dominance[c][t]})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].score != pairs[j].score {
+			return pairs[i].score > pairs[j].score
+		}
+		if pairs[i].cluster != pairs[j].cluster {
+			return pairs[i].cluster < pairs[j].cluster
+		}
+		return pairs[i].typ < pairs[j].typ
+	})
+
+	labels := make([]urban.Region, k)
+	for c := range labels {
+		labels[c] = urban.Comprehensive
+	}
+	clusterTaken := make([]bool, k)
+	typeTaken := make(map[poi.Type]bool, poi.NumTypes)
+	assigned := 0
+	for _, p := range pairs {
+		if assigned == poi.NumTypes || assigned == k {
+			break
+		}
+		if clusterTaken[p.cluster] || typeTaken[p.typ] || p.score <= 0 {
+			continue
+		}
+		labels[p.cluster] = poiTypeToRegion[p.typ]
+		clusterTaken[p.cluster] = true
+		typeTaken[p.typ] = true
+		assigned++
+	}
+	return &Result{Labels: labels, AveragedPOI: averaged, Dominance: dominance}, nil
+}
+
+// Accuracy compares predicted per-tower region labels against ground truth
+// and returns the fraction that match, along with the per-region recall.
+func Accuracy(predicted, truth []urban.Region) (overall float64, perRegion map[urban.Region]float64, err error) {
+	if len(predicted) != len(truth) {
+		return 0, nil, fmt.Errorf("label: %d predictions for %d truths", len(predicted), len(truth))
+	}
+	if len(truth) == 0 {
+		return 0, nil, errors.New("label: no towers")
+	}
+	correct := 0
+	regionTotal := make(map[urban.Region]int)
+	regionCorrect := make(map[urban.Region]int)
+	for i := range truth {
+		regionTotal[truth[i]]++
+		if predicted[i] == truth[i] {
+			correct++
+			regionCorrect[truth[i]]++
+		}
+	}
+	perRegion = make(map[urban.Region]float64, len(regionTotal))
+	for r, total := range regionTotal {
+		perRegion[r] = float64(regionCorrect[r]) / float64(total)
+	}
+	return float64(correct) / float64(len(truth)), perRegion, nil
+}
+
+// TowerLabels expands cluster labels to per-tower labels: tower i gets the
+// label of its cluster.
+func TowerLabels(clusterLabels []urban.Region, towerCluster []int) ([]urban.Region, error) {
+	out := make([]urban.Region, len(towerCluster))
+	for i, c := range towerCluster {
+		if c < 0 || c >= len(clusterLabels) {
+			return nil, fmt.Errorf("label: tower %d assigned to cluster %d of %d", i, c, len(clusterLabels))
+		}
+		out[i] = clusterLabels[c]
+	}
+	return out, nil
+}

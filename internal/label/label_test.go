@@ -1,0 +1,177 @@
+package label
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/poi"
+	"repro/internal/urban"
+)
+
+// fiveClusterPOI builds synthetic POI counts for five clusters of towers
+// whose dominant POI types mirror the paper's Table 2/3: cluster 0 is
+// resident-heavy, 1 transport-heavy, 2 office-heavy, 3 entertainment-heavy,
+// and 4 balanced (comprehensive).
+func fiveClusterPOI() ([]poi.Counts, [][]int) {
+	var counts []poi.Counts
+	var members [][]int
+	add := func(n int, c poi.Counts) {
+		var idxs []int
+		for i := 0; i < n; i++ {
+			jitter := float64(i % 3)
+			counts = append(counts, poi.Counts{c[0] + jitter, c[1], c[2] + jitter, c[3]})
+			idxs = append(idxs, len(counts)-1)
+		}
+		members = append(members, idxs)
+	}
+	add(10, poi.Counts{60, 0, 8, 12})   // resident
+	add(10, poi.Counts{20, 4, 16, 10})  // transport
+	add(10, poi.Counts{30, 1, 120, 30}) // office
+	add(10, poi.Counts{10, 1, 30, 150}) // entertainment
+	add(10, poi.Counts{35, 1, 35, 20})  // comprehensive
+	return counts, members
+}
+
+func TestLabelClustersRecoversRegions(t *testing.T) {
+	counts, members := fiveClusterPOI()
+	res, err := LabelClusters(counts, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []urban.Region{
+		urban.Resident, urban.Transport, urban.Office, urban.Entertainment, urban.Comprehensive,
+	}
+	for c, r := range want {
+		if res.Labels[c] != r {
+			t.Errorf("cluster %d labelled %v, want %v", c, res.Labels[c], r)
+		}
+	}
+	if len(res.AveragedPOI) != 5 || len(res.Dominance) != 5 {
+		t.Fatalf("result shapes: %d averaged, %d dominance", len(res.AveragedPOI), len(res.Dominance))
+	}
+	// Dominance of the winning type should be 1 for the labelled cluster.
+	if math.Abs(res.Dominance[2][poi.Office]-1) > 1e-9 {
+		t.Errorf("office dominance of office cluster = %g, want 1", res.Dominance[2][poi.Office])
+	}
+	// Averaged normalised POI stays within [0, 1].
+	for c, row := range res.AveragedPOI {
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Errorf("cluster %d averaged POI %g outside [0,1]", c, v)
+			}
+		}
+	}
+}
+
+func TestLabelClustersFourClusters(t *testing.T) {
+	// With only four clusters all four single-function labels are used and
+	// none is comprehensive.
+	counts, members := fiveClusterPOI()
+	res, err := LabelClusters(counts, members[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[urban.Region]bool)
+	for _, r := range res.Labels {
+		seen[r] = true
+	}
+	for _, r := range urban.PrimaryRegions {
+		if !seen[r] {
+			t.Errorf("region %v not assigned with four clusters", r)
+		}
+	}
+}
+
+func TestLabelClustersSixClusters(t *testing.T) {
+	// An extra balanced cluster also becomes comprehensive.
+	counts, members := fiveClusterPOI()
+	extra := []int{}
+	base := len(counts)
+	for i := 0; i < 5; i++ {
+		counts = append(counts, poi.Counts{30, 1, 30, 25})
+		extra = append(extra, base+i)
+	}
+	members = append(members, extra)
+	res, err := LabelClusters(counts, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comprehensive := 0
+	for _, r := range res.Labels {
+		if r == urban.Comprehensive {
+			comprehensive++
+		}
+	}
+	if comprehensive != 2 {
+		t.Errorf("comprehensive clusters = %d, want 2", comprehensive)
+	}
+}
+
+func TestLabelClustersEmptyCluster(t *testing.T) {
+	counts, members := fiveClusterPOI()
+	members = append(members, []int{}) // an empty cluster
+	res, err := LabelClusters(counts, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[5] != urban.Comprehensive {
+		t.Errorf("empty cluster labelled %v, want comprehensive", res.Labels[5])
+	}
+}
+
+func TestLabelClustersErrors(t *testing.T) {
+	counts, members := fiveClusterPOI()
+	if _, err := LabelClusters(counts, nil); !errors.Is(err, ErrNoClusters) {
+		t.Errorf("no clusters: %v", err)
+	}
+	if _, err := LabelClusters(nil, members); !errors.Is(err, poi.ErrNoCounts) {
+		t.Errorf("no counts: %v", err)
+	}
+	if _, err := LabelClusters(counts, [][]int{{len(counts) + 5}}); err == nil {
+		t.Error("out-of-range member should fail")
+	}
+	bad := []poi.Counts{{-1, 0, 0, 0}}
+	if _, err := LabelClusters(bad, [][]int{{0}}); err == nil {
+		t.Error("negative counts should fail")
+	}
+}
+
+func TestTowerLabels(t *testing.T) {
+	clusterLabels := []urban.Region{urban.Office, urban.Resident}
+	towerCluster := []int{0, 1, 1, 0}
+	got, err := TowerLabels(clusterLabels, towerCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []urban.Region{urban.Office, urban.Resident, urban.Resident, urban.Office}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tower %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := TowerLabels(clusterLabels, []int{5}); err == nil {
+		t.Error("out-of-range cluster should fail")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	truth := []urban.Region{urban.Office, urban.Office, urban.Resident, urban.Transport}
+	predicted := []urban.Region{urban.Office, urban.Resident, urban.Resident, urban.Transport}
+	overall, perRegion, err := Accuracy(predicted, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(overall-0.75) > 1e-9 {
+		t.Errorf("overall = %g, want 0.75", overall)
+	}
+	if perRegion[urban.Office] != 0.5 || perRegion[urban.Resident] != 1 || perRegion[urban.Transport] != 1 {
+		t.Errorf("perRegion = %v", perRegion)
+	}
+	if _, _, err := Accuracy(predicted, truth[:2]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, err := Accuracy(nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+}

@@ -1,0 +1,62 @@
+package label
+
+import (
+	"repro/internal/poi"
+	"repro/internal/urban"
+)
+
+// POIOnlyOptions tune the POI-only baseline classifier.
+type POIOnlyOptions struct {
+	// MinDominance is the minimum NTF-IDF share the dominant POI type must
+	// reach for a tower to be labelled with a single function; below it the
+	// tower is labelled comprehensive. Default 0.5.
+	MinDominance float64
+	// MinTotalPOI is the minimum raw POI count around a tower for the
+	// baseline to attempt a label at all; towers below it are labelled
+	// comprehensive. Default 1.
+	MinTotalPOI float64
+}
+
+func (o POIOnlyOptions) withDefaults() POIOnlyOptions {
+	if o.MinDominance <= 0 {
+		o.MinDominance = 0.5
+	}
+	if o.MinTotalPOI <= 0 {
+		o.MinTotalPOI = 1
+	}
+	return o
+}
+
+// LabelTowersByPOI is the POI-only baseline the paper's related work points
+// at (Yuan et al., "Discovering regions of different functions in a city
+// using human mobility and POIs"): label each tower purely from the POI mix
+// around it — the dominant NTF-IDF type if it is dominant enough, otherwise
+// comprehensive — without looking at traffic at all. Comparing its accuracy
+// against the traffic-based pipeline quantifies how much information the
+// traffic patterns add.
+func LabelTowersByPOI(towerPOI []poi.Counts, opts POIOnlyOptions) ([]urban.Region, error) {
+	if len(towerPOI) == 0 {
+		return nil, poi.ErrNoCounts
+	}
+	if err := poi.ValidateCounts(towerPOI); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	ntf, err := poi.NTFIDF(towerPOI)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]urban.Region, len(towerPOI))
+	for i := range towerPOI {
+		out[i] = urban.Comprehensive
+		if towerPOI[i].Total() < opts.MinTotalPOI {
+			continue
+		}
+		dominant, share := poi.DominantType(ntf[i])
+		if share < opts.MinDominance {
+			continue
+		}
+		out[i] = poiTypeToRegion[dominant]
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package label
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/poi"
+	"repro/internal/urban"
+)
+
+func TestLabelTowersByPOI(t *testing.T) {
+	// Tower 0: only office POIs → office. Tower 1: only entertainment →
+	// entertainment. Tower 2: no POIs at all → comprehensive.
+	// Tower 3: an even mix → comprehensive (no dominant type).
+	// Resident POIs appear around most towers, so their IDF (and hence
+	// their NTF-IDF share) is low.
+	counts := []poi.Counts{
+		{5, 0, 40, 0},
+		{5, 0, 0, 30},
+		{0, 0, 0, 0},
+		{5, 1, 6, 6},
+		{6, 0, 1, 1},
+	}
+	labels, err := LabelTowersByPOI(counts, POIOnlyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != urban.Office {
+		t.Errorf("tower 0 = %v, want office", labels[0])
+	}
+	if labels[1] != urban.Entertainment {
+		t.Errorf("tower 1 = %v, want entertainment", labels[1])
+	}
+	if labels[2] != urban.Comprehensive {
+		t.Errorf("tower 2 = %v, want comprehensive (no POIs)", labels[2])
+	}
+	if labels[3] != urban.Comprehensive {
+		t.Errorf("tower 3 = %v, want comprehensive (no dominant type)", labels[3])
+	}
+}
+
+func TestLabelTowersByPOIOptions(t *testing.T) {
+	counts := []poi.Counts{
+		{0, 0, 3, 2},
+		{0, 0, 10, 0},
+		{0, 0, 0, 8},
+	}
+	// With a very strict dominance threshold the mixed tower falls back to
+	// comprehensive while clear single-type towers keep their label.
+	labels, err := LabelTowersByPOI(counts, POIOnlyOptions{MinDominance: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != urban.Comprehensive {
+		t.Errorf("mixed tower with strict threshold = %v, want comprehensive", labels[0])
+	}
+	if labels[1] != urban.Office || labels[2] != urban.Entertainment {
+		t.Errorf("single-type towers = %v, %v", labels[1], labels[2])
+	}
+	// A high MinTotalPOI suppresses labels for sparsely covered towers.
+	labels, err = LabelTowersByPOI(counts, POIOnlyOptions{MinTotalPOI: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range labels {
+		if l != urban.Comprehensive {
+			t.Errorf("tower %d = %v, want comprehensive with MinTotalPOI=100", i, l)
+		}
+	}
+}
+
+func TestLabelTowersByPOIErrors(t *testing.T) {
+	if _, err := LabelTowersByPOI(nil, POIOnlyOptions{}); !errors.Is(err, poi.ErrNoCounts) {
+		t.Errorf("empty counts: %v", err)
+	}
+	if _, err := LabelTowersByPOI([]poi.Counts{{-1, 0, 0, 0}}, POIOnlyOptions{}); err == nil {
+		t.Error("negative counts should fail")
+	}
+}

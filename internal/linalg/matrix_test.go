@@ -1,0 +1,154 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([]Vector{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatalf("NewMatrixFromRows: %v", err)
+	}
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %g, want 6", m.At(1, 2))
+	}
+	if _, err := NewMatrixFromRows(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty rows: got %v, want ErrEmpty", err)
+	}
+	if _, err := NewMatrixFromRows([]Vector{{1}, {1, 2}}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ragged rows: got %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestMatrixRowColAliasing(t *testing.T) {
+	m, _ := NewMatrixFromRows([]Vector{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 99 {
+		t.Error("Row should alias matrix storage")
+	}
+	rc := m.RowCopy(1)
+	rc[0] = -1
+	if m.At(1, 0) != 3 {
+		t.Error("RowCopy should not alias matrix storage")
+	}
+	col := m.Col(1)
+	if col[0] != 2 || col[1] != 4 {
+		t.Errorf("Col(1) = %v, want [2 4]", col)
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m, _ := NewMatrixFromRows([]Vector{{1, 2}, {3, 4}})
+	out, err := m.MulVec(Vector{1, 1})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if out[0] != 3 || out[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", out)
+	}
+	if _, err := m.MulVec(Vector{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("MulVec mismatch: got %v", err)
+	}
+}
+
+func TestMatrixMulAndTranspose(t *testing.T) {
+	a, _ := NewMatrixFromRows([]Vector{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([]Vector{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul(%d,%d) = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	at := a.Transpose()
+	if at.At(0, 1) != 3 || at.At(1, 0) != 2 {
+		t.Errorf("Transpose wrong: %v", at.Data)
+	}
+	bad, _ := NewMatrixFromRows([]Vector{{1, 2, 3}})
+	if _, err := a.Mul(bad.Transpose()); err == nil {
+		// a is 2x2, badᵀ is 3x1 → incompatible
+		t.Error("Mul with incompatible dims should fail")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	// A = [[4,1],[1,3]], b = [1,2] → x = [1/11, 7/11]
+	a, _ := NewMatrixFromRows([]Vector{{4, 1}, {1, 3}})
+	x, err := SolveSPD(a, Vector{1, 2})
+	if err != nil {
+		t.Fatalf("SolveSPD: %v", err)
+	}
+	if !almostEqual(x[0], 1.0/11, 1e-12) || !almostEqual(x[1], 7.0/11, 1e-12) {
+		t.Errorf("SolveSPD = %v, want [1/11 7/11]", x)
+	}
+}
+
+func TestSolveSPDErrors(t *testing.T) {
+	notSquare, _ := NewMatrixFromRows([]Vector{{1, 2, 3}, {4, 5, 6}})
+	if _, err := SolveSPD(notSquare, Vector{1, 2}); err == nil {
+		t.Error("SolveSPD should reject non-square matrices")
+	}
+	square, _ := NewMatrixFromRows([]Vector{{1, 0}, {0, 1}})
+	if _, err := SolveSPD(square, Vector{1}); err == nil {
+		t.Error("SolveSPD should reject mismatched rhs")
+	}
+	indefinite, _ := NewMatrixFromRows([]Vector{{0, 0}, {0, -1}})
+	if _, err := SolveSPD(indefinite, Vector{1, 1}); err == nil {
+		t.Error("SolveSPD should reject indefinite matrices")
+	}
+}
+
+// Property: SolveSPD(AᵀA + I, b) reproduces b when multiplied back.
+func TestSolveSPDProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed uint8) bool {
+		n := int(seed%5) + 2
+		raw := NewMatrix(n, n)
+		for i := range raw.Data {
+			raw.Data[i] = rng.NormFloat64()
+		}
+		// A = rawᵀ·raw + I is SPD.
+		a, err := raw.Transpose().Mul(raw)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		b := make(Vector, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		back, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// ZScoreNormalize returns a copy of v normalised to zero mean and unit
+// standard deviation (the "zero-score normalization" of the paper's traffic
+// vectorizer). If the standard deviation of v is zero — a tower with
+// constant traffic — the returned vector is all zeros, which places it at
+// the origin of the feature space rather than producing NaNs.
+func ZScoreNormalize(v Vector) Vector {
+	out := make(Vector, len(v))
+	if len(v) == 0 {
+		return out
+	}
+	m, s := v.Mean(), v.Std()
+	if s == 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = (x - m) / s
+	}
+	return out
+}
+
+// MinMaxNormalize returns a copy of v linearly rescaled to [0, 1]
+// (min-max normalisation, used for POI counts in Section 3.3.2 of the
+// paper). If all values are equal the result is all zeros.
+func MinMaxNormalize(v Vector) Vector {
+	out := make(Vector, len(v))
+	if len(v) == 0 {
+		return out
+	}
+	min, _ := v.Min()
+	max, _ := v.Max()
+	if max == min {
+		return out
+	}
+	span := max - min
+	for i, x := range v {
+		out[i] = (x - min) / span
+	}
+	return out
+}
+
+// NormalizeByMax returns a copy of v divided by its maximum value,
+// matching the per-tower normalisation used for the heat maps of
+// Figures 4 and 5. If the maximum is not positive the result is all zeros.
+func NormalizeByMax(v Vector) Vector {
+	out := make(Vector, len(v))
+	max, _ := v.Max()
+	if max <= 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / max
+	}
+	return out
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of v using linear
+// interpolation between order statistics. It returns 0 for an empty vector.
+func Quantile(v Vector, q float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sorted := v.Clone()
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF computes the empirical cumulative distribution of the values in v at
+// the given probe points. For each probe p the result is the fraction of
+// values ≤ p.
+func CDF(v Vector, probes []float64) []float64 {
+	sorted := v.Clone()
+	sort.Float64s(sorted)
+	out := make([]float64, len(probes))
+	if len(sorted) == 0 {
+		return out
+	}
+	for i, p := range probes {
+		// Number of values ≤ p.
+		n := sort.SearchFloat64s(sorted, math.Nextafter(p, math.Inf(1)))
+		out[i] = float64(n) / float64(len(sorted))
+	}
+	return out
+}
+
+// MeanStd returns the mean and population standard deviation of the values.
+func MeanStd(v Vector) (mean, std float64) {
+	return v.Mean(), v.Std()
+}
+
+// CircularMeanStd returns the circular mean and circular standard deviation
+// of a set of angles in radians. Phases of DFT components (Section 5.2 of
+// the paper) wrap around ±π, so their dispersion must be computed on the
+// circle rather than the line.
+func CircularMeanStd(angles Vector) (mean, std float64) {
+	if len(angles) == 0 {
+		return 0, 0
+	}
+	var s, c float64
+	for _, a := range angles {
+		s += math.Sin(a)
+		c += math.Cos(a)
+	}
+	s /= float64(len(angles))
+	c /= float64(len(angles))
+	mean = math.Atan2(s, c)
+	r := math.Sqrt(s*s + c*c)
+	if r >= 1 {
+		return mean, 0
+	}
+	if r <= 0 {
+		return mean, math.Inf(1)
+	}
+	std = math.Sqrt(-2 * math.Log(r))
+	return mean, std
+}
+
+// WrapPhase maps an angle in radians into the interval (-π, π].
+func WrapPhase(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// PhaseDistance returns the absolute circular distance between two phases,
+// a value in [0, π].
+func PhaseDistance(a, b float64) float64 {
+	d := math.Abs(WrapPhase(a - b))
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}

@@ -1,0 +1,222 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZScoreNormalize(t *testing.T) {
+	v := Vector{1, 2, 3, 4, 5}
+	z := ZScoreNormalize(v)
+	if !almostEqual(z.Mean(), 0, 1e-12) {
+		t.Errorf("mean of z-scored = %g, want 0", z.Mean())
+	}
+	if !almostEqual(z.Std(), 1, 1e-12) {
+		t.Errorf("std of z-scored = %g, want 1", z.Std())
+	}
+}
+
+func TestZScoreNormalizeConstant(t *testing.T) {
+	v := Vector{7, 7, 7}
+	z := ZScoreNormalize(v)
+	for i, x := range z {
+		if x != 0 {
+			t.Errorf("z[%d] = %g, want 0 for constant input", i, x)
+		}
+	}
+	if len(ZScoreNormalize(nil)) != 0 {
+		t.Error("z-score of empty vector should be empty")
+	}
+}
+
+func TestMinMaxNormalize(t *testing.T) {
+	v := Vector{10, 20, 30}
+	m := MinMaxNormalize(v)
+	want := Vector{0, 0.5, 1}
+	for i := range want {
+		if !almostEqual(m[i], want[i], 1e-12) {
+			t.Errorf("minmax[%d] = %g, want %g", i, m[i], want[i])
+		}
+	}
+	constant := MinMaxNormalize(Vector{5, 5})
+	if constant[0] != 0 || constant[1] != 0 {
+		t.Error("minmax of constant vector should be zeros")
+	}
+}
+
+func TestNormalizeByMax(t *testing.T) {
+	v := Vector{2, 4, 8}
+	n := NormalizeByMax(v)
+	if n[2] != 1 || n[0] != 0.25 {
+		t.Errorf("NormalizeByMax = %v", n)
+	}
+	zeros := NormalizeByMax(Vector{0, 0})
+	if zeros[0] != 0 || zeros[1] != 0 {
+		t.Error("NormalizeByMax of zero vector should be zeros")
+	}
+	neg := NormalizeByMax(Vector{-1, -2})
+	if neg[0] != 0 || neg[1] != 0 {
+		t.Error("NormalizeByMax with non-positive max should be zeros")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := Vector{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(v, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile of empty vector should be 0")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	v := Vector{1, 2, 3, 4}
+	probes := []float64{0, 1, 2.5, 4, 10}
+	got := CDF(v, probes)
+	want := []float64{0, 0.25, 0.5, 1, 1}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("CDF[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	empty := CDF(nil, probes)
+	for _, x := range empty {
+		if x != 0 {
+			t.Error("CDF of empty vector should be all zeros")
+		}
+	}
+}
+
+func TestCircularMeanStd(t *testing.T) {
+	// Angles clustered around π wrap across the discontinuity.
+	angles := Vector{math.Pi - 0.1, -math.Pi + 0.1}
+	mean, std := CircularMeanStd(angles)
+	if PhaseDistance(mean, math.Pi) > 1e-9 {
+		t.Errorf("circular mean = %g, want ±π", mean)
+	}
+	if std <= 0 || std > 0.2 {
+		t.Errorf("circular std = %g, want small positive", std)
+	}
+	mean, std = CircularMeanStd(Vector{0.5, 0.5, 0.5})
+	if !almostEqual(mean, 0.5, 1e-9) || !almostEqual(std, 0, 1e-6) {
+		t.Errorf("identical angles: mean=%g std=%g", mean, std)
+	}
+	if m, s := CircularMeanStd(nil); m != 0 || s != 0 {
+		t.Error("empty circular stats should be zero")
+	}
+}
+
+func TestWrapPhase(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-2.5 * math.Pi, -0.5 * math.Pi},
+	}
+	for _, c := range cases {
+		if got := WrapPhase(c.in); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("WrapPhase(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPhaseDistance(t *testing.T) {
+	if d := PhaseDistance(math.Pi-0.05, -math.Pi+0.05); !almostEqual(d, 0.1, 1e-9) {
+		t.Errorf("PhaseDistance across wrap = %g, want 0.1", d)
+	}
+	if d := PhaseDistance(0, math.Pi); !almostEqual(d, math.Pi, 1e-9) {
+		t.Errorf("PhaseDistance(0, π) = %g, want π", d)
+	}
+}
+
+// Property: z-score output always has near-zero mean and unit (or zero) std.
+func TestZScoreProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(n uint8) bool {
+		dim := int(n%64) + 2
+		v := make(Vector, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 100
+		}
+		z := ZScoreNormalize(v)
+		if !z.IsFinite() {
+			return false
+		}
+		return math.Abs(z.Mean()) < 1e-8 && math.Abs(z.Std()-1) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min-max output is always within [0, 1] and attains both bounds
+// for non-constant input.
+func TestMinMaxProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(n uint8) bool {
+		dim := int(n%64) + 2
+		v := make(Vector, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 50
+		}
+		m := MinMaxNormalize(v)
+		min, _ := m.Min()
+		max, _ := m.Max()
+		if min < 0 || max > 1 {
+			return false
+		}
+		origMin, _ := v.Min()
+		origMax, _ := v.Max()
+		if origMin != origMax {
+			return almostEqual(min, 0, 1e-12) && almostEqual(max, 1, 1e-12)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WrapPhase always lands in (-π, π] and preserves the angle
+// modulo 2π.
+func TestWrapPhaseProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 {
+			return true
+		}
+		w := WrapPhase(a)
+		if w <= -math.Pi || w > math.Pi {
+			return false
+		}
+		// Same point on the unit circle.
+		return math.Abs(math.Sin(w)-math.Sin(a)) < 1e-6 && math.Abs(math.Cos(w)-math.Cos(a)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkZScoreNormalize4032(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := make(Vector, 4032)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ZScoreNormalize(v)
+	}
+}

@@ -1,0 +1,277 @@
+// Package linalg provides the dense vector, matrix and statistics
+// primitives used throughout the traffic-pattern analysis pipeline.
+//
+// The package is intentionally small and allocation-conscious: the
+// clustering stage operates on ~10,000 vectors of length 4,032 and the
+// distance computations dominate runtime, so the hot paths (Dot, Sub,
+// SquaredDistance) avoid bounds-check-unfriendly patterns and never
+// allocate.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Vector is a dense vector of float64 values. The zero value is an empty
+// vector. Vectors are plain slices so callers may index and append freely;
+// functions in this package never retain their arguments.
+type Vector []float64
+
+// Common errors returned by vector and matrix operations.
+var (
+	// ErrDimensionMismatch is returned when two operands do not have
+	// compatible dimensions.
+	ErrDimensionMismatch = errors.New("linalg: dimension mismatch")
+	// ErrEmpty is returned when an operation requires at least one element.
+	ErrEmpty = errors.New("linalg: empty input")
+)
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector {
+	return make(Vector, n)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Len returns the number of elements in v.
+func (v Vector) Len() int { return len(v) }
+
+// Add returns v + w element-wise.
+func (v Vector) Add(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: add %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out, nil
+}
+
+// AddInPlace adds w into v element-wise, modifying v.
+func (v Vector) AddInPlace(w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("%w: add-in-place %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+	return nil
+}
+
+// Sub returns v - w element-wise.
+func (v Vector) Sub(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: sub %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out, nil
+}
+
+// Scale returns v multiplied by the scalar a.
+func (v Vector) Scale(a float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = a * v[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of v by a.
+func (v Vector) ScaleInPlace(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: dot %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s, nil
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of v.
+func (v Vector) Norm1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// NormInf returns the L∞ norm (maximum absolute value) of v.
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all elements of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of v. It returns 0 for an empty vector.
+func (v Vector) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v))
+}
+
+// Variance returns the population variance of v (dividing by n, not n-1).
+// It returns 0 for vectors with fewer than one element.
+func (v Vector) Variance() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v.Mean()
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// Std returns the population standard deviation of v.
+func (v Vector) Std() float64 { return math.Sqrt(v.Variance()) }
+
+// Min returns the minimum element of v and its index. It returns
+// (0, -1) for an empty vector.
+func (v Vector) Min() (float64, int) {
+	if len(v) == 0 {
+		return 0, -1
+	}
+	min, idx := v[0], 0
+	for i, x := range v {
+		if x < min {
+			min, idx = x, i
+		}
+	}
+	return min, idx
+}
+
+// Max returns the maximum element of v and its index. It returns
+// (0, -1) for an empty vector.
+func (v Vector) Max() (float64, int) {
+	if len(v) == 0 {
+		return 0, -1
+	}
+	max, idx := v[0], 0
+	for i, x := range v {
+		if x > max {
+			max, idx = x, i
+		}
+	}
+	return max, idx
+}
+
+// Distance returns the Euclidean distance between v and w.
+func Distance(v, w Vector) (float64, error) {
+	d, err := SquaredDistance(v, w)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(d), nil
+}
+
+// SquaredDistance returns the squared Euclidean distance between v and w.
+// It is the hot path of the clustering stage and does not allocate.
+func SquaredDistance(v, w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: distance %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	var s float64
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return s, nil
+}
+
+// Pearson returns the Pearson correlation coefficient between v and w.
+// It returns 0 if either vector has zero variance.
+func Pearson(v, w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: pearson %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	if len(v) == 0 {
+		return 0, ErrEmpty
+	}
+	mv, mw := v.Mean(), w.Mean()
+	var num, dv, dw float64
+	for i := range v {
+		a, b := v[i]-mv, w[i]-mw
+		num += a * b
+		dv += a * a
+		dw += b * b
+	}
+	if dv == 0 || dw == 0 {
+		return 0, nil
+	}
+	return num / math.Sqrt(dv*dw), nil
+}
+
+// Centroid returns the element-wise mean of the given vectors. All vectors
+// must have the same length.
+func Centroid(vs []Vector) (Vector, error) {
+	if len(vs) == 0 {
+		return nil, ErrEmpty
+	}
+	n := len(vs[0])
+	out := make(Vector, n)
+	for _, v := range vs {
+		if len(v) != n {
+			return nil, fmt.Errorf("%w: centroid %d vs %d", ErrDimensionMismatch, len(v), n)
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	out.ScaleInPlace(1 / float64(len(vs)))
+	return out, nil
+}
+
+// IsFinite reports whether every element of v is finite (not NaN or ±Inf).
+func (v Vector) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

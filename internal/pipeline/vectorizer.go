@@ -1,0 +1,239 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/linalg"
+	"repro/internal/trace"
+)
+
+// VectorizerOptions configure the traffic vectorizer.
+type VectorizerOptions struct {
+	// Start is the first instant of the aggregation window. Records before
+	// it are dropped. Required.
+	Start time.Time
+	// Days is the number of days of data available from Start. The
+	// vectorizer trims this to whole weeks (TrimToWholeWeeks), mirroring
+	// the paper's removal of 3 days from a 31-day trace. Required.
+	Days int
+	// SlotMinutes is the aggregation granularity (default 10).
+	SlotMinutes int
+	// Workers is the number of parallel workers (default GOMAXPROCS).
+	Workers int
+	// KeepPartialWeeks retains days beyond the last whole week instead of
+	// trimming them.
+	KeepPartialWeeks bool
+	// MinActiveSlots drops towers whose raw vector has fewer than this many
+	// non-zero slots; such towers carry too little signal to cluster.
+	// Zero keeps everything.
+	MinActiveSlots int
+}
+
+func (o VectorizerOptions) withDefaults() VectorizerOptions {
+	if o.SlotMinutes == 0 {
+		o.SlotMinutes = 10
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+func (o VectorizerOptions) validate() error {
+	if o.Start.IsZero() {
+		return fmt.Errorf("pipeline: Start must be set")
+	}
+	if o.Days <= 0 {
+		return fmt.Errorf("pipeline: Days must be positive, got %d", o.Days)
+	}
+	if o.SlotMinutes <= 0 || 1440%o.SlotMinutes != 0 {
+		return fmt.Errorf("pipeline: SlotMinutes must divide 1440, got %d", o.SlotMinutes)
+	}
+	if o.MinActiveSlots < 0 {
+		return fmt.Errorf("pipeline: MinActiveSlots must be non-negative")
+	}
+	return nil
+}
+
+// effectiveDays returns the number of days retained after optional
+// whole-week trimming.
+func (o VectorizerOptions) effectiveDays() int {
+	if o.KeepPartialWeeks {
+		return o.Days
+	}
+	weeks := o.Days / 7
+	if weeks == 0 {
+		return o.Days
+	}
+	return weeks * 7
+}
+
+// VectorizeRecords aggregates cleaned connection records into per-tower
+// traffic vectors and z-score normalises them. Tower locations are taken
+// from the supplied tower infos (resolved during preprocessing); towers
+// absent from the infos still get a vector with a zero location.
+//
+// A record's bytes are attributed to the slot containing its start time,
+// following the paper's chunking of logs into 10-minute segments.
+func VectorizeRecords(records []trace.Record, towers []trace.TowerInfo, opts VectorizerOptions) (*Dataset, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	days := opts.effectiveDays()
+	slots := days * (1440 / opts.SlotMinutes)
+	end := opts.Start.Add(time.Duration(days) * 24 * time.Hour)
+
+	// Phase 1: aggregation, sharded by tower across workers.
+	byTower := make(map[int][]trace.Record)
+	for _, r := range records {
+		byTower[r.TowerID] = append(byTower[r.TowerID], r)
+	}
+	towerIDs := make([]int, 0, len(byTower))
+	for id := range byTower {
+		towerIDs = append(towerIDs, id)
+	}
+	sort.Ints(towerIDs)
+	if len(towerIDs) == 0 {
+		return nil, ErrEmptyDataset
+	}
+
+	raw := make([]linalg.Vector, len(towerIDs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	slotDur := time.Duration(opts.SlotMinutes) * time.Minute
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				vec := make(linalg.Vector, slots)
+				for _, r := range byTower[towerIDs[idx]] {
+					if r.Start.Before(opts.Start) || !r.Start.Before(end) {
+						continue
+					}
+					slot := int(r.Start.Sub(opts.Start) / slotDur)
+					vec[slot] += float64(r.Bytes)
+				}
+				raw[idx] = vec
+			}
+		}()
+	}
+	for i := range towerIDs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	locByID := make(map[int]geo.Point, len(towers))
+	for _, t := range towers {
+		if t.Resolved {
+			locByID[t.TowerID] = t.Location
+		}
+	}
+
+	return assemble(towerIDs, raw, locByID, opts, days)
+}
+
+// SeriesInput is a pre-aggregated per-tower traffic series, the fast path
+// used when the ground-truth series is already available (synthetic data)
+// or when aggregation happened upstream.
+type SeriesInput struct {
+	TowerID  int
+	Location geo.Point
+	Bytes    []float64
+}
+
+// VectorizeSeries builds a dataset directly from pre-aggregated series.
+// Each series must cover opts.Days days at opts.SlotMinutes granularity;
+// the vectorizer trims them to whole weeks and z-score normalises, sharing
+// the normalisation code path with VectorizeRecords.
+func VectorizeSeries(series []SeriesInput, opts VectorizerOptions) (*Dataset, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(series) == 0 {
+		return nil, ErrEmptyDataset
+	}
+	days := opts.effectiveDays()
+	slots := days * (1440 / opts.SlotMinutes)
+	fullSlots := opts.Days * (1440 / opts.SlotMinutes)
+
+	towerIDs := make([]int, len(series))
+	raw := make([]linalg.Vector, len(series))
+	locByID := make(map[int]geo.Point, len(series))
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	errs := make([]error, len(series))
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				s := series[idx]
+				if len(s.Bytes) != fullSlots {
+					errs[idx] = fmt.Errorf("pipeline: series for tower %d has %d slots, want %d", s.TowerID, len(s.Bytes), fullSlots)
+					continue
+				}
+				vec := make(linalg.Vector, slots)
+				copy(vec, s.Bytes[:slots])
+				raw[idx] = vec
+			}
+		}()
+	}
+	for i := range series {
+		towerIDs[i] = series[i].TowerID
+		locByID[series[i].TowerID] = series[i].Location
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return assemble(towerIDs, raw, locByID, opts, days)
+}
+
+// assemble runs phase 2 (normalisation and filtering) and builds the
+// Dataset.
+func assemble(towerIDs []int, raw []linalg.Vector, locByID map[int]geo.Point, opts VectorizerOptions, days int) (*Dataset, error) {
+	d := &Dataset{
+		Start:       opts.Start,
+		SlotMinutes: opts.SlotMinutes,
+		Days:        days,
+	}
+	for i, id := range towerIDs {
+		vec := raw[i]
+		if opts.MinActiveSlots > 0 {
+			active := 0
+			for _, v := range vec {
+				if v > 0 {
+					active++
+				}
+			}
+			if active < opts.MinActiveSlots {
+				continue
+			}
+		}
+		d.TowerIDs = append(d.TowerIDs, id)
+		d.Locations = append(d.Locations, locByID[id])
+		d.Raw = append(d.Raw, vec)
+		d.Normalized = append(d.Normalized, linalg.ZScoreNormalize(vec))
+	}
+	if d.NumTowers() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

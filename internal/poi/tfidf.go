@@ -1,0 +1,97 @@
+package poi
+
+import (
+	"fmt"
+	"math"
+)
+
+// TFIDF computes the term frequency–inverse document frequency statistic of
+// Section 5.3 of the paper for every tower and POI type:
+//
+//	IDF_i      = log(M / M_i)
+//	TF-IDF_mi  = IDF_i · log(1 + POI_mi)
+//
+// where M is the number of towers, M_i is the number of towers that have at
+// least one POI of type i within the counting radius, and POI_mi is the
+// count of type-i POIs around tower m. Types that appear around no tower
+// get IDF 0 (they carry no discriminating information).
+func TFIDF(counts []Counts) ([]Counts, error) {
+	m := len(counts)
+	if m == 0 {
+		return nil, ErrNoCounts
+	}
+	var docFreq [NumTypes]float64
+	for _, c := range counts {
+		for t := 0; t < NumTypes; t++ {
+			if c[t] > 0 {
+				docFreq[t]++
+			}
+		}
+	}
+	var idf [NumTypes]float64
+	for t := 0; t < NumTypes; t++ {
+		if docFreq[t] > 0 {
+			idf[t] = math.Log(float64(m) / docFreq[t])
+		}
+	}
+	out := make([]Counts, m)
+	for i, c := range counts {
+		for t := 0; t < NumTypes; t++ {
+			out[i][t] = idf[t] * math.Log(1+c[t])
+		}
+	}
+	return out, nil
+}
+
+// NormalizeTFIDF divides each tower's TF-IDF vector by its sum over the
+// four types, producing the NTF-IDF of the paper (each row sums to 1, or is
+// all zeros when the tower has no POI at all).
+func NormalizeTFIDF(tfidf []Counts) []Counts {
+	out := make([]Counts, len(tfidf))
+	for i, row := range tfidf {
+		total := row.Total()
+		if total == 0 {
+			continue
+		}
+		for t := 0; t < NumTypes; t++ {
+			out[i][t] = row[t] / total
+		}
+	}
+	return out
+}
+
+// NTFIDF is a convenience that chains TFIDF and NormalizeTFIDF.
+func NTFIDF(counts []Counts) ([]Counts, error) {
+	tf, err := TFIDF(counts)
+	if err != nil {
+		return nil, err
+	}
+	return NormalizeTFIDF(tf), nil
+}
+
+// DominantType returns the POI type with the largest value in the row and
+// that value. Ties resolve to the lowest type index.
+func DominantType(row Counts) (Type, float64) {
+	best := Type(0)
+	bestVal := row[0]
+	for t := 1; t < NumTypes; t++ {
+		if row[t] > bestVal {
+			best = Type(t)
+			bestVal = row[t]
+		}
+	}
+	return best, bestVal
+}
+
+// ValidateCounts checks that every count is finite and non-negative.
+func ValidateCounts(counts []Counts) error {
+	for i, row := range counts {
+		for t := 0; t < NumTypes; t++ {
+			v := row[t]
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("poi: invalid count %g for tower %d type %v", v, i, Type(t))
+			}
+		}
+	}
+	return nil
+}

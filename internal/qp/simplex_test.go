@@ -1,0 +1,278 @@
+package qp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func onSimplex(x linalg.Vector, tol float64) bool {
+	var sum float64
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+		sum += v
+	}
+	return math.Abs(sum-1) <= tol
+}
+
+func TestProjectSimplexAlreadyFeasible(t *testing.T) {
+	v := linalg.Vector{0.2, 0.3, 0.5}
+	p := ProjectSimplex(v)
+	for i := range v {
+		if !almostEqual(p[i], v[i], 1e-12) {
+			t.Errorf("projection changed a feasible point: %v -> %v", v, p)
+		}
+	}
+}
+
+func TestProjectSimplexKnownCases(t *testing.T) {
+	// Projection of (2, 0) onto the simplex is (1, 0).
+	p := ProjectSimplex(linalg.Vector{2, 0})
+	if !almostEqual(p[0], 1, 1e-12) || !almostEqual(p[1], 0, 1e-12) {
+		t.Errorf("ProjectSimplex(2,0) = %v, want (1,0)", p)
+	}
+	// Projection of (0.5, 0.5, 0.5) is uniform (1/3 each).
+	p = ProjectSimplex(linalg.Vector{0.5, 0.5, 0.5})
+	for i := range p {
+		if !almostEqual(p[i], 1.0/3, 1e-12) {
+			t.Errorf("ProjectSimplex uniform[%d] = %g, want 1/3", i, p[i])
+		}
+	}
+	// Strongly negative coordinates collapse onto a vertex.
+	p = ProjectSimplex(linalg.Vector{-5, 3, -5})
+	if !almostEqual(p[1], 1, 1e-12) {
+		t.Errorf("ProjectSimplex vertex = %v, want e2", p)
+	}
+	if len(ProjectSimplex(nil)) != 0 {
+		t.Error("projection of empty vector should be empty")
+	}
+}
+
+// Property: the projection is always feasible and is idempotent.
+func TestProjectSimplexProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed uint8) bool {
+		n := int(seed%8) + 1
+		v := make(linalg.Vector, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 10
+		}
+		p := ProjectSimplex(v)
+		if !onSimplex(p, 1e-9) {
+			return false
+		}
+		pp := ProjectSimplex(p)
+		for i := range p {
+			if !almostEqual(pp[i], p[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the projection is the closest feasible point — no random
+// feasible point may be closer to the input.
+func TestProjectSimplexOptimalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f := func(seed uint8) bool {
+		n := int(seed%6) + 2
+		v := make(linalg.Vector, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 5
+		}
+		p := ProjectSimplex(v)
+		dp, _ := linalg.SquaredDistance(v, p)
+		// Random feasible competitor from a Dirichlet-ish draw.
+		q := make(linalg.Vector, n)
+		var sum float64
+		for i := range q {
+			q[i] = rng.ExpFloat64()
+			sum += q[i]
+		}
+		for i := range q {
+			q[i] /= sum
+		}
+		dq, _ := linalg.SquaredDistance(v, q)
+		return dp <= dq+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSimplexLSErrors(t *testing.T) {
+	if _, err := SolveSimplexLS(linalg.Vector{1}, nil, Options{}); !errors.Is(err, ErrNoComponents) {
+		t.Errorf("no components: got %v", err)
+	}
+	comps := []linalg.Vector{{1, 0}, {0, 1, 5}}
+	if _, err := SolveSimplexLS(linalg.Vector{1, 1}, comps, Options{}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("dim mismatch: got %v", err)
+	}
+}
+
+func TestSolveSimplexLSExactVertex(t *testing.T) {
+	// The target equals one of the components → coefficient 1 on it.
+	comps := []linalg.Vector{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}}
+	res, err := SolveSimplexLS(linalg.Vector{0, 1, 0}, comps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onSimplex(res.Coefficients, 1e-6) {
+		t.Fatalf("coefficients off simplex: %v", res.Coefficients)
+	}
+	if !almostEqual(res.Coefficients[1], 1, 1e-4) {
+		t.Errorf("vertex coefficient = %v, want e2", res.Coefficients)
+	}
+	if res.Residual > 1e-4 {
+		t.Errorf("residual = %g, want ~0", res.Residual)
+	}
+}
+
+func TestSolveSimplexLSInteriorPoint(t *testing.T) {
+	// Target is an exact convex combination of the vertices of a triangle.
+	comps := []linalg.Vector{{0, 0}, {1, 0}, {0, 1}}
+	want := linalg.Vector{0.2, 0.5, 0.3}
+	target := linalg.Vector{
+		want[0]*0 + want[1]*1 + want[2]*0,
+		want[0]*0 + want[1]*0 + want[2]*1,
+	}
+	res, err := SolveSimplexLS(target, comps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 1e-6 {
+		t.Errorf("residual = %g, want ~0", res.Residual)
+	}
+	for i := range want {
+		if !almostEqual(res.Coefficients[i], want[i], 1e-4) {
+			t.Errorf("coefficient[%d] = %g, want %g", i, res.Coefficients[i], want[i])
+		}
+	}
+}
+
+func TestSolveSimplexLSOutsidePolygon(t *testing.T) {
+	// Target far outside the polygon projects to the nearest vertex.
+	comps := []linalg.Vector{{0, 0}, {1, 0}, {0, 1}}
+	res, err := SolveSimplexLS(linalg.Vector{5, 5}, comps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onSimplex(res.Coefficients, 1e-6) {
+		t.Fatalf("coefficients off simplex: %v", res.Coefficients)
+	}
+	// Nearest point of the triangle to (5,5) is the edge midpoint (0.5, 0.5).
+	wantResidual := math.Sqrt(2*(4.5)*(4.5)) // distance from (5,5) to (0.5,0.5)
+	if !almostEqual(res.Residual, wantResidual, 1e-3) {
+		t.Errorf("residual = %g, want %g", res.Residual, wantResidual)
+	}
+	if res.Coefficients[0] > 1e-4 {
+		t.Errorf("coefficient on the far vertex should be ~0, got %v", res.Coefficients)
+	}
+}
+
+func TestSolveSimplexLSDegenerateComponents(t *testing.T) {
+	// All components identical — any simplex point is optimal; the solver
+	// must still return a feasible answer with the correct residual.
+	comps := []linalg.Vector{{1, 1}, {1, 1}, {1, 1}}
+	res, err := SolveSimplexLS(linalg.Vector{2, 2}, comps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onSimplex(res.Coefficients, 1e-6) {
+		t.Fatalf("coefficients off simplex: %v", res.Coefficients)
+	}
+	if !almostEqual(res.Residual, math.Sqrt(2), 1e-6) {
+		t.Errorf("residual = %g, want √2", res.Residual)
+	}
+}
+
+func TestSolveSimplexLSZeroTarget(t *testing.T) {
+	comps := []linalg.Vector{{1, 0}, {0, 1}}
+	res, err := SolveSimplexLS(linalg.Vector{0, 0}, comps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onSimplex(res.Coefficients, 1e-6) {
+		t.Fatalf("coefficients off simplex: %v", res.Coefficients)
+	}
+	// Closest simplex point to origin is (0.5, 0.5) with distance √0.5.
+	if !almostEqual(res.Residual, math.Sqrt(0.5), 1e-4) {
+		t.Errorf("residual = %g, want √0.5", res.Residual)
+	}
+}
+
+// Property: solutions always lie on the simplex and achieve a residual no
+// worse than any of the individual vertices.
+func TestSolveSimplexLSProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed uint8) bool {
+		dim := int(seed%4) + 2
+		m := int(seed%3) + 2
+		comps := make([]linalg.Vector, m)
+		for i := range comps {
+			c := make(linalg.Vector, dim)
+			for j := range c {
+				c[j] = rng.NormFloat64()
+			}
+			comps[i] = c
+		}
+		target := make(linalg.Vector, dim)
+		for j := range target {
+			target[j] = rng.NormFloat64()
+		}
+		res, err := SolveSimplexLS(target, comps, Options{})
+		if err != nil {
+			return false
+		}
+		if !onSimplex(res.Coefficients, 1e-6) {
+			return false
+		}
+		for _, c := range comps {
+			d, _ := linalg.Distance(target, c)
+			if res.Residual > d+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxIterations != 2000 || o.Tolerance != 1e-12 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o = Options{MaxIterations: 5, Tolerance: 0.1}.withDefaults()
+	if o.MaxIterations != 5 || o.Tolerance != 0.1 {
+		t.Errorf("explicit options overridden: %+v", o)
+	}
+}
+
+func BenchmarkSolveSimplexLS(b *testing.B) {
+	comps := []linalg.Vector{
+		{0.9, 1.3, 0.2}, {0.4, 2.8, 0.7}, {0.7, 2.2, 0.1}, {0.5, 1.9, 0.4},
+	}
+	target := linalg.Vector{0.6, 2.0, 0.3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveSimplexLS(target, comps, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

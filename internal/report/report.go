@@ -1,0 +1,236 @@
+// Package report renders the tables and data series produced by the
+// benchmark harness as aligned ASCII text and as CSV files, so every table
+// and figure of the paper can be regenerated as both a human-readable
+// artefact and a machine-readable one.
+package report
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple rectangular table with a title, a header row and data
+// rows of strings.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row built from arbitrary values formatted with %v
+// (floats with FormatFloat).
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = FormatFloat(x)
+		case float32:
+			row[i] = FormatFloat(float64(x))
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with four significant decimals, large magnitudes in scientific
+// notation.
+func FormatFloat(x float64) string {
+	abs := x
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case x == float64(int64(x)) && abs < 1e6:
+		return strconv.FormatInt(int64(x), 10)
+	case abs >= 1e6 || (abs > 0 && abs < 1e-3):
+		return strconv.FormatFloat(x, 'e', 3, 64)
+	default:
+		return strconv.FormatFloat(x, 'f', 4, 64)
+	}
+}
+
+// Render writes the table as aligned ASCII text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				for p := len(cell); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string, ignoring write errors.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the table (header plus rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the table to a CSV file, creating parent directories.
+func (t *Table) SaveCSV(path string) error {
+	if path == "" {
+		return errors.New("report: empty path")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Series is a named sequence of (x, y) points backing a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a collection of series sharing an x axis meaning.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddSeries appends a named series; x and y must have equal length.
+func (f *Figure) AddSeries(name string, x, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("report: series %q has %d x values and %d y values", name, len(x), len(y))
+	}
+	f.Series = append(f.Series, Series{Name: name, X: x, Y: y})
+	return nil
+}
+
+// WriteCSV writes the figure in long form: series,x,y.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", f.XLabel, f.YLabel}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			if err := cw.Write([]string{s.Name, FormatFloat(s.X[i]), FormatFloat(s.Y[i])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the figure to a CSV file, creating parent directories.
+func (f *Figure) SaveCSV(path string) error {
+	if path == "" {
+		return errors.New("report: empty path")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if err := f.WriteCSV(file); err != nil {
+		return err
+	}
+	return file.Close()
+}
+
+// Summary renders a compact textual summary of the figure: per series the
+// number of points, the y range and the x position of the y maximum.
+func (f *Figure) Summary() string {
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	for _, s := range f.Series {
+		if len(s.Y) == 0 {
+			fmt.Fprintf(&b, "  %-20s (empty)\n", s.Name)
+			continue
+		}
+		minY, maxY := s.Y[0], s.Y[0]
+		argmax := 0
+		for i, y := range s.Y {
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+				argmax = i
+			}
+		}
+		fmt.Fprintf(&b, "  %-20s n=%d  y∈[%s, %s]  peak at %s=%s\n",
+			s.Name, len(s.Y), FormatFloat(minY), FormatFloat(maxY), f.XLabel, FormatFloat(s.X[argmax]))
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3:       "3",
+		-12:     "-12",
+		3.5:     "3.5000",
+		1e7:     "1.000e+07",
+		0.00001: "1.000e-05",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := &Table{
+		Title:   "Table 1: cluster shares",
+		Headers: []string{"cluster", "region", "share"},
+	}
+	tbl.AddRow(1, "resident", 0.1755)
+	tbl.AddRow(2, "transport", 0.0258)
+	out := tbl.String()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "resident") {
+		t.Errorf("rendered table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("rendered table has %d lines, want 5:\n%s", len(lines), out)
+	}
+	var csvBuf bytes.Buffer
+	if err := tbl.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	csvLines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(csvLines) != 3 {
+		t.Errorf("CSV has %d lines, want 3", len(csvLines))
+	}
+	if csvLines[1] != "1,resident,0.1755" {
+		t.Errorf("CSV row = %q", csvLines[1])
+	}
+}
+
+func TestTableSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	tbl := &Table{Headers: []string{"a"}, Rows: [][]string{{"1"}}}
+	path := filepath.Join(dir, "sub", "table.csv")
+	if err := tbl.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "a") {
+		t.Error("saved CSV missing header")
+	}
+	if err := tbl.SaveCSV(""); err == nil {
+		t.Error("empty path should fail")
+	}
+}
+
+func TestFigure(t *testing.T) {
+	fig := &Figure{Title: "Figure 1", XLabel: "hour", YLabel: "traffic"}
+	if err := fig.AddSeries("aggregate", []float64{0, 1, 2}, []float64{5, 9, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.AddSeries("bad", []float64{0}, []float64{1, 2}); err == nil {
+		t.Error("mismatched series should fail")
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Errorf("figure CSV has %d lines, want 4", len(lines))
+	}
+	if lines[0] != "series,hour,traffic" {
+		t.Errorf("header = %q", lines[0])
+	}
+	summary := fig.Summary()
+	if !strings.Contains(summary, "aggregate") || !strings.Contains(summary, "peak at hour=1") {
+		t.Errorf("summary = %q", summary)
+	}
+	// Empty series summary does not panic.
+	fig.Series = append(fig.Series, Series{Name: "empty"})
+	if !strings.Contains(fig.Summary(), "(empty)") {
+		t.Error("empty series should be reported")
+	}
+	dir := t.TempDir()
+	if err := fig.SaveCSV(filepath.Join(dir, "fig.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.SaveCSV(""); err == nil {
+		t.Error("empty path should fail")
+	}
+}

@@ -1,0 +1,142 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// LogOptions tune CDR emission beyond what Config carries.
+type LogOptions struct {
+	// MaxRecordsPerSlot caps how many connection records one tower emits in
+	// one slot; traffic is split across that many users. Zero means the
+	// default of 4.
+	MaxRecordsPerSlot int
+}
+
+func (o LogOptions) withDefaults() LogOptions {
+	if o.MaxRecordsPerSlot <= 0 {
+		o.MaxRecordsPerSlot = 4
+	}
+	return o
+}
+
+// GenerateLogs converts the ground-truth tower series into CDR-style
+// connection records, splitting each slot's traffic across a random set of
+// subscribers and injecting the duplicated and conflicting records that the
+// preprocessing stage of the paper has to eliminate. The clean portion of
+// the emitted log aggregates back exactly to the input series.
+//
+// The number of emitted records is roughly towers × slots × records/slot,
+// so full-scale configurations should stream via GenerateLogsFunc instead
+// of materialising the slice.
+func (c *City) GenerateLogs(series []TowerSeries, opts LogOptions) ([]trace.Record, error) {
+	var out []trace.Record
+	err := c.GenerateLogsFunc(series, opts, func(r trace.Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GenerateLogsFunc streams generated records to the emit callback in
+// chronological slot order per tower. Emission stops at the first error
+// returned by the callback.
+func (c *City) GenerateLogsFunc(series []TowerSeries, opts LogOptions, emit func(trace.Record) error) error {
+	if emit == nil {
+		return fmt.Errorf("synth: nil emit callback")
+	}
+	opts = opts.withDefaults()
+	cfg := c.Config
+	rng := rand.New(rand.NewSource(cfg.Seed*999_331 + 7))
+	slotDur := time.Duration(cfg.SlotMinutes) * time.Minute
+
+	towersByID := make(map[int]Tower, len(c.Towers))
+	for _, t := range c.Towers {
+		towersByID[t.ID] = t
+	}
+
+	users := cfg.Users
+	if users <= 0 {
+		users = 1
+	}
+
+	for _, s := range series {
+		tower, ok := towersByID[s.TowerID]
+		if !ok {
+			return fmt.Errorf("synth: series references unknown tower %d", s.TowerID)
+		}
+		if len(s.Bytes) != cfg.TotalSlots() {
+			return fmt.Errorf("synth: series for tower %d has %d slots, want %d", s.TowerID, len(s.Bytes), cfg.TotalSlots())
+		}
+		for slot, total := range s.Bytes {
+			if total <= 0 {
+				continue
+			}
+			start := cfg.Start.Add(time.Duration(slot) * slotDur)
+			n := 1 + rng.Intn(opts.MaxRecordsPerSlot)
+			remaining := int64(total)
+			for i := 0; i < n && remaining > 0; i++ {
+				var bytes int64
+				if i == n-1 {
+					bytes = remaining
+				} else {
+					bytes = int64(float64(remaining) * (0.2 + 0.6*rng.Float64()) / float64(n-i))
+					if bytes <= 0 {
+						bytes = 1
+					}
+					if bytes > remaining {
+						bytes = remaining
+					}
+				}
+				remaining -= bytes
+				offset := time.Duration(rng.Int63n(int64(slotDur) / 2))
+				dur := time.Duration(rng.Int63n(int64(slotDur)/2)) + time.Second
+				tech := Tech3GOrLTE(rng)
+				rec := trace.Record{
+					UserID:  rng.Intn(users),
+					Start:   start.Add(offset),
+					End:     start.Add(offset).Add(dur),
+					TowerID: tower.ID,
+					Address: tower.Address,
+					Bytes:   bytes,
+					Tech:    tech,
+				}
+				if err := emit(rec); err != nil {
+					return err
+				}
+				// Redundant logs: exact copies of the record just emitted.
+				if rng.Float64() < cfg.DuplicateFraction {
+					if err := emit(rec); err != nil {
+						return err
+					}
+				}
+				// Conflicting logs: same logical connection, smaller byte
+				// counter (a partial export). Clean keeps the larger copy,
+				// so the cleaned aggregate still matches the series.
+				if rng.Float64() < cfg.ConflictFraction && rec.Bytes > 1 {
+					conflict := rec
+					conflict.Bytes = rec.Bytes / 2
+					if err := emit(conflict); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Tech3GOrLTE draws a radio technology with the rough LTE share of a 2014
+// metropolitan network.
+func Tech3GOrLTE(rng *rand.Rand) trace.Technology {
+	if rng.Float64() < 0.55 {
+		return trace.TechLTE
+	}
+	return trace.Tech3G
+}

@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// logTestCity returns a very small city and its ground-truth series so log
+// emission tests stay fast.
+func logTestCity(t *testing.T) (*City, []TowerSeries) {
+	t.Helper()
+	cfg := tinyConfig()
+	cfg.Towers = 10
+	cfg.Days = 2
+	cfg.DuplicateFraction = 0.05
+	cfg.ConflictFraction = 0.03
+	city, err := GenerateCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := city.GenerateSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return city, series
+}
+
+func TestGenerateLogsRecordsAreValid(t *testing.T) {
+	city, series := logTestCity(t)
+	records, err := city.GenerateLogs(series, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("no records emitted")
+	}
+	for i, r := range records {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("record %d invalid: %v", i, err)
+		}
+		if r.UserID >= city.Config.Users {
+			t.Fatalf("record %d user id %d out of range", i, r.UserID)
+		}
+		if r.Start.Before(city.Config.Start) {
+			t.Fatalf("record %d starts before the trace window", i)
+		}
+	}
+}
+
+func TestGenerateLogsCleanedAggregateMatchesSeries(t *testing.T) {
+	city, series := logTestCity(t)
+	records, err := city.GenerateLogs(series, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleaned, stats := trace.Clean(records)
+	if stats.Duplicates == 0 {
+		t.Error("expected some duplicate records to be injected")
+	}
+	if stats.Conflicts == 0 {
+		t.Error("expected some conflicting records to be injected")
+	}
+	// Cleaned per-tower byte totals must equal the ground-truth series sums.
+	wantTotals := make(map[int]float64)
+	for _, s := range series {
+		for _, v := range s.Bytes {
+			wantTotals[s.TowerID] += v
+		}
+	}
+	gotTotals := make(map[int]float64)
+	for _, r := range cleaned {
+		gotTotals[r.TowerID] += float64(r.Bytes)
+	}
+	for towerID, want := range wantTotals {
+		if got := gotTotals[towerID]; got != want {
+			t.Errorf("tower %d cleaned bytes = %g, want %g", towerID, got, want)
+		}
+	}
+}
+
+func TestGenerateLogsFuncStopsOnError(t *testing.T) {
+	city, series := logTestCity(t)
+	boom := errors.New("boom")
+	count := 0
+	err := city.GenerateLogsFunc(series, LogOptions{}, func(trace.Record) error {
+		count++
+		if count == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("expected callback error to propagate, got %v", err)
+	}
+	if count != 10 {
+		t.Errorf("emission should stop at the error, emitted %d", count)
+	}
+}
+
+func TestGenerateLogsErrors(t *testing.T) {
+	city, series := logTestCity(t)
+	if err := city.GenerateLogsFunc(series, LogOptions{}, nil); err == nil {
+		t.Error("nil callback should fail")
+	}
+	bad := []TowerSeries{{TowerID: 99999, Bytes: make([]float64, city.Config.TotalSlots())}}
+	if _, err := city.GenerateLogs(bad, LogOptions{}); err == nil {
+		t.Error("unknown tower id should fail")
+	}
+	short := []TowerSeries{{TowerID: city.Towers[0].ID, Bytes: []float64{1, 2}}}
+	if _, err := city.GenerateLogs(short, LogOptions{}); err == nil {
+		t.Error("wrong series length should fail")
+	}
+}
+
+func TestLogOptionsDefaults(t *testing.T) {
+	o := LogOptions{}.withDefaults()
+	if o.MaxRecordsPerSlot != 4 {
+		t.Errorf("default MaxRecordsPerSlot = %d, want 4", o.MaxRecordsPerSlot)
+	}
+	o = LogOptions{MaxRecordsPerSlot: 9}.withDefaults()
+	if o.MaxRecordsPerSlot != 9 {
+		t.Error("explicit option overridden")
+	}
+}
+
+func TestTech3GOrLTE(t *testing.T) {
+	r := newTestRand()
+	seen := map[trace.Technology]bool{}
+	for i := 0; i < 200; i++ {
+		tech := Tech3GOrLTE(r)
+		if tech != trace.Tech3G && tech != trace.TechLTE {
+			t.Fatalf("unexpected technology %q", tech)
+		}
+		seen[tech] = true
+	}
+	if !seen[trace.Tech3G] || !seen[trace.TechLTE] {
+		t.Error("both technologies should appear")
+	}
+}

@@ -1,0 +1,106 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// TowerSeries is the ground-truth traffic time series of one tower: bytes
+// carried per aggregation slot.
+type TowerSeries struct {
+	TowerID int
+	// Bytes[i] is the traffic carried in slot i (cfg.SlotMinutes minutes
+	// starting at cfg.Start + i·SlotMinutes).
+	Bytes []float64
+}
+
+// GenerateSeries produces the ground-truth per-tower traffic series for
+// every tower of the city at the configured slot granularity. The series
+// are the "ideal" traffic before CDR log emission; aggregating the emitted
+// logs reproduces them up to rounding.
+//
+// The shape of each tower's series is its ground-truth functional mixture
+// evaluated on the diurnal archetypes, shifted by the tower's peak jitter,
+// scaled by its amplitude and the city-wide byte anchor, and perturbed with
+// multiplicative log-normal noise per slot.
+func (c *City) GenerateSeries() ([]TowerSeries, error) {
+	cfg := c.Config
+	out := make([]TowerSeries, len(c.Towers))
+	for i := range c.Towers {
+		s, err := c.GenerateTowerSeries(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	_ = cfg
+	return out, nil
+}
+
+// GenerateTowerSeries produces the ground-truth traffic series of a single
+// tower. Series generation is deterministic per (config seed, tower ID), so
+// towers can be generated independently and in any order.
+func (c *City) GenerateTowerSeries(towerIdx int) (TowerSeries, error) {
+	if towerIdx < 0 || towerIdx >= len(c.Towers) {
+		return TowerSeries{}, fmt.Errorf("synth: tower index %d out of range [0,%d)", towerIdx, len(c.Towers))
+	}
+	cfg := c.Config
+	t := c.Towers[towerIdx]
+	// Independent deterministic stream per tower.
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(t.ID)*7919 + 17))
+
+	slots := cfg.TotalSlots()
+	perDay := cfg.SlotsPerDay()
+	bytes := make([]float64, slots)
+	scale := cfg.MeanBytesPerSlotPeak * t.Amplitude
+	for i := 0; i < slots; i++ {
+		day := i / perDay
+		slotOfDay := i % perDay
+		hour := (float64(slotOfDay)+0.5)*float64(cfg.SlotMinutes)/60 - t.peakShiftHours
+		date := cfg.Start.AddDate(0, 0, day)
+		weekend := isWeekend(date)
+		intensity, err := MixtureIntensity(t.Mix, hour, weekend)
+		if err != nil {
+			return TowerSeries{}, fmt.Errorf("synth: tower %d: %w", t.ID, err)
+		}
+		noise := math.Exp(rng.NormFloat64()*cfg.NoiseSigma - cfg.NoiseSigma*cfg.NoiseSigma/2)
+		v := intensity * scale * noise
+		if v < 0 {
+			v = 0
+		}
+		bytes[i] = math.Round(v)
+	}
+	return TowerSeries{TowerID: t.ID, Bytes: bytes}, nil
+}
+
+// isWeekend reports whether the date falls on Saturday or Sunday.
+func isWeekend(t time.Time) bool {
+	wd := t.Weekday()
+	return wd == time.Saturday || wd == time.Sunday
+}
+
+// SlotStart returns the start time of slot i.
+func (c *City) SlotStart(i int) time.Time {
+	return c.Config.Start.Add(time.Duration(i) * time.Duration(c.Config.SlotMinutes) * time.Minute)
+}
+
+// AggregateSeries sums a set of tower series element-wise, returning the
+// city-wide (or cluster-wide) traffic series.
+func AggregateSeries(series []TowerSeries) ([]float64, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("synth: no series to aggregate")
+	}
+	n := len(series[0].Bytes)
+	out := make([]float64, n)
+	for _, s := range series {
+		if len(s.Bytes) != n {
+			return nil, fmt.Errorf("synth: series length mismatch: %d vs %d", len(s.Bytes), n)
+		}
+		for i, v := range s.Bytes {
+			out[i] += v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,282 @@
+// Package timedomain quantifies the time-domain characteristics of traffic
+// patterns studied in Section 4 of the paper: weekday/weekend traffic
+// amount ratios (Figure 10a), peak and valley traffic values and their
+// ratio (Table 4, Figure 10b), the time of day at which peaks and valleys
+// occur (Table 5), and the interrelationships between patterns (Figure 11).
+//
+// All functions operate on a traffic vector together with a Clock that
+// knows how vector slots map to wall-clock time, so the same code serves
+// per-tower vectors, cluster aggregates and the city-wide aggregate.
+package timedomain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/linalg"
+)
+
+// Clock describes how the slots of a traffic vector map onto wall-clock
+// time.
+type Clock struct {
+	// Start is the time of the first slot.
+	Start time.Time
+	// SlotMinutes is the slot width in minutes.
+	SlotMinutes int
+}
+
+// Errors returned by the analysis functions.
+var (
+	ErrEmptySignal = errors.New("timedomain: empty signal")
+	ErrBadClock    = errors.New("timedomain: invalid clock")
+)
+
+// Validate checks the clock.
+func (c Clock) Validate() error {
+	if c.Start.IsZero() || c.SlotMinutes <= 0 || 1440%c.SlotMinutes != 0 {
+		return fmt.Errorf("%w: start=%v slotMinutes=%d", ErrBadClock, c.Start, c.SlotMinutes)
+	}
+	return nil
+}
+
+// SlotsPerDay returns the number of slots in one day.
+func (c Clock) SlotsPerDay() int { return 1440 / c.SlotMinutes }
+
+// SlotTime returns the start time of slot i.
+func (c Clock) SlotTime(i int) time.Time {
+	return c.Start.Add(time.Duration(i) * time.Duration(c.SlotMinutes) * time.Minute)
+}
+
+// IsWeekend reports whether slot i falls on Saturday or Sunday.
+func (c Clock) IsWeekend(i int) bool {
+	wd := c.SlotTime(i).Weekday()
+	return wd == time.Saturday || wd == time.Sunday
+}
+
+// HourOfSlot returns the hour-of-day (fractional) at the middle of the
+// slot-of-day index.
+func (c Clock) HourOfSlot(slotOfDay int) float64 {
+	return (float64(slotOfDay) + 0.5) * float64(c.SlotMinutes) / 60
+}
+
+// DailyProfile is a traffic profile folded onto a single day: one value per
+// slot-of-day, averaged over the days that contributed.
+type DailyProfile struct {
+	// Values[s] is the average traffic of slot-of-day s.
+	Values linalg.Vector
+	// Days is the number of days averaged.
+	Days int
+	// Clock describes the slot width (Start is the fold origin).
+	Clock Clock
+}
+
+// FoldDaily folds the traffic vector onto a single day, averaging
+// separately over weekdays and weekend days.
+func FoldDaily(traffic linalg.Vector, clock Clock) (weekday, weekend DailyProfile, err error) {
+	if err := clock.Validate(); err != nil {
+		return DailyProfile{}, DailyProfile{}, err
+	}
+	if len(traffic) == 0 {
+		return DailyProfile{}, DailyProfile{}, ErrEmptySignal
+	}
+	perDay := clock.SlotsPerDay()
+	if len(traffic)%perDay != 0 {
+		return DailyProfile{}, DailyProfile{}, fmt.Errorf("timedomain: %d slots is not a whole number of %d-slot days", len(traffic), perDay)
+	}
+	wdSum := make(linalg.Vector, perDay)
+	weSum := make(linalg.Vector, perDay)
+	var wdDays, weDays int
+	days := len(traffic) / perDay
+	for d := 0; d < days; d++ {
+		isWE := clock.IsWeekend(d * perDay)
+		if isWE {
+			weDays++
+		} else {
+			wdDays++
+		}
+		for s := 0; s < perDay; s++ {
+			v := traffic[d*perDay+s]
+			if isWE {
+				weSum[s] += v
+			} else {
+				wdSum[s] += v
+			}
+		}
+	}
+	if wdDays > 0 {
+		wdSum.ScaleInPlace(1 / float64(wdDays))
+	}
+	if weDays > 0 {
+		weSum.ScaleInPlace(1 / float64(weDays))
+	}
+	weekday = DailyProfile{Values: wdSum, Days: wdDays, Clock: clock}
+	weekend = DailyProfile{Values: weSum, Days: weDays, Clock: clock}
+	return weekday, weekend, nil
+}
+
+// Smooth returns a copy of the profile smoothed with a centred moving
+// average of the given window (in slots, forced odd), wrapping around
+// midnight. Smoothing stabilises peak/valley detection against slot noise.
+func (p DailyProfile) Smooth(window int) DailyProfile {
+	n := len(p.Values)
+	if n == 0 || window <= 1 {
+		return DailyProfile{Values: p.Values.Clone(), Days: p.Days, Clock: p.Clock}
+	}
+	if window%2 == 0 {
+		window++
+	}
+	half := window / 2
+	out := make(linalg.Vector, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for d := -half; d <= half; d++ {
+			s += p.Values[((i+d)%n+n)%n]
+		}
+		out[i] = s / float64(window)
+	}
+	return DailyProfile{Values: out, Days: p.Days, Clock: p.Clock}
+}
+
+// Peak returns the maximum value of the profile and the hour of day at
+// which it occurs.
+func (p DailyProfile) Peak() (value, hour float64) {
+	v, idx := p.Values.Max()
+	if idx < 0 {
+		return 0, 0
+	}
+	return v, p.Clock.HourOfSlot(idx)
+}
+
+// Valley returns the minimum value of the profile and the hour of day at
+// which it occurs.
+func (p DailyProfile) Valley() (value, hour float64) {
+	v, idx := p.Values.Min()
+	if idx < 0 {
+		return 0, 0
+	}
+	return v, p.Clock.HourOfSlot(idx)
+}
+
+// PeakValleyFeatures are the Table 4 / Table 5 statistics for one day type.
+type PeakValleyFeatures struct {
+	MaxTraffic      float64 // peak traffic value
+	MinTraffic      float64 // valley traffic value
+	PeakValleyRatio float64 // MaxTraffic / MinTraffic (Inf if the valley is zero)
+	PeakHour        float64 // hour of day of the peak
+	ValleyHour      float64 // hour of day of the valley
+}
+
+// Features extracts the peak/valley statistics of a (possibly smoothed)
+// profile.
+func (p DailyProfile) Features() PeakValleyFeatures {
+	maxV, maxH := p.Peak()
+	minV, minH := p.Valley()
+	ratio := 0.0
+	if minV > 0 {
+		ratio = maxV / minV
+	} else if maxV > 0 {
+		ratio = math.Inf(1)
+	}
+	return PeakValleyFeatures{
+		MaxTraffic:      maxV,
+		MinTraffic:      minV,
+		PeakValleyRatio: ratio,
+		PeakHour:        maxH,
+		ValleyHour:      minH,
+	}
+}
+
+// WeekdayWeekendRatio returns the ratio between the average traffic carried
+// in one weekday and the average traffic carried in one weekend day — the
+// statistic of Figure 10(a). It returns an error if the window contains no
+// weekday or no weekend day.
+func WeekdayWeekendRatio(traffic linalg.Vector, clock Clock) (float64, error) {
+	if err := clock.Validate(); err != nil {
+		return 0, err
+	}
+	if len(traffic) == 0 {
+		return 0, ErrEmptySignal
+	}
+	perDay := clock.SlotsPerDay()
+	if len(traffic)%perDay != 0 {
+		return 0, fmt.Errorf("timedomain: %d slots is not a whole number of days", len(traffic))
+	}
+	var wdTotal, weTotal float64
+	var wdDays, weDays int
+	days := len(traffic) / perDay
+	for d := 0; d < days; d++ {
+		var dayTotal float64
+		for s := 0; s < perDay; s++ {
+			dayTotal += traffic[d*perDay+s]
+		}
+		if clock.IsWeekend(d * perDay) {
+			weTotal += dayTotal
+			weDays++
+		} else {
+			wdTotal += dayTotal
+			wdDays++
+		}
+	}
+	if wdDays == 0 || weDays == 0 {
+		return 0, fmt.Errorf("timedomain: window has %d weekdays and %d weekend days; both required", wdDays, weDays)
+	}
+	wdAvg := wdTotal / float64(wdDays)
+	weAvg := weTotal / float64(weDays)
+	if weAvg == 0 {
+		return 0, errors.New("timedomain: weekend traffic is zero")
+	}
+	return wdAvg / weAvg, nil
+}
+
+// PatternSummary bundles every time-domain statistic of one traffic pattern
+// (one row of Tables 4 and 5 plus the Figure 10 bars).
+type PatternSummary struct {
+	WeekdayWeekendRatio float64
+	Weekday             PeakValleyFeatures
+	Weekend             PeakValleyFeatures
+}
+
+// Summarize computes the full time-domain summary of a traffic vector.
+// The profiles are smoothed with the given window (in slots) before
+// extracting peaks and valleys; a window of 0 disables smoothing.
+func Summarize(traffic linalg.Vector, clock Clock, smoothWindow int) (PatternSummary, error) {
+	ratio, err := WeekdayWeekendRatio(traffic, clock)
+	if err != nil {
+		return PatternSummary{}, err
+	}
+	weekday, weekend, err := FoldDaily(traffic, clock)
+	if err != nil {
+		return PatternSummary{}, err
+	}
+	return PatternSummary{
+		WeekdayWeekendRatio: ratio,
+		Weekday:             weekday.Smooth(smoothWindow).Features(),
+		Weekend:             weekend.Smooth(smoothWindow).Features(),
+	}, nil
+}
+
+// PeakLagHours returns the circular lag, in hours, from profile a's peak to
+// profile b's peak (positive when b peaks later in the day). It is the
+// quantitative form of Figure 11's observation that the residential peak
+// trails the evening transport peak by about three hours.
+func PeakLagHours(a, b DailyProfile) float64 {
+	_, ha := a.Peak()
+	_, hb := b.Peak()
+	lag := hb - ha
+	for lag > 12 {
+		lag -= 24
+	}
+	for lag < -12 {
+		lag += 24
+	}
+	return lag
+}
+
+// ProfileCorrelation returns the Pearson correlation between two daily
+// profiles, used to verify that the comprehensive pattern closely tracks
+// the all-tower average (third row of Figure 11).
+func ProfileCorrelation(a, b DailyProfile) (float64, error) {
+	return linalg.Pearson(a.Values, b.Values)
+}

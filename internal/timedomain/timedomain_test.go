@@ -1,0 +1,288 @@
+package timedomain
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/linalg"
+)
+
+// clock7 starts on a Monday with 10-minute slots.
+var clock7 = Clock{Start: time.Date(2014, 8, 4, 0, 0, 0, 0, time.UTC), SlotMinutes: 10}
+
+// synthWeek builds a 7-day traffic vector from an hourly shape function
+// that may differ between weekdays and weekends.
+func synthWeek(shape func(hour float64, weekend bool) float64) linalg.Vector {
+	perDay := clock7.SlotsPerDay()
+	out := make(linalg.Vector, 7*perDay)
+	for d := 0; d < 7; d++ {
+		weekend := clock7.IsWeekend(d * perDay)
+		for s := 0; s < perDay; s++ {
+			out[d*perDay+s] = shape(clock7.HourOfSlot(s), weekend)
+		}
+	}
+	return out
+}
+
+func TestClockValidate(t *testing.T) {
+	if err := clock7.Validate(); err != nil {
+		t.Fatalf("valid clock rejected: %v", err)
+	}
+	bad := []Clock{
+		{},
+		{Start: clock7.Start, SlotMinutes: 0},
+		{Start: clock7.Start, SlotMinutes: 7},
+		{SlotMinutes: 10},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); !errors.Is(err, ErrBadClock) {
+			t.Errorf("bad clock %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestClockHelpers(t *testing.T) {
+	if clock7.SlotsPerDay() != 144 {
+		t.Errorf("SlotsPerDay = %d", clock7.SlotsPerDay())
+	}
+	if !clock7.SlotTime(144).Equal(clock7.Start.Add(24 * time.Hour)) {
+		t.Error("SlotTime(144) should be one day after start")
+	}
+	if clock7.IsWeekend(0) {
+		t.Error("Monday should not be weekend")
+	}
+	if !clock7.IsWeekend(5 * 144) {
+		t.Error("Saturday should be weekend")
+	}
+	if got := clock7.HourOfSlot(0); math.Abs(got-10.0/120) > 1e-9 {
+		t.Errorf("HourOfSlot(0) = %g", got)
+	}
+	if got := clock7.HourOfSlot(72); math.Abs(got-12.0833333) > 1e-3 {
+		t.Errorf("HourOfSlot(72) = %g, want ~12.08", got)
+	}
+}
+
+func TestFoldDaily(t *testing.T) {
+	// Weekdays carry 10 units at noon; weekends carry 20.
+	traffic := synthWeek(func(hour float64, weekend bool) float64 {
+		v := 1.0
+		if hour >= 12 && hour < 13 {
+			v = 10
+			if weekend {
+				v = 20
+			}
+		}
+		return v
+	})
+	weekday, weekend, err := FoldDaily(traffic, clock7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weekday.Days != 5 || weekend.Days != 2 {
+		t.Errorf("day counts = %d/%d, want 5/2", weekday.Days, weekend.Days)
+	}
+	noonSlot := 73 // 12:10
+	if weekday.Values[noonSlot] != 10 {
+		t.Errorf("weekday noon = %g, want 10", weekday.Values[noonSlot])
+	}
+	if weekend.Values[noonSlot] != 20 {
+		t.Errorf("weekend noon = %g, want 20", weekend.Values[noonSlot])
+	}
+	if weekday.Values[0] != 1 {
+		t.Errorf("weekday midnight = %g, want 1", weekday.Values[0])
+	}
+}
+
+func TestFoldDailyErrors(t *testing.T) {
+	if _, _, err := FoldDaily(nil, clock7); !errors.Is(err, ErrEmptySignal) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, _, err := FoldDaily(make(linalg.Vector, 100), clock7); err == nil {
+		t.Error("non-whole-day signal should fail")
+	}
+	if _, _, err := FoldDaily(make(linalg.Vector, 144), Clock{}); !errors.Is(err, ErrBadClock) {
+		t.Error("bad clock should fail")
+	}
+}
+
+func TestPeakValleyAndFeatures(t *testing.T) {
+	traffic := synthWeek(func(hour float64, weekend bool) float64 {
+		// Peak at 21:00-22:00 with value 100, valley of 5 everywhere else.
+		if hour >= 21 && hour < 22 {
+			return 100
+		}
+		return 5
+	})
+	weekday, _, err := FoldDaily(traffic, clock7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := weekday.Features()
+	if f.MaxTraffic != 100 || f.MinTraffic != 5 {
+		t.Errorf("max/min = %g/%g", f.MaxTraffic, f.MinTraffic)
+	}
+	if math.Abs(f.PeakValleyRatio-20) > 1e-9 {
+		t.Errorf("ratio = %g, want 20", f.PeakValleyRatio)
+	}
+	if f.PeakHour < 21 || f.PeakHour >= 22 {
+		t.Errorf("peak hour = %g, want in [21,22)", f.PeakHour)
+	}
+	// Zero valley → infinite ratio.
+	zeroValley := DailyProfile{Values: linalg.Vector{0, 5, 10}, Clock: clock7}
+	if !math.IsInf(zeroValley.Features().PeakValleyRatio, 1) {
+		t.Error("zero valley should give +Inf ratio")
+	}
+	allZero := DailyProfile{Values: linalg.Vector{0, 0}, Clock: clock7}
+	if allZero.Features().PeakValleyRatio != 0 {
+		t.Error("all-zero profile should give ratio 0")
+	}
+	var empty DailyProfile
+	v, h := empty.Peak()
+	if v != 0 || h != 0 {
+		t.Error("empty profile peak should be zero")
+	}
+	v, h = empty.Valley()
+	if v != 0 || h != 0 {
+		t.Error("empty profile valley should be zero")
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	p := DailyProfile{Values: linalg.Vector{0, 0, 12, 0, 0, 0}, Clock: clock7}
+	s := p.Smooth(3)
+	// Moving average of window 3 spreads the spike.
+	if math.Abs(s.Values[2]-4) > 1e-9 || math.Abs(s.Values[1]-4) > 1e-9 || math.Abs(s.Values[3]-4) > 1e-9 {
+		t.Errorf("smoothed = %v", s.Values)
+	}
+	// Mass is preserved.
+	if math.Abs(s.Values.Sum()-p.Values.Sum()) > 1e-9 {
+		t.Errorf("smoothing changed total mass: %g vs %g", s.Values.Sum(), p.Values.Sum())
+	}
+	// Window ≤ 1 is a no-op copy.
+	same := p.Smooth(0)
+	for i := range p.Values {
+		if same.Values[i] != p.Values[i] {
+			t.Error("window 0 should copy unchanged")
+		}
+	}
+	// Even windows are promoted to odd.
+	even := p.Smooth(2)
+	if math.Abs(even.Values.Sum()-p.Values.Sum()) > 1e-9 {
+		t.Error("even window smoothing should preserve mass")
+	}
+	// Wrap-around: spike at slot 0 spreads to the last slot.
+	wrap := DailyProfile{Values: linalg.Vector{12, 0, 0, 0, 0, 0}, Clock: clock7}
+	sw := wrap.Smooth(3)
+	if math.Abs(sw.Values[5]-4) > 1e-9 {
+		t.Errorf("wrap-around smoothing failed: %v", sw.Values)
+	}
+}
+
+func TestWeekdayWeekendRatio(t *testing.T) {
+	// Weekdays carry twice the weekend traffic uniformly.
+	traffic := synthWeek(func(hour float64, weekend bool) float64 {
+		if weekend {
+			return 1
+		}
+		return 2
+	})
+	r, err := WeekdayWeekendRatio(traffic, clock7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-2) > 1e-9 {
+		t.Errorf("ratio = %g, want 2", r)
+	}
+	if _, err := WeekdayWeekendRatio(nil, clock7); !errors.Is(err, ErrEmptySignal) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := WeekdayWeekendRatio(make(linalg.Vector, 100), clock7); err == nil {
+		t.Error("non-whole-day should fail")
+	}
+	// Only weekdays in the window → error.
+	short := make(linalg.Vector, 144)
+	if _, err := WeekdayWeekendRatio(short, clock7); err == nil {
+		t.Error("window without weekend days should fail")
+	}
+	// Zero weekend traffic → error.
+	zeroWE := synthWeek(func(hour float64, weekend bool) float64 {
+		if weekend {
+			return 0
+		}
+		return 1
+	})
+	if _, err := WeekdayWeekendRatio(zeroWE, clock7); err == nil {
+		t.Error("zero weekend traffic should fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	traffic := synthWeek(func(hour float64, weekend bool) float64 {
+		base := 2.0
+		if hour >= 10 && hour < 12 {
+			base = 50
+		}
+		if weekend {
+			return base * 0.5
+		}
+		return base
+	})
+	s, err := Summarize(traffic, clock7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.WeekdayWeekendRatio-2) > 1e-6 {
+		t.Errorf("ratio = %g, want 2", s.WeekdayWeekendRatio)
+	}
+	if s.Weekday.PeakHour < 9.5 || s.Weekday.PeakHour > 12.5 {
+		t.Errorf("weekday peak hour = %g, want ~10-12", s.Weekday.PeakHour)
+	}
+	if s.Weekday.MaxTraffic <= s.Weekend.MaxTraffic {
+		t.Error("weekday peak should exceed weekend peak")
+	}
+	if _, err := Summarize(nil, clock7, 3); err == nil {
+		t.Error("empty summarize should fail")
+	}
+}
+
+func TestPeakLagHours(t *testing.T) {
+	mk := func(peakHour float64) DailyProfile {
+		v := make(linalg.Vector, 144)
+		v[int(peakHour*6)] = 10
+		return DailyProfile{Values: v, Clock: clock7}
+	}
+	// Residential peak at 21:30 trails a transport evening peak at 18:00
+	// by 3.5 hours.
+	lag := PeakLagHours(mk(18), mk(21.5))
+	if math.Abs(lag-3.5) > 0.2 {
+		t.Errorf("lag = %g, want ~3.5", lag)
+	}
+	// Circular wrap: 23:00 → 1:00 is +2 hours, not -22.
+	lag = PeakLagHours(mk(23), mk(1))
+	if math.Abs(lag-2) > 0.2 {
+		t.Errorf("wrapped lag = %g, want ~2", lag)
+	}
+	lag = PeakLagHours(mk(1), mk(23))
+	if math.Abs(lag+2) > 0.2 {
+		t.Errorf("wrapped negative lag = %g, want ~-2", lag)
+	}
+}
+
+func TestProfileCorrelation(t *testing.T) {
+	a := DailyProfile{Values: linalg.Vector{1, 2, 3, 4}, Clock: clock7}
+	b := DailyProfile{Values: linalg.Vector{2, 4, 6, 8}, Clock: clock7}
+	r, err := ProfileCorrelation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("correlation = %g, want 1", r)
+	}
+	c := DailyProfile{Values: linalg.Vector{4, 3, 2, 1}, Clock: clock7}
+	r, _ = ProfileCorrelation(a, c)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("anticorrelation = %g, want -1", r)
+	}
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// CleanStats summarises what the preprocessing stage removed or repaired.
+type CleanStats struct {
+	// Input is the number of records before cleaning.
+	Input int
+	// Invalid is the number of records dropped for failing validation
+	// (negative bytes, reversed intervals, unknown technology, ...).
+	Invalid int
+	// Duplicates is the number of exact duplicate records removed.
+	Duplicates int
+	// Conflicts is the number of conflicting records merged (same user,
+	// tower and interval but different byte counts).
+	Conflicts int
+	// Output is the number of records that survive cleaning.
+	Output int
+}
+
+// Clean performs the first preprocessing step of Section 2.2: it drops
+// structurally invalid records, removes exact duplicates and resolves
+// conflicting logs. Conflicting copies of the same logical connection are
+// merged by keeping the largest byte count, the conservative choice an
+// operator makes when the same session was exported twice with partial
+// counters. The returned slice is sorted by start time, then tower, then
+// user, giving the pipeline a deterministic order.
+func Clean(records []Record) ([]Record, CleanStats) {
+	stats := CleanStats{Input: len(records)}
+	best := make(map[key]Record, len(records))
+	for _, r := range records {
+		if err := r.Validate(); err != nil {
+			stats.Invalid++
+			continue
+		}
+		k := r.key()
+		prev, seen := best[k]
+		if !seen {
+			best[k] = r
+			continue
+		}
+		if prev.Bytes == r.Bytes {
+			stats.Duplicates++
+			continue
+		}
+		stats.Conflicts++
+		if r.Bytes > prev.Bytes {
+			best[k] = r
+		}
+	}
+	out := make([]Record, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		if out[i].TowerID != out[j].TowerID {
+			return out[i].TowerID < out[j].TowerID
+		}
+		if out[i].UserID != out[j].UserID {
+			return out[i].UserID < out[j].UserID
+		}
+		return out[i].Bytes < out[j].Bytes
+	})
+	stats.Output = len(out)
+	return out, stats
+}
+
+// ResolveTowers performs the second preprocessing step: it collects the
+// distinct towers appearing in the records and resolves their addresses to
+// coordinates through the geocoder (the offline stand-in for the Baidu Map
+// API). Towers whose address cannot be resolved are reported with
+// Resolved=false so the caller can decide whether to drop them.
+func ResolveTowers(records []Record, geocoder *geo.Geocoder) ([]TowerInfo, error) {
+	if geocoder == nil {
+		return nil, fmt.Errorf("trace: nil geocoder")
+	}
+	addr := make(map[int]string)
+	for _, r := range records {
+		if _, ok := addr[r.TowerID]; !ok {
+			addr[r.TowerID] = r.Address
+		}
+	}
+	ids := make([]int, 0, len(addr))
+	for id := range addr {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]TowerInfo, 0, len(ids))
+	for _, id := range ids {
+		info := TowerInfo{TowerID: id, Address: addr[id]}
+		if p, err := geocoder.Resolve(info.Address); err == nil {
+			info.Location = p
+			info.Resolved = true
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// TrafficDensity performs the third preprocessing step: it rasterises the
+// per-tower traffic onto a grid over the city bounding box and returns the
+// grid populated with bytes, from which Densities() yields bytes per km².
+// Records belonging to towers without a resolved location are skipped and
+// counted.
+func TrafficDensity(records []Record, towers []TowerInfo, box geo.BoundingBox, rows, cols int) (*geo.Grid, int, error) {
+	grid, err := geo.NewGrid(box, rows, cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	loc := make(map[int]geo.Point, len(towers))
+	for _, t := range towers {
+		if t.Resolved {
+			loc[t.TowerID] = t.Location
+		}
+	}
+	skipped := 0
+	for _, r := range records {
+		p, ok := loc[r.TowerID]
+		if !ok {
+			skipped++
+			continue
+		}
+		if !grid.Add(p, float64(r.Bytes)) {
+			skipped++
+		}
+	}
+	return grid, skipped, nil
+}

@@ -1,0 +1,178 @@
+// Package trace models the raw cellular connection logs (CDR-style
+// records) and implements the preprocessing stage of Section 2.2 of the
+// paper: eliminating redundant and conflicting logs, completing tower
+// location information through the geocoder, and computing spatial traffic
+// density.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Technology is the radio access technology of a connection.
+type Technology string
+
+// Supported technologies.
+const (
+	Tech3G  Technology = "3G"
+	TechLTE Technology = "LTE"
+)
+
+// Record is a single connection log entry, mirroring the fields of the
+// paper's dataset: anonymised device ID, start and end time of the data
+// connection, base-station ID and address, and the bytes transferred.
+type Record struct {
+	UserID  int
+	Start   time.Time
+	End     time.Time
+	TowerID int
+	Address string
+	Bytes   int64
+	Tech    Technology
+}
+
+// Validate checks the record for structurally impossible values.
+func (r Record) Validate() error {
+	switch {
+	case r.UserID < 0:
+		return fmt.Errorf("trace: negative user id %d", r.UserID)
+	case r.TowerID < 0:
+		return fmt.Errorf("trace: negative tower id %d", r.TowerID)
+	case r.Bytes < 0:
+		return fmt.Errorf("trace: negative byte count %d", r.Bytes)
+	case r.Start.IsZero() || r.End.IsZero():
+		return errors.New("trace: zero timestamp")
+	case r.End.Before(r.Start):
+		return fmt.Errorf("trace: end %v before start %v", r.End, r.Start)
+	case r.Tech != Tech3G && r.Tech != TechLTE:
+		return fmt.Errorf("trace: unknown technology %q", r.Tech)
+	}
+	return nil
+}
+
+// key identifies the logical connection a record describes. Two records
+// with the same key are either duplicates (same bytes) or conflicting
+// copies (different bytes).
+type key struct {
+	userID  int
+	towerID int
+	start   int64
+	end     int64
+}
+
+func (r Record) key() key {
+	return key{userID: r.UserID, towerID: r.TowerID, start: r.Start.UnixNano(), end: r.End.UnixNano()}
+}
+
+const timeLayout = time.RFC3339
+
+// csvHeader is the column layout used by WriteCSV and ReadCSV.
+var csvHeader = []string{"user_id", "start", "end", "tower_id", "address", "bytes", "tech"}
+
+// WriteCSV writes the records to w as CSV with a header row.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for i, r := range records {
+		row[0] = strconv.Itoa(r.UserID)
+		row[1] = r.Start.Format(timeLayout)
+		row[2] = r.End.Format(timeLayout)
+		row[3] = strconv.Itoa(r.TowerID)
+		row[4] = r.Address
+		row[5] = strconv.FormatInt(r.Bytes, 10)
+		row[6] = string(r.Tech)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records written by WriteCSV. Rows that fail to parse are
+// returned as a count of skipped rows rather than aborting the whole read,
+// mirroring how a production pipeline tolerates malformed log lines.
+func ReadCSV(r io.Reader) (records []Record, skipped int, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) != len(csvHeader) || header[0] != csvHeader[0] {
+		return nil, 0, fmt.Errorf("trace: unexpected header %v", header)
+	}
+	for {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			// Structurally broken CSV row: count and continue.
+			skipped++
+			continue
+		}
+		rec, perr := parseRow(row)
+		if perr != nil {
+			skipped++
+			continue
+		}
+		records = append(records, rec)
+	}
+	return records, skipped, nil
+}
+
+func parseRow(row []string) (Record, error) {
+	userID, err := strconv.Atoi(row[0])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: user id: %w", err)
+	}
+	start, err := time.Parse(timeLayout, row[1])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: start: %w", err)
+	}
+	end, err := time.Parse(timeLayout, row[2])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: end: %w", err)
+	}
+	towerID, err := strconv.Atoi(row[3])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: tower id: %w", err)
+	}
+	bytes, err := strconv.ParseInt(row[5], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bytes: %w", err)
+	}
+	rec := Record{
+		UserID:  userID,
+		Start:   start,
+		End:     end,
+		TowerID: towerID,
+		Address: row[4],
+		Bytes:   bytes,
+		Tech:    Technology(row[6]),
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// TowerInfo is the per-tower metadata recovered during preprocessing.
+type TowerInfo struct {
+	TowerID  int
+	Address  string
+	Location geo.Point
+	// Resolved reports whether the address was successfully geocoded.
+	Resolved bool
+}

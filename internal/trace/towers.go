@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/geo"
+)
+
+// towersHeader is the column layout of the tower metadata file.
+var towersHeader = []string{"tower_id", "address", "lat", "lon"}
+
+// WriteTowersCSV writes tower metadata (ID, address, coordinates) as CSV.
+// It is the on-disk form of the base-station registry the paper obtained by
+// geocoding addresses.
+func WriteTowersCSV(w io.Writer, towers []TowerInfo) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(towersHeader); err != nil {
+		return fmt.Errorf("trace: writing towers header: %w", err)
+	}
+	for _, t := range towers {
+		row := []string{
+			strconv.Itoa(t.TowerID),
+			t.Address,
+			strconv.FormatFloat(t.Location.Lat, 'f', 6, 64),
+			strconv.FormatFloat(t.Location.Lon, 'f', 6, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing tower %d: %w", t.TowerID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTowersCSV parses tower metadata written by WriteTowersCSV and returns
+// the towers plus a geocoder populated with their addresses (so the
+// preprocessing stage can resolve addresses exactly as it would against the
+// online map service).
+func ReadTowersCSV(r io.Reader) ([]TowerInfo, *geo.Geocoder, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(towersHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: reading towers header: %w", err)
+	}
+	if len(header) != len(towersHeader) || header[0] != towersHeader[0] {
+		return nil, nil, fmt.Errorf("trace: unexpected towers header %v", header)
+	}
+	geocoder := geo.NewGeocoder()
+	var out []TowerInfo
+	for {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: reading tower row: %w", err)
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: tower id %q: %w", row[0], err)
+		}
+		lat, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: tower %d latitude: %w", id, err)
+		}
+		lon, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: tower %d longitude: %w", id, err)
+		}
+		info := TowerInfo{
+			TowerID:  id,
+			Address:  row[1],
+			Location: geo.Point{Lat: lat, Lon: lon},
+			Resolved: true,
+		}
+		if err := geocoder.Register(info.Address, info.Location); err != nil {
+			return nil, nil, fmt.Errorf("trace: registering tower %d: %w", id, err)
+		}
+		out = append(out, info)
+	}
+	return out, geocoder, nil
+}
+
+// CSVWriter streams records to CSV without holding them in memory, for
+// full-scale trace generation.
+type CSVWriter struct {
+	cw     *csv.Writer
+	row    []string
+	wrote  int
+	header bool
+}
+
+// NewCSVWriter returns a streaming CSV writer targeting w.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w), row: make([]string, len(csvHeader))}
+}
+
+// Write appends one record, emitting the header first if needed.
+func (w *CSVWriter) Write(r Record) error {
+	if !w.header {
+		if err := w.cw.Write(csvHeader); err != nil {
+			return fmt.Errorf("trace: writing header: %w", err)
+		}
+		w.header = true
+	}
+	w.row[0] = strconv.Itoa(r.UserID)
+	w.row[1] = r.Start.Format(timeLayout)
+	w.row[2] = r.End.Format(timeLayout)
+	w.row[3] = strconv.Itoa(r.TowerID)
+	w.row[4] = r.Address
+	w.row[5] = strconv.FormatInt(r.Bytes, 10)
+	w.row[6] = string(r.Tech)
+	if err := w.cw.Write(w.row); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	w.wrote++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *CSVWriter) Count() int { return w.wrote }
+
+// Flush flushes buffered rows and returns any write error.
+func (w *CSVWriter) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
