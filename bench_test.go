@@ -2,8 +2,9 @@ package repro
 
 // bench_test.go is the repository-level benchmark harness: one benchmark
 // per table and figure of the paper's evaluation (driving the same runners
-// as cmd/experiments), plus the end-to-end pipeline stages and the ablation
-// studies listed in DESIGN.md §5.
+// as cmd/experiments), plus the end-to-end pipeline stages, the
+// slice-vs-streaming ingestion comparison and the ablation studies (see
+// README.md for the package map).
 //
 // Run everything with:
 //
@@ -25,7 +26,9 @@ import (
 	"repro/internal/forecast"
 	"repro/internal/label"
 	"repro/internal/nmf"
+	"repro/internal/pipeline"
 	"repro/internal/synth"
+	"repro/internal/trace"
 )
 
 var (
@@ -143,7 +146,70 @@ func BenchmarkPipeline_FullAnalysis(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §5) --------------------------------------------
+// --- Slice vs streaming ingestion ----------------------------------------
+
+// ingestCity builds a small city and its ground-truth series for the
+// ingestion benchmarks; the CDR log it emits has duplicates and conflicts
+// for the cleaner to remove.
+func ingestCity(b *testing.B) (*synth.City, []synth.TowerSeries, pipeline.VectorizerOptions) {
+	b.Helper()
+	cfg := synth.SmallConfig()
+	cfg.Towers = 120
+	cfg.Users = 1000
+	cfg.Days = 7
+	city, err := synth.GenerateCity(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	series, err := city.GenerateSeries()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return city, series, pipeline.VectorizerOptions{
+		Start:       cfg.Start,
+		Days:        cfg.Days,
+		SlotMinutes: cfg.SlotMinutes,
+	}
+}
+
+// BenchmarkIngest_CityLogsSlice measures the materialised ingestion path:
+// emit the full CDR log as a slice, batch-clean it, vectorise the
+// records. Allocations grow with the number of records.
+func BenchmarkIngest_CityLogsSlice(b *testing.B) {
+	city, series, vopts := ingestCity(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		records, err := city.GenerateLogs(series, synth.LogOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cleaned, _ := trace.Clean(records)
+		if _, err := pipeline.VectorizeRecords(cleaned, city.TowerInfos(), vopts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngest_CityLogsStream measures the same workload through the
+// streaming ingestion layer: the log source feeds the single-pass cleaner
+// and the sharded vectorizer record by record, so allocations stay at
+// O(towers × slots) regardless of trace length.
+func BenchmarkIngest_CityLogsStream(b *testing.B) {
+	city, series, vopts := ingestCity(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := city.LogSource(series, synth.LogOptions{})
+		cleaned := trace.CleanSource(src)
+		if _, err := pipeline.VectorizeSource(cleaned, city.TowerInfos(), vopts); err != nil {
+			b.Fatal(err)
+		}
+		src.Close()
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
 
 // BenchmarkAblation_Linkage compares the three linkage criteria on the same
 // dataset, reporting the Davies-Bouldin index each achieves at K=5.

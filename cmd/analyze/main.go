@@ -5,10 +5,17 @@
 // characteristics (Tables 4 and 5) and the convex-combination coefficients
 // of a few comprehensive towers (Table 6).
 //
+// Trace directories are ingested with streaming file I/O end-to-end: the
+// logs are cleaned and vectorised one record at a time, so no record
+// slice is ever materialised. Memory is towers × slots for the vectorizer
+// plus the cleaner's dedup state (~40 bytes per distinct connection, or a
+// hard bound when -dedup-window is set).
+//
 // Examples:
 //
 //	analyze -trace ./trace
 //	analyze -synthetic -towers 600 -days 28
+//	analyze -synthetic -stream -towers 400 -days 28
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pipeline"
@@ -35,65 +43,127 @@ func main() {
 	var (
 		traceDir  = flag.String("trace", "", "trace directory produced by gentrace (towers.csv, poi.csv, logs.csv)")
 		synthetic = flag.Bool("synthetic", false, "skip the trace files and analyse an in-memory synthetic city")
+		stream    = flag.Bool("stream", false, "with -synthetic, ingest the city's CDR log through the full streaming path instead of the pre-aggregated series fast path")
 		towers    = flag.Int("towers", 600, "towers for -synthetic")
 		days      = flag.Int("days", 28, "days for -synthetic")
 		seed      = flag.Int64("seed", 1, "seed for -synthetic")
 		clusters  = flag.Int("k", 0, "force the number of clusters (0 = pick by Davies-Bouldin index)")
+		window    = flag.Int("dedup-window", 0, "bound the streaming cleaner's dedup state to ~this many recent records (0 = exact, unbounded); copies of a connection arriving further apart than the window are not deduplicated")
 	)
 	flag.Parse()
 
-	if err := run(*traceDir, *synthetic, *towers, *days, *seed, *clusters); err != nil {
+	if err := run(*traceDir, *synthetic, *stream, *towers, *days, *seed, *clusters, *window); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(traceDir string, synthetic bool, towers, days int, seed int64, forceK int) error {
+func run(traceDir string, synthetic, stream bool, towers, days int, seed int64, forceK, dedupWindow int) error {
+	opts := core.Options{ForceK: forceK, CleanWindow: dedupWindow}
 	var (
-		ds   *pipeline.Dataset
-		pois []poi.POI
-		err  error
+		res *core.Result
+		err error
 	)
 	switch {
 	case synthetic:
-		cfg := synth.DefaultConfig()
-		cfg.Towers = towers
-		cfg.Days = days
-		cfg.Seed = seed
-		city, cerr := synth.GenerateCity(cfg)
-		if cerr != nil {
-			return fmt.Errorf("generating city: %w", cerr)
-		}
-		ds, err = city.BuildDataset()
-		if err != nil {
-			return fmt.Errorf("building dataset: %w", err)
-		}
-		pois = city.POIs
+		res, err = runSynthetic(towers, days, seed, stream, opts)
 	case traceDir != "":
-		ds, pois, err = loadTrace(traceDir)
-		if err != nil {
-			return err
-		}
+		res, err = runTrace(traceDir, opts)
 	default:
 		return fmt.Errorf("either -trace or -synthetic is required")
 	}
-
-	res, err := core.Analyze(ds, pois, core.Options{ForceK: forceK})
 	if err != nil {
-		return fmt.Errorf("analysing: %w", err)
+		return err
 	}
 	printResult(res)
 	return nil
 }
 
-// loadTrace reads a gentrace output directory, cleans the logs and
-// vectorises them.
-func loadTrace(dir string) (*pipeline.Dataset, []poi.POI, error) {
+// runSynthetic analyses an in-memory city: by default through the
+// pre-aggregated series fast path, or with stream=true by emitting the
+// CDR log record by record through the streaming cleaner and vectorizer.
+func runSynthetic(towers, days int, seed int64, stream bool, opts core.Options) (*core.Result, error) {
+	cfg := synth.DefaultConfig()
+	cfg.Towers = towers
+	cfg.Days = days
+	cfg.Seed = seed
+	city, err := synth.GenerateCity(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("generating city: %w", err)
+	}
+	if !stream {
+		ds, err := city.BuildDataset()
+		if err != nil {
+			return nil, fmt.Errorf("building dataset: %w", err)
+		}
+		return core.Analyze(ds, city.POIs, opts)
+	}
+	series, err := city.GenerateSeries()
+	if err != nil {
+		return nil, fmt.Errorf("generating traffic series: %w", err)
+	}
+	src := city.LogSource(series, synth.LogOptions{})
+	defer src.Close()
+	res, stats, err := core.AnalyzeSource(src, city.TowerInfos(), city.POIs, pipeline.VectorizerOptions{
+		Start:       cfg.Start,
+		Days:        cfg.Days,
+		SlotMinutes: cfg.SlotMinutes,
+	}, opts)
+	if err != nil {
+		return nil, fmt.Errorf("analysing stream: %w", err)
+	}
+	logCleanStats(stats)
+	return res, nil
+}
+
+// runTrace analyses a gentrace output directory with streaming file I/O
+// end-to-end: the logs are scanned once to derive the aggregation window
+// and then streamed through the cleaner and vectorizer, so the full
+// record slice is never held in memory.
+func runTrace(dir string, opts core.Options) (*core.Result, error) {
+	towers, pois, err := loadMetadata(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	logsPath := filepath.Join(dir, "logs.csv")
+	start, days, err := scanWindow(logsPath)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("aggregation window: %d days from %s", days, start.Format(time.RFC3339))
+
+	logsFile, err := os.Open(logsPath)
+	if err != nil {
+		return nil, fmt.Errorf("opening logs.csv: %w", err)
+	}
+	defer logsFile.Close()
+	src, err := trace.NewCSVReader(bufio.NewReaderSize(logsFile, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	res, stats, err := core.AnalyzeSource(src, towers, pois, pipeline.VectorizerOptions{
+		Start: start,
+		Days:  days,
+	}, opts)
+	if err != nil {
+		return nil, fmt.Errorf("analysing %s: %w", dir, err)
+	}
+	log.Printf("streamed %d records (%d malformed rows skipped)", stats.Input, src.Skipped())
+	logCleanStats(stats)
+	ds := res.Dataset
+	log.Printf("vectorised %d towers × %d slots (%d days)", ds.NumTowers(), ds.NumSlots(), ds.Days)
+	return res, nil
+}
+
+// loadMetadata reads the small per-city files: tower metadata and the POI
+// inventory.
+func loadMetadata(dir string) ([]trace.TowerInfo, []poi.POI, error) {
 	towersFile, err := os.Open(filepath.Join(dir, "towers.csv"))
 	if err != nil {
 		return nil, nil, fmt.Errorf("opening towers.csv: %w", err)
 	}
 	defer towersFile.Close()
-	towers, geocoder, err := trace.ReadTowersCSV(bufio.NewReader(towersFile))
+	towers, _, err := trace.ReadTowersCSV(bufio.NewReader(towersFile))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -109,53 +179,52 @@ func loadTrace(dir string) (*pipeline.Dataset, []poi.POI, error) {
 		return nil, nil, err
 	}
 	log.Printf("loaded %d POIs", len(pois))
+	return towers, pois, nil
+}
 
-	logsFile, err := os.Open(filepath.Join(dir, "logs.csv"))
+// scanWindow streams the log once to find the time span of the valid
+// records, returning the midnight-aligned start and the number of days
+// covered. This first pass holds no records: only the running min and max.
+func scanWindow(path string) (time.Time, int, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("opening logs.csv: %w", err)
+		return time.Time{}, 0, fmt.Errorf("opening logs.csv: %w", err)
 	}
-	defer logsFile.Close()
-	records, skipped, err := trace.ReadCSV(bufio.NewReaderSize(logsFile, 1<<20))
+	defer f.Close()
+	src, err := trace.NewCSVReader(bufio.NewReaderSize(f, 1<<20))
 	if err != nil {
-		return nil, nil, err
+		return time.Time{}, 0, err
 	}
-	log.Printf("loaded %d records (%d malformed rows skipped)", len(records), skipped)
-
-	cleaned, stats := trace.Clean(records)
-	log.Printf("cleaning: %d in, %d invalid, %d duplicates, %d conflicts, %d out",
-		stats.Input, stats.Invalid, stats.Duplicates, stats.Conflicts, stats.Output)
-
-	resolved, err := trace.ResolveTowers(cleaned, geocoder)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	// Derive the time window from the records.
-	if len(cleaned) == 0 {
-		return nil, nil, fmt.Errorf("no usable records in %s", dir)
-	}
-	start := cleaned[0].Start
-	end := cleaned[0].End
-	for _, r := range cleaned {
-		if r.Start.Before(start) {
-			start = r.Start
+	var start, end time.Time
+	n := 0
+	err = trace.ForEach(src, func(r trace.Record) error {
+		if n == 0 {
+			start, end = r.Start, r.End
+		} else {
+			if r.Start.Before(start) {
+				start = r.Start
+			}
+			if r.End.After(end) {
+				end = r.End
+			}
 		}
-		if r.End.After(end) {
-			end = r.End
-		}
-	}
-	start = start.Truncate(24 * 3600e9)
-	daysCovered := int(end.Sub(start).Hours()/24) + 1
-
-	ds, err := pipeline.VectorizeRecords(cleaned, resolved, pipeline.VectorizerOptions{
-		Start: start,
-		Days:  daysCovered,
+		n++
+		return nil
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("vectorizing: %w", err)
+		return time.Time{}, 0, err
 	}
-	log.Printf("vectorised %d towers × %d slots (%d days)", ds.NumTowers(), ds.NumSlots(), ds.Days)
-	return ds, pois, nil
+	if n == 0 {
+		return time.Time{}, 0, fmt.Errorf("no usable records in %s", path)
+	}
+	start = start.Truncate(24 * time.Hour)
+	days := int(end.Sub(start).Hours()/24) + 1
+	return start, days, nil
+}
+
+func logCleanStats(stats trace.CleanStats) {
+	log.Printf("cleaning: %d in, %d invalid, %d duplicates, %d conflicts, %d forwarded",
+		stats.Input, stats.Invalid, stats.Duplicates, stats.Conflicts, stats.Output)
 }
 
 func printResult(res *core.Result) {

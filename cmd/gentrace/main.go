@@ -72,15 +72,18 @@ func run(out string, towers, users, days int, seed int64) error {
 	}
 	log.Printf("wrote %d POIs", len(city.POIs))
 
-	// Connection logs (streamed).
+	// Connection logs: streamed from the generator source to the CSV
+	// writer one record at a time, never materialised.
 	series, err := city.GenerateSeries()
 	if err != nil {
 		return fmt.Errorf("generating traffic series: %w", err)
 	}
 	var count int
 	if err := writeFile(filepath.Join(out, "logs.csv"), func(w *bufio.Writer) error {
+		src := city.LogSource(series, synth.LogOptions{})
+		defer src.Close()
 		cw := trace.NewCSVWriter(w)
-		if err := city.GenerateLogsFunc(series, synth.LogOptions{}, cw.Write); err != nil {
+		if err := trace.ForEach(src, cw.Write); err != nil {
 			return err
 		}
 		count = cw.Count()

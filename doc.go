@@ -3,16 +3,17 @@
 // (Wang et al., ACM IMC 2015).
 //
 // The implementation lives under internal/: the synthetic city and trace
-// generator (internal/synth), the preprocessing and vectorisation pipeline
-// (internal/trace, internal/pipeline), the pattern identifier and metric
-// tuner (internal/cluster), the geographical labelling (internal/poi,
-// internal/label), the time- and frequency-domain analyses
+// generator (internal/synth), the streaming ingestion and vectorisation
+// pipeline (internal/trace, internal/pipeline), the pattern identifier and
+// metric tuner (internal/cluster), the geographical labelling
+// (internal/poi, internal/label), the time- and frequency-domain analyses
 // (internal/timedomain, internal/freqdomain) and the orchestration model
-// (internal/core). The benchmark harness that regenerates every table and
-// figure of the paper is internal/experiments, driven by cmd/experiments
-// and by the benchmarks in bench_test.go at the repository root.
+// (internal/core, with Analyze for in-memory datasets and AnalyzeSource
+// for record streams). The benchmark harness that regenerates every table
+// and figure of the paper is internal/experiments, driven by
+// cmd/experiments and by the benchmarks in bench_test.go at the repository
+// root.
 //
-// See README.md for a walkthrough, DESIGN.md for the system inventory and
-// the per-experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results.
+// See README.md for a quickstart, the package map and guidance on the
+// streaming vs. slice ingestion APIs.
 package repro

@@ -46,6 +46,13 @@ type Options struct {
 	// RepOptions tune the representative-tower search of the
 	// frequency-domain stage.
 	RepOptions freqdomain.RepOptions
+	// CleanWindow bounds the streaming cleaner's dedup state when the
+	// pipeline is entered through AnalyzeSource: state is kept for at
+	// least the most recent CleanWindow records (see
+	// trace.NewCleanerWindow). Zero keeps exact, unbounded dedup state
+	// (~40 bytes per distinct connection). Ignored by Analyze, which
+	// takes an already-vectorised dataset.
+	CleanWindow int
 }
 
 func (o Options) withDefaults() Options {

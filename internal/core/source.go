@@ -1,0 +1,41 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/poi"
+	"repro/internal/trace"
+)
+
+// AnalyzeSource runs the full pipeline straight from a record stream: the
+// records are cleaned in a single pass by the streaming Cleaner, sharded
+// into per-tower traffic vectors by the streaming vectorizer, and the
+// resulting dataset is analysed exactly as Analyze would. At no point is
+// the record slice materialised: the vectorizer holds O(towers × slots)
+// accumulators, and the cleaner holds ~40 bytes per distinct connection
+// key — or, with opts.CleanWindow set, a bounded O(window) of dedup
+// state, which is what makes arbitrarily long traces ingestible (the
+// shape the paper's Hadoop deployment relies on to process billions of
+// logs).
+//
+// towers supplies the resolved tower locations (typically from
+// trace.ReadTowersCSV); towers appearing in the stream but absent from it
+// simply get a zero location, as with VectorizeRecords. The returned
+// CleanStats describe what the streaming cleaner removed or amended.
+func AnalyzeSource(src trace.Source, towers []trace.TowerInfo, pois []poi.POI, vopts pipeline.VectorizerOptions, opts Options) (*Result, trace.CleanStats, error) {
+	if src == nil {
+		return nil, trace.CleanStats{}, errors.New("core: nil source")
+	}
+	cleaned := trace.CleanSourceWindow(src, opts.CleanWindow)
+	ds, err := pipeline.VectorizeSource(cleaned, towers, vopts)
+	if err != nil {
+		return nil, cleaned.Stats(), fmt.Errorf("core: vectorizing stream: %w", err)
+	}
+	res, err := Analyze(ds, pois, opts)
+	if err != nil {
+		return nil, cleaned.Stats(), err
+	}
+	return res, cleaned.Stats(), nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestAnalyzeSourceMatchesBatchPath checks that the fully streaming entry
+// point (log source → streaming cleaner → sharded vectorizer → Analyze)
+// produces the same analysis as the materialised batch path over the same
+// synthetic city.
+func TestAnalyzeSourceMatchesBatchPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming end-to-end path is slow; skipped with -short")
+	}
+	cfg := synth.SmallConfig()
+	cfg.Towers = 60
+	cfg.Users = 400
+	cfg.Days = 7
+	cfg.Seed = 3
+	city, err := synth.GenerateCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := city.GenerateSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vopts := pipeline.VectorizerOptions{
+		Start:       cfg.Start,
+		Days:        cfg.Days,
+		SlotMinutes: cfg.SlotMinutes,
+	}
+	opts := Options{ForceK: 5}
+
+	// Batch path.
+	records, err := city.GenerateLogs(series, synth.LogOptions{MaxRecordsPerSlot: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleaned, batchStats := trace.Clean(records)
+	wantDS, err := pipeline.VectorizeRecords(cleaned, city.TowerInfos(), vopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Analyze(wantDS, city.POIs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming path.
+	src := city.LogSource(series, synth.LogOptions{MaxRecordsPerSlot: 2})
+	defer src.Close()
+	got, stats, err := AnalyzeSource(src, city.TowerInfos(), city.POIs, vopts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if stats.Input != batchStats.Input || stats.Invalid != batchStats.Invalid ||
+		stats.Duplicates != batchStats.Duplicates || stats.Conflicts != batchStats.Conflicts {
+		t.Errorf("clean stats differ: stream %+v vs batch %+v", stats, batchStats)
+	}
+	if got.Dataset.NumTowers() != want.Dataset.NumTowers() {
+		t.Fatalf("towers: %d vs %d", got.Dataset.NumTowers(), want.Dataset.NumTowers())
+	}
+	for i := range want.Dataset.Raw {
+		for j := range want.Dataset.Raw[i] {
+			if got.Dataset.Raw[i][j] != want.Dataset.Raw[i][j] {
+				t.Fatalf("raw[%d][%d]: %g vs %g", i, j, got.Dataset.Raw[i][j], want.Dataset.Raw[i][j])
+			}
+		}
+	}
+	if got.OptimalK != want.OptimalK {
+		t.Errorf("OptimalK: %d vs %d", got.OptimalK, want.OptimalK)
+	}
+	if len(got.Assignment.Labels) != len(want.Assignment.Labels) {
+		t.Fatalf("assignment sizes differ")
+	}
+	for i := range want.Assignment.Labels {
+		if got.Assignment.Labels[i] != want.Assignment.Labels[i] {
+			t.Errorf("row %d assigned to cluster %d vs %d", i, got.Assignment.Labels[i], want.Assignment.Labels[i])
+			break
+		}
+	}
+	for c := range want.ClusterLabels {
+		if got.ClusterLabels[c] != want.ClusterLabels[c] {
+			t.Errorf("cluster %d labelled %v vs %v", c, got.ClusterLabels[c], want.ClusterLabels[c])
+		}
+	}
+}
+
+func TestAnalyzeSourceErrors(t *testing.T) {
+	if _, _, err := AnalyzeSource(nil, nil, nil, pipeline.VectorizerOptions{}, Options{}); err == nil {
+		t.Error("nil source should fail")
+	}
+	boom := errors.New("boom")
+	src := trace.SourceFunc(func() (trace.Record, error) { return trace.Record{}, boom })
+	if _, _, err := AnalyzeSource(src, nil, nil, pipeline.VectorizerOptions{}, Options{}); err == nil {
+		t.Error("source error should fail the analysis")
+	}
+}

@@ -160,11 +160,11 @@ func TestPointIndexWithin(t *testing.T) {
 	// ~0.001 degree latitude ≈ 111 m.
 	points := []Point{
 		center,
-		{Lat: 31.2005, Lon: 121.4},  // ~55 m
-		{Lat: 31.2020, Lon: 121.4},  // ~222 m
-		{Lat: 31.2100, Lon: 121.4},  // ~1.1 km
-		{Lat: 31.2, Lon: 121.4010},  // ~95 m
-		{Lat: 31.25, Lon: 121.45},   // far
+		{Lat: 31.2005, Lon: 121.4}, // ~55 m
+		{Lat: 31.2020, Lon: 121.4}, // ~222 m
+		{Lat: 31.2100, Lon: 121.4}, // ~1.1 km
+		{Lat: 31.2, Lon: 121.4010}, // ~95 m
+		{Lat: 31.25, Lon: 121.45},  // far
 	}
 	idx, err := NewPointIndex(points, 200)
 	if err != nil {

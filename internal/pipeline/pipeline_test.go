@@ -31,10 +31,10 @@ func rec(towerID, userID int, at time.Time, bytes int64) trace.Record {
 
 func TestVectorizeRecordsBasic(t *testing.T) {
 	records := []trace.Record{
-		rec(1, 10, start.Add(5*time.Minute), 100),              // slot 0
-		rec(1, 11, start.Add(12*time.Minute), 50),               // slot 1
+		rec(1, 10, start.Add(5*time.Minute), 100),                // slot 0
+		rec(1, 11, start.Add(12*time.Minute), 50),                // slot 1
 		rec(1, 12, start.Add(12*time.Minute+30*time.Second), 25), // slot 1
-		rec(2, 13, start.Add(24*time.Hour), 999),                // day 2, slot 144
+		rec(2, 13, start.Add(24*time.Hour), 999),                 // day 2, slot 144
 	}
 	towers := []trace.TowerInfo{
 		{TowerID: 1, Location: geo.Point{Lat: 31.2, Lon: 121.5}, Resolved: true},
@@ -79,9 +79,9 @@ func TestVectorizeRecordsBasic(t *testing.T) {
 
 func TestVectorizeRecordsDropsOutOfWindow(t *testing.T) {
 	records := []trace.Record{
-		rec(1, 1, start.Add(-time.Hour), 100),         // before window
-		rec(1, 1, start.Add(8*24*time.Hour), 100),     // after trimmed window
-		rec(1, 1, start.Add(time.Hour), 7),            // inside
+		rec(1, 1, start.Add(-time.Hour), 100),     // before window
+		rec(1, 1, start.Add(8*24*time.Hour), 100), // after trimmed window
+		rec(1, 1, start.Add(time.Hour), 7),        // inside
 	}
 	ds, err := VectorizeRecords(records, nil, defaultOpts())
 	if err != nil {
@@ -249,7 +249,7 @@ func TestDatasetAccessors(t *testing.T) {
 	if !ds.SlotTime(0).Equal(start) {
 		t.Errorf("SlotTime(0) = %v", ds.SlotTime(0))
 	}
-	if got := ds.SlotTime(144); !got.Equal(start.Add(24*time.Hour)) {
+	if got := ds.SlotTime(144); !got.Equal(start.Add(24 * time.Hour)) {
 		t.Errorf("SlotTime(144) = %v", got)
 	}
 	// start is a Monday; slots of day 5 (Saturday) are weekend.

@@ -1,0 +1,155 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/linalg"
+	"repro/internal/trace"
+)
+
+// sourceBatchSize is the number of records handed to a shard worker at a
+// time. Batching amortises the channel synchronisation over many records
+// while keeping the in-flight working set small and bounded.
+const sourceBatchSize = 512
+
+// VectorizeSource is the streaming form of VectorizeRecords: it pulls
+// records from src one at a time and shards them by tower ID across a
+// worker pool of per-tower slot accumulators. Peak memory is
+// O(towers × slots) for the accumulators plus a bounded number of
+// in-flight record batches — never O(records) — so a trace of any length
+// can be vectorised in constant space per tower.
+//
+// The record stream is typically a trace.CSVReader (possibly wrapped in
+// trace.CleanSource) or a synthetic city's log source. As with
+// VectorizeRecords, a record's bytes are attributed to the slot containing
+// its start time, records outside the aggregation window are dropped, and
+// every tower appearing in the stream gets a row even if all its records
+// fall outside the window.
+func VectorizeSource(src trace.Source, towers []trace.TowerInfo, opts VectorizerOptions) (*Dataset, error) {
+	if src == nil {
+		return nil, fmt.Errorf("pipeline: nil source")
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	days := opts.effectiveDays()
+	slots := days * (1440 / opts.SlotMinutes)
+	end := opts.Start.Add(time.Duration(days) * 24 * time.Hour)
+	slotDur := time.Duration(opts.SlotMinutes) * time.Minute
+
+	workers := opts.Workers
+	shards := make([]map[int]linalg.Vector, workers)
+	chans := make([]chan []trace.Record, workers)
+	// Drained batches return to the free list so steady-state ingestion
+	// reuses a fixed set of buffers instead of allocating per batch.
+	free := make(chan []trace.Record, 4*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		shards[w] = make(map[int]linalg.Vector)
+		chans[w] = make(chan []trace.Record, 2)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := shards[w]
+			for batch := range chans[w] {
+				for _, r := range batch {
+					vec, ok := acc[r.TowerID]
+					if !ok {
+						vec = make(linalg.Vector, slots)
+						acc[r.TowerID] = vec
+					}
+					if r.Start.Before(opts.Start) || !r.Start.Before(end) {
+						continue
+					}
+					vec[int(r.Start.Sub(opts.Start)/slotDur)] += float64(r.Bytes)
+				}
+				select {
+				case free <- batch[:0]:
+				default:
+				}
+			}
+		}(w)
+	}
+
+	newBatch := func() []trace.Record {
+		select {
+		case b := <-free:
+			return b
+		default:
+			return make([]trace.Record, 0, sourceBatchSize)
+		}
+	}
+	pending := make([][]trace.Record, workers)
+	for w := range pending {
+		pending[w] = newBatch()
+	}
+
+	var srcErr error
+	for {
+		r, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			srcErr = err
+			break
+		}
+		w := r.TowerID % workers
+		if w < 0 {
+			w += workers
+		}
+		pending[w] = append(pending[w], r)
+		if len(pending[w]) >= sourceBatchSize {
+			chans[w] <- pending[w]
+			pending[w] = newBatch()
+		}
+	}
+	for w := range chans {
+		if len(pending[w]) > 0 {
+			chans[w] <- pending[w]
+		}
+		close(chans[w])
+	}
+	wg.Wait()
+	if srcErr != nil {
+		return nil, fmt.Errorf("pipeline: reading source: %w", srcErr)
+	}
+
+	// Shards are disjoint by construction (tower → worker is a function),
+	// so the merge is a plain union.
+	total := 0
+	for _, shard := range shards {
+		total += len(shard)
+	}
+	if total == 0 {
+		return nil, ErrEmptyDataset
+	}
+	towerIDs := make([]int, 0, total)
+	byID := make(map[int]linalg.Vector, total)
+	for _, shard := range shards {
+		for id, vec := range shard {
+			towerIDs = append(towerIDs, id)
+			byID[id] = vec
+		}
+	}
+	sort.Ints(towerIDs)
+	raw := make([]linalg.Vector, len(towerIDs))
+	for i, id := range towerIDs {
+		raw[i] = byID[id]
+	}
+
+	locByID := make(map[int]geo.Point, len(towers))
+	for _, t := range towers {
+		if t.Resolved {
+			locByID[t.TowerID] = t.Location
+		}
+	}
+	return assemble(towerIDs, raw, locByID, opts, days)
+}

@@ -3,7 +3,6 @@ package pipeline
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -80,64 +79,13 @@ func (o VectorizerOptions) effectiveDays() int {
 //
 // A record's bytes are attributed to the slot containing its start time,
 // following the paper's chunking of logs into 10-minute segments.
+//
+// VectorizeRecords is a thin wrapper over the streaming core: the slice is
+// replayed through VectorizeSource, which shards it across the worker
+// pool. Callers that do not already hold the records in memory should use
+// VectorizeSource directly and keep memory at O(towers × slots).
 func VectorizeRecords(records []trace.Record, towers []trace.TowerInfo, opts VectorizerOptions) (*Dataset, error) {
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	days := opts.effectiveDays()
-	slots := days * (1440 / opts.SlotMinutes)
-	end := opts.Start.Add(time.Duration(days) * 24 * time.Hour)
-
-	// Phase 1: aggregation, sharded by tower across workers.
-	byTower := make(map[int][]trace.Record)
-	for _, r := range records {
-		byTower[r.TowerID] = append(byTower[r.TowerID], r)
-	}
-	towerIDs := make([]int, 0, len(byTower))
-	for id := range byTower {
-		towerIDs = append(towerIDs, id)
-	}
-	sort.Ints(towerIDs)
-	if len(towerIDs) == 0 {
-		return nil, ErrEmptyDataset
-	}
-
-	raw := make([]linalg.Vector, len(towerIDs))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	slotDur := time.Duration(opts.SlotMinutes) * time.Minute
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range work {
-				vec := make(linalg.Vector, slots)
-				for _, r := range byTower[towerIDs[idx]] {
-					if r.Start.Before(opts.Start) || !r.Start.Before(end) {
-						continue
-					}
-					slot := int(r.Start.Sub(opts.Start) / slotDur)
-					vec[slot] += float64(r.Bytes)
-				}
-				raw[idx] = vec
-			}
-		}()
-	}
-	for i := range towerIDs {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-
-	locByID := make(map[int]geo.Point, len(towers))
-	for _, t := range towers {
-		if t.Resolved {
-			locByID[t.TowerID] = t.Location
-		}
-	}
-
-	return assemble(towerIDs, raw, locByID, opts, days)
+	return VectorizeSource(trace.SliceSource(records), towers, opts)
 }
 
 // SeriesInput is a pre-aggregated per-tower traffic series, the fast path

@@ -173,7 +173,7 @@ func TestSolveSimplexLSOutsidePolygon(t *testing.T) {
 		t.Fatalf("coefficients off simplex: %v", res.Coefficients)
 	}
 	// Nearest point of the triangle to (5,5) is the edge midpoint (0.5, 0.5).
-	wantResidual := math.Sqrt(2*(4.5)*(4.5)) // distance from (5,5) to (0.5,0.5)
+	wantResidual := math.Sqrt(2 * (4.5) * (4.5)) // distance from (5,5) to (0.5,0.5)
 	if !almostEqual(res.Residual, wantResidual, 1e-3) {
 		t.Errorf("residual = %g, want %g", res.Residual, wantResidual)
 	}

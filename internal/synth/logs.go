@@ -30,8 +30,8 @@ func (o LogOptions) withDefaults() LogOptions {
 // the emitted log aggregates back exactly to the input series.
 //
 // The number of emitted records is roughly towers × slots × records/slot,
-// so full-scale configurations should stream via GenerateLogsFunc instead
-// of materialising the slice.
+// so full-scale configurations should stream via GenerateLogsFunc (push)
+// or LogSource (pull) instead of materialising the slice.
 func (c *City) GenerateLogs(series []TowerSeries, opts LogOptions) ([]trace.Record, error) {
 	var out []trace.Record
 	err := c.GenerateLogsFunc(series, opts, func(r trace.Record) error {

@@ -1,0 +1,86 @@
+package synth
+
+import (
+	"errors"
+	"io"
+	"iter"
+
+	"repro/internal/trace"
+)
+
+// errStreamClosed signals GenerateLogsFunc to stop emitting because the
+// consumer abandoned the stream.
+var errStreamClosed = errors.New("synth: log stream closed")
+
+// logItem is one step of the generator coroutine: a record or a terminal
+// generator error.
+type logItem struct {
+	rec trace.Record
+	err error
+}
+
+// LogStream adapts the push-based GenerateLogsFunc into a pull-based
+// trace.Source, so a synthetic city's CDR log can flow straight into the
+// streaming cleaner and vectorizer without ever materialising the record
+// slice. It is backed by a coroutine (iter.Pull); call Close to release
+// it if the stream is abandoned before io.EOF.
+type LogStream struct {
+	next func() (logItem, bool)
+	stop func()
+	err  error
+	done bool
+}
+
+// LogSource streams the synthetic CDR log of the given ground-truth
+// series, in the same order GenerateLogs would emit it.
+func (c *City) LogSource(series []TowerSeries, opts LogOptions) *LogStream {
+	seq := func(yield func(logItem) bool) {
+		err := c.GenerateLogsFunc(series, opts, func(r trace.Record) error {
+			if !yield(logItem{rec: r}) {
+				return errStreamClosed
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStreamClosed) {
+			yield(logItem{err: err})
+		}
+	}
+	next, stop := iter.Pull(seq)
+	return &LogStream{next: next, stop: stop}
+}
+
+// Next returns the next generated record, io.EOF at the end of the log,
+// or the generator's error. Errors are sticky.
+func (s *LogStream) Next() (trace.Record, error) {
+	if s.done {
+		return trace.Record{}, s.terminalErr()
+	}
+	item, ok := s.next()
+	if !ok {
+		s.Close()
+		return trace.Record{}, io.EOF
+	}
+	if item.err != nil {
+		s.err = item.err
+		s.Close()
+		return trace.Record{}, item.err
+	}
+	return item.rec, nil
+}
+
+// Close stops the generator coroutine early. Subsequent Next calls return
+// io.EOF (or the generator error, if one occurred). Close is idempotent
+// and unnecessary once Next has returned a non-nil error.
+func (s *LogStream) Close() {
+	if !s.done {
+		s.done = true
+		s.stop()
+	}
+}
+
+func (s *LogStream) terminalErr() error {
+	if s.err != nil {
+		return s.err
+	}
+	return io.EOF
+}

@@ -1,0 +1,140 @@
+package synth
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+func TestLogSourceMatchesGenerateLogs(t *testing.T) {
+	city, series := logTestCity(t)
+	want, err := city.GenerateLogs(series, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := city.LogSource(series, LogOptions{})
+	defer src.Close()
+	got, err := trace.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d records, slice path emitted %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	// The stream stays exhausted after EOF.
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("exhausted stream: %v", err)
+	}
+}
+
+func TestLogSourceCloseEarly(t *testing.T) {
+	city, series := logTestCity(t)
+	src := city.LogSource(series, LogOptions{})
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("closed stream should return io.EOF, got %v", err)
+	}
+	src.Close() // idempotent
+}
+
+func TestLogSourcePropagatesGeneratorError(t *testing.T) {
+	city, _ := logTestCity(t)
+	bad := []TowerSeries{{TowerID: 99999, Bytes: make([]float64, city.Config.TotalSlots())}}
+	src := city.LogSource(bad, LogOptions{})
+	defer src.Close()
+	_, err := src.Next()
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("generator error should surface, got %v", err)
+	}
+	// Sticky.
+	if _, err2 := src.Next(); !errors.Is(err2, err) {
+		t.Errorf("error should be sticky, got %v", err2)
+	}
+}
+
+// The ISSUE's headline equivalence property: streaming a synthetic city's
+// CDR log through CleanSource + VectorizeSource yields a Dataset
+// identical to the batch path (GenerateLogs → Clean → VectorizeRecords)
+// over the same logs.
+func TestStreamingIngestionMatchesBatchOverCityLogs(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		cfg := tinyConfig()
+		cfg.Towers = 12
+		cfg.Days = 7
+		cfg.Seed = seed
+		cfg.DuplicateFraction = 0.08
+		cfg.ConflictFraction = 0.05
+		city, err := GenerateCity(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series, err := city.GenerateSeries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := pipeline.VectorizerOptions{
+			Start:       cfg.Start,
+			Days:        cfg.Days,
+			SlotMinutes: cfg.SlotMinutes,
+		}
+		towers := city.TowerInfos()
+
+		records, err := city.GenerateLogs(series, LogOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cleaned, batchStats := trace.Clean(records)
+		want, err := pipeline.VectorizeRecords(cleaned, towers, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		src := city.LogSource(series, LogOptions{})
+		cleanedSrc := trace.CleanSource(src)
+		got, err := pipeline.VectorizeSource(cleanedSrc, towers, opts)
+		src.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamStats := cleanedSrc.Stats()
+
+		if got.NumTowers() != want.NumTowers() || got.NumSlots() != want.NumSlots() {
+			t.Fatalf("seed %d: shape %d×%d vs %d×%d", seed,
+				got.NumTowers(), got.NumSlots(), want.NumTowers(), want.NumSlots())
+		}
+		for i := 0; i < want.NumTowers(); i++ {
+			if got.TowerIDs[i] != want.TowerIDs[i] {
+				t.Fatalf("seed %d: row %d tower %d vs %d", seed, i, got.TowerIDs[i], want.TowerIDs[i])
+			}
+			if got.Locations[i] != want.Locations[i] {
+				t.Fatalf("seed %d: row %d location differs", seed, i)
+			}
+			for j := range want.Raw[i] {
+				if got.Raw[i][j] != want.Raw[i][j] {
+					t.Fatalf("seed %d: tower %d slot %d raw %g vs %g",
+						seed, want.TowerIDs[i], j, got.Raw[i][j], want.Raw[i][j])
+				}
+				if got.Normalized[i][j] != want.Normalized[i][j] {
+					t.Fatalf("seed %d: tower %d slot %d normalized differs", seed, want.TowerIDs[i], j)
+				}
+			}
+		}
+		if streamStats.Input != batchStats.Input ||
+			streamStats.Invalid != batchStats.Invalid ||
+			streamStats.Duplicates != batchStats.Duplicates ||
+			streamStats.Conflicts != batchStats.Conflicts {
+			t.Errorf("seed %d: stream stats %+v vs batch stats %+v", seed, streamStats, batchStats)
+		}
+	}
+}

@@ -23,40 +23,183 @@ type CleanStats struct {
 	Output int
 }
 
-// Clean performs the first preprocessing step of Section 2.2: it drops
+// Cleaner is the single-pass streaming form of the preprocessing step of
+// Section 2.2: it drops structurally invalid records, removes exact
+// duplicates and resolves conflicting logs, one record at a time. Its
+// per-connection state is just the largest byte count seen for each
+// connection key — not the full record — so memory is O(distinct keys)
+// with a small constant, not O(records).
+//
+// Conflict resolution keeps the largest byte count, the conservative
+// choice an operator makes when the same session was exported twice with
+// partial counters. Because a larger copy can arrive after the first copy
+// has already been forwarded downstream, the Cleaner resolves such late
+// conflicts by forwarding an amendment record carrying only the byte
+// delta (the technique of retraction/correction deltas in streaming
+// systems): for every connection key, the byte counts forwarded downstream
+// always sum to exactly the largest copy observed. Additive consumers —
+// the vectorizer, traffic density — therefore see exactly the same totals
+// as the batch Clean.
+type Cleaner struct {
+	stats  CleanStats
+	max    map[key]cleanEntry
+	window uint64
+	seq    uint64
+}
+
+// cleanEntry is the per-connection dedup state: the largest byte count
+// seen and the stream position of the last copy, used for window
+// eviction.
+type cleanEntry struct {
+	bytes int64
+	seq   uint64
+}
+
+// NewCleaner returns a streaming cleaner with unbounded dedup state:
+// exact for arbitrarily reordered input, at ~40 bytes per distinct
+// connection key. For traces whose distinct-connection count exceeds
+// memory, use NewCleanerWindow.
+func NewCleaner() *Cleaner {
+	return NewCleanerWindow(0)
+}
+
+// NewCleanerWindow returns a streaming cleaner whose dedup state is
+// bounded: state for a connection is guaranteed to be retained while the
+// last copy of that connection is within the most recent `window`
+// observed records, and the total state never exceeds 2×window entries.
+// A duplicate or conflicting copy arriving more than `window` records
+// after the previous copy of the same connection may be forwarded again
+// as if new — so the window must exceed the maximum reorder distance
+// between copies of one connection. CDR exports emit redundant copies
+// adjacently, so a modest window (say 2^20) keeps cleaning exact while
+// capping memory regardless of trace length. window 0 means unbounded.
+func NewCleanerWindow(window int) *Cleaner {
+	if window < 0 {
+		window = 0
+	}
+	return &Cleaner{max: make(map[key]cleanEntry), window: uint64(window)}
+}
+
+// Observe processes one record and reports whether (and what) to forward
+// downstream. The forwarded record is the input record itself for the
+// first copy of a connection, or an amendment carrying the byte delta
+// when a later copy raises the connection's byte count.
+func (c *Cleaner) Observe(r Record) (Record, bool) {
+	c.stats.Input++
+	if err := r.Validate(); err != nil {
+		c.stats.Invalid++
+		return Record{}, false
+	}
+	c.seq++
+	if c.window > 0 && uint64(len(c.max)) > 2*c.window {
+		c.evict()
+	}
+	k := r.key()
+	prev, seen := c.max[k]
+	if !seen {
+		c.max[k] = cleanEntry{bytes: r.Bytes, seq: c.seq}
+		c.stats.Output++
+		return r, true
+	}
+	if r.Bytes == prev.bytes {
+		c.stats.Duplicates++
+		c.max[k] = cleanEntry{bytes: prev.bytes, seq: c.seq}
+		return Record{}, false
+	}
+	c.stats.Conflicts++
+	if r.Bytes < prev.bytes {
+		c.max[k] = cleanEntry{bytes: prev.bytes, seq: c.seq}
+		return Record{}, false
+	}
+	delta := r.Bytes - prev.bytes
+	c.max[k] = cleanEntry{bytes: r.Bytes, seq: c.seq}
+	r.Bytes = delta
+	c.stats.Output++
+	return r, true
+}
+
+// evict drops dedup state whose connection was last seen more than
+// `window` records ago. It runs once per `window` inserts at most, so the
+// amortised cost per record is O(1).
+func (c *Cleaner) evict() {
+	cut := c.seq - c.window
+	for k, e := range c.max {
+		if e.seq < cut {
+			delete(c.max, k)
+		}
+	}
+}
+
+// Stats returns the counters accumulated so far. Output counts forwarded
+// records, including amendments.
+func (c *Cleaner) Stats() CleanStats { return c.stats }
+
+// CleanedSource filters a Source through a streaming Cleaner.
+type CleanedSource struct {
+	src     Source
+	cleaner *Cleaner
+}
+
+// CleanSource wraps src so that every record pulled from the returned
+// source has passed the streaming cleaner (unbounded, exact dedup
+// state). Stats are available at any time (typically after the stream is
+// drained).
+func CleanSource(src Source) *CleanedSource {
+	return CleanSourceWindow(src, 0)
+}
+
+// CleanSourceWindow is CleanSource with a bounded dedup window (see
+// NewCleanerWindow): memory stays O(window) regardless of trace length,
+// provided copies of one connection arrive within `window` records of
+// each other. window 0 means unbounded.
+func CleanSourceWindow(src Source, window int) *CleanedSource {
+	return &CleanedSource{src: src, cleaner: NewCleanerWindow(window)}
+}
+
+// Next pulls records from the underlying source until one survives
+// cleaning, and returns it.
+func (s *CleanedSource) Next() (Record, error) {
+	for {
+		r, err := s.src.Next()
+		if err != nil {
+			return Record{}, err
+		}
+		if out, ok := s.cleaner.Observe(r); ok {
+			return out, nil
+		}
+	}
+}
+
+// Stats returns the cleaning counters accumulated so far.
+func (s *CleanedSource) Stats() CleanStats { return s.cleaner.Stats() }
+
+// Clean is the batch wrapper over the streaming Cleaner: it drops
 // structurally invalid records, removes exact duplicates and resolves
-// conflicting logs. Conflicting copies of the same logical connection are
-// merged by keeping the largest byte count, the conservative choice an
-// operator makes when the same session was exported twice with partial
-// counters. The returned slice is sorted by start time, then tower, then
-// user, giving the pipeline a deterministic order.
+// conflicting logs, keeping the largest byte count of each conflicting
+// pair. Amendment deltas emitted by the streaming core are folded back
+// into the first copy of their connection, so the output carries exactly
+// one record per logical connection (fields other than Bytes are taken
+// from the first copy seen). The returned slice is sorted by start time,
+// then tower, then user, giving the pipeline a deterministic order.
 func Clean(records []Record) ([]Record, CleanStats) {
-	stats := CleanStats{Input: len(records)}
-	best := make(map[key]Record, len(records))
+	c := NewCleaner()
+	out := make([]Record, 0, len(records))
+	at := make(map[key]int, len(records))
 	for _, r := range records {
-		if err := r.Validate(); err != nil {
-			stats.Invalid++
+		fwd, ok := c.Observe(r)
+		if !ok {
 			continue
 		}
-		k := r.key()
-		prev, seen := best[k]
-		if !seen {
-			best[k] = r
-			continue
-		}
-		if prev.Bytes == r.Bytes {
-			stats.Duplicates++
-			continue
-		}
-		stats.Conflicts++
-		if r.Bytes > prev.Bytes {
-			best[k] = r
+		k := fwd.key()
+		if i, seen := at[k]; seen {
+			out[i].Bytes += fwd.Bytes
+		} else {
+			at[k] = len(out)
+			out = append(out, fwd)
 		}
 	}
-	out := make([]Record, 0, len(best))
-	for _, r := range best {
-		out = append(out, r)
-	}
+	stats := c.Stats()
+	stats.Output = len(out)
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Start.Equal(out[j].Start) {
 			return out[i].Start.Before(out[j].Start)
@@ -69,7 +212,6 @@ func Clean(records []Record) ([]Record, CleanStats) {
 		}
 		return out[i].Bytes < out[j].Bytes
 	})
-	stats.Output = len(out)
 	return out, stats
 }
 

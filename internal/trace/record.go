@@ -101,35 +101,21 @@ func WriteCSV(w io.Writer, records []Record) error {
 
 // ReadCSV parses records written by WriteCSV. Rows that fail to parse are
 // returned as a count of skipped rows rather than aborting the whole read,
-// mirroring how a production pipeline tolerates malformed log lines.
+// mirroring how a production pipeline tolerates malformed log lines. I/O
+// errors from the underlying reader, by contrast, abort the read.
+//
+// ReadCSV materialises the whole trace; large traces should stream through
+// NewCSVReader instead.
 func ReadCSV(r io.Reader) (records []Record, skipped int, err error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(csvHeader)
-	header, err := cr.Read()
+	cr, err := NewCSVReader(r)
 	if err != nil {
-		return nil, 0, fmt.Errorf("trace: reading header: %w", err)
+		return nil, 0, err
 	}
-	if len(header) != len(csvHeader) || header[0] != csvHeader[0] {
-		return nil, 0, fmt.Errorf("trace: unexpected header %v", header)
+	records, err = Collect(cr)
+	if err != nil {
+		return nil, cr.Skipped(), err
 	}
-	for {
-		row, err := cr.Read()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			// Structurally broken CSV row: count and continue.
-			skipped++
-			continue
-		}
-		rec, perr := parseRow(row)
-		if perr != nil {
-			skipped++
-			continue
-		}
-		records = append(records, rec)
-	}
-	return records, skipped, nil
+	return records, cr.Skipped(), nil
 }
 
 func parseRow(row []string) (Record, error) {

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Source is a pull-based stream of connection records: the unit of
+// composition of the ingestion layer. Next returns the next record, or
+// io.EOF once the stream is exhausted. Any other error is a terminal
+// failure of the underlying producer; after a non-nil error the source
+// must not be used again.
+//
+// Sources let the pipeline process traces far larger than memory: the
+// CSV reader, the streaming cleaner and the streaming vectorizer all
+// speak Source, so a trace flows from disk (or the synthetic generator)
+// to per-tower traffic vectors one record at a time.
+type Source interface {
+	Next() (Record, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func() (Record, error)
+
+// Next calls f.
+func (f SourceFunc) Next() (Record, error) { return f() }
+
+// sliceSource streams an in-memory record slice.
+type sliceSource struct {
+	records []Record
+	pos     int
+}
+
+// SliceSource returns a Source that yields the records in order. It is
+// the bridge from the legacy slice-based APIs to the streaming core.
+func SliceSource(records []Record) Source {
+	return &sliceSource{records: records}
+}
+
+func (s *sliceSource) Next() (Record, error) {
+	if s.pos >= len(s.records) {
+		return Record{}, io.EOF
+	}
+	r := s.records[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// ForEach drains the source, invoking fn for every record. It stops at
+// the first error from either the source or fn and returns it (io.EOF
+// from the source is the normal end of stream and yields nil).
+func ForEach(src Source, fn func(Record) error) error {
+	for {
+		r, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+}
+
+// Collect drains the source into a slice. Prefer streaming consumers for
+// large traces; Collect exists for tests and the slice-based wrappers.
+func Collect(src Source) ([]Record, error) {
+	var out []Record
+	err := ForEach(src, func(r Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CSVReader is a streaming Source over the CSV format written by
+// WriteCSV / CSVWriter. Structurally broken rows (*csv.ParseError) and
+// rows whose fields fail to parse or validate are skipped and counted;
+// I/O errors from the underlying reader abort the stream.
+type CSVReader struct {
+	cr      *csv.Reader
+	skipped int
+	err     error
+}
+
+// NewCSVReader wraps r, reads and checks the header row, and returns a
+// Source yielding one record per data row.
+func NewCSVReader(r io.Reader) (*CSVReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) != len(csvHeader) || header[0] != csvHeader[0] {
+		return nil, fmt.Errorf("trace: unexpected header %v", header)
+	}
+	return &CSVReader{cr: cr}, nil
+}
+
+// Next returns the next well-formed record. Malformed rows are skipped
+// (see Skipped); the error is io.EOF at end of input, or the underlying
+// I/O error, both sticky.
+func (r *CSVReader) Next() (Record, error) {
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	for {
+		row, err := r.cr.Read()
+		if err != nil {
+			var perr *csv.ParseError
+			if errors.As(err, &perr) {
+				// Structurally broken CSV row: count and continue.
+				r.skipped++
+				continue
+			}
+			if !errors.Is(err, io.EOF) {
+				err = fmt.Errorf("trace: reading row: %w", err)
+			}
+			r.err = err
+			return Record{}, err
+		}
+		rec, perr := parseRow(row)
+		if perr != nil {
+			r.skipped++
+			continue
+		}
+		return rec, nil
+	}
+}
+
+// Skipped returns the number of malformed rows skipped so far.
+func (r *CSVReader) Skipped() int { return r.skipped }
