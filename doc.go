@@ -7,7 +7,11 @@
 // pipeline (internal/trace, internal/pipeline), the pattern identifier and
 // metric tuner (internal/cluster), the geographical labelling
 // (internal/poi, internal/label), the time- and frequency-domain analyses
-// (internal/timedomain, internal/freqdomain) and the orchestration model
+// (internal/timedomain, internal/freqdomain — the latter driven by the
+// plan-based FFT engine of internal/dsp, whose dsp.Plan precomputes twiddle
+// factors per signal length and batches per-tower spectra across a worker
+// pool; see README.md for when to hold a plan vs. use the package-level
+// DFT/IDFT/Reconstruct wrappers) and the orchestration model
 // (internal/core, with Analyze for in-memory datasets and AnalyzeSource
 // for record streams). The benchmark harness that regenerates every table
 // and figure of the paper is internal/experiments, driven by

@@ -12,7 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dsp"
 	"repro/internal/linalg"
@@ -81,11 +84,23 @@ var (
 
 // Detect models the tower's expected traffic from its own spectrum and
 // flags the slots whose residuals are extreme. traffic must cover nDays
-// whole days (a multiple of 7).
+// whole days (a multiple of 7). The spectral model runs on an FFT plan from
+// the package-level pool; DetectAll shares per-worker plans across towers.
 func Detect(traffic linalg.Vector, nDays int, opts Options) (*Report, error) {
 	if len(traffic) == 0 {
 		return nil, ErrEmptySignal
 	}
+	plan, err := dsp.AcquirePlan(len(traffic))
+	if err != nil {
+		return nil, err
+	}
+	defer plan.Release()
+	return detectPlan(plan, traffic, nDays, opts)
+}
+
+// detectPlan is Detect on a caller-supplied plan whose length matches the
+// traffic vector.
+func detectPlan(plan *dsp.Plan, traffic linalg.Vector, nDays int, opts Options) (*Report, error) {
 	if !traffic.IsFinite() {
 		return nil, fmt.Errorf("%w: non-finite traffic values", ErrEmptySignal)
 	}
@@ -109,8 +124,8 @@ func Detect(traffic linalg.Vector, nDays int, opts Options) (*Report, error) {
 			valid = append(valid, b)
 		}
 	}
-	expected, _, err := dsp.Reconstruct(traffic, valid...)
-	if err != nil {
+	expected := make(linalg.Vector, len(traffic))
+	if _, err := plan.ReconstructInto(expected, traffic, valid...); err != nil {
 		return nil, err
 	}
 	for i, v := range expected {
@@ -180,15 +195,78 @@ func robustScale(v linalg.Vector) float64 {
 }
 
 // DetectAll runs Detect on every tower and returns the reports in input
-// order.
+// order. The towers are fanned across a GOMAXPROCS-wide worker pool; each
+// worker reuses pooled FFT plans keyed by vector length, so the fleet shares
+// one set of twiddle tables per distinct window length.
 func DetectAll(traffic []linalg.Vector, nDays int, opts Options) ([]*Report, error) {
 	out := make([]*Report, len(traffic))
-	for i, v := range traffic {
-		r, err := Detect(v, nDays, opts)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(traffic) {
+		workers = len(traffic)
+	}
+	if workers <= 1 {
+		for i, v := range traffic {
+			r, err := Detect(v, nDays, opts)
+			if err != nil {
+				return nil, fmt.Errorf("anomaly: tower %d: %w", i, err)
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	var (
+		next    atomic.Int64
+		aborted atomic.Bool
+		wg      sync.WaitGroup
+	)
+	errs := make([]error, len(traffic))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var plan *dsp.Plan
+			defer func() {
+				if plan != nil {
+					plan.Release()
+				}
+			}()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(traffic) || aborted.Load() {
+					return
+				}
+				v := traffic[i]
+				if len(v) == 0 {
+					errs[i] = ErrEmptySignal
+					aborted.Store(true)
+					continue
+				}
+				if plan == nil || plan.N() != len(v) {
+					if plan != nil {
+						plan.Release()
+					}
+					var err error
+					if plan, err = dsp.AcquirePlan(len(v)); err != nil {
+						errs[i] = err
+						aborted.Store(true)
+						continue
+					}
+				}
+				r, err := detectPlan(plan, v, nDays, opts)
+				if err != nil {
+					errs[i] = err
+					aborted.Store(true)
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("anomaly: tower %d: %w", i, err)
 		}
-		out[i] = r
 	}
 	return out, nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/dsp"
 	"repro/internal/freqdomain"
 	"repro/internal/label"
 	"repro/internal/linalg"
@@ -200,8 +201,15 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 		return nil, fmt.Errorf("core: expanding labels: %w", err)
 	}
 
-	// Frequency-domain features and representative towers.
-	features, err := freqdomain.Extract(ds.Normalized, ds.Days)
+	// Frequency-domain features and representative towers. One FFT plan is
+	// built (or drawn from the pool) for the dataset's slot count and
+	// threaded through every spectral stage.
+	plan, err := dsp.AcquirePlan(ds.NumSlots())
+	if err != nil {
+		return nil, fmt.Errorf("core: FFT plan: %w", err)
+	}
+	defer plan.Release()
+	features, err := freqdomain.ExtractPlan(plan, ds.Normalized, ds.Days)
 	if err != nil {
 		return nil, fmt.Errorf("core: frequency features: %w", err)
 	}

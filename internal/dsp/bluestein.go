@@ -1,0 +1,94 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// bluestein implements the chirp-z transform: an arbitrary-length DFT
+// expressed as a circular convolution of chirp-modulated sequences, carried
+// out by a power-of-two FFT of length m ≥ 2n-1. It is used for lengths whose
+// prime factorisation contains a factor larger than maxStockhamRadix — in
+// particular prime lengths — so no input ever needs the O(N²) direct
+// transform.
+type bluestein struct {
+	n int
+	m int // power-of-two convolution length
+
+	// Immutable (shared across clones):
+	chirp []complex128 // a[k] = e^{-iπk²/n}, k in [0, n)
+	bfft  []complex128 // FFT_m of the zero-padded symmetric conjugate chirp
+
+	// Per-clone:
+	sub  *cplan // power-of-two plan of length m
+	u, v []complex128
+}
+
+func newBluestein(n int) *bluestein {
+	m := 1
+	for m < 2*n-1 {
+		m *= 2
+	}
+	bs := &bluestein{
+		n:     n,
+		m:     m,
+		chirp: make([]complex128, n),
+		sub:   newCplan(m),
+		u:     make([]complex128, m),
+		v:     make([]complex128, m),
+	}
+	for k := 0; k < n; k++ {
+		// k² mod 2n keeps the argument small so Sincos stays accurate.
+		phase := -math.Pi * float64((k*k)%(2*n)) / float64(n)
+		sin, cos := math.Sincos(phase)
+		bs.chirp[k] = complex(cos, sin)
+	}
+	// b[j] = conj(a[j]) for j in (-n, n), laid out circularly over m.
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		c := cmplx.Conj(bs.chirp[k])
+		b[k] = c
+		if k > 0 {
+			b[m-k] = c
+		}
+	}
+	bs.bfft = make([]complex128, m)
+	bs.sub.forward(bs.bfft, b)
+	return bs
+}
+
+func (bs *bluestein) clone() *bluestein {
+	return &bluestein{
+		n:     bs.n,
+		m:     bs.m,
+		chirp: bs.chirp,
+		bfft:  bs.bfft,
+		sub:   bs.sub.clone(),
+		u:     make([]complex128, bs.m),
+		v:     make([]complex128, bs.m),
+	}
+}
+
+// forward computes the unscaled forward DFT of src into dst (both length n).
+// dst may alias src.
+func (bs *bluestein) forward(dst, src []complex128) {
+	// u = chirp-modulated input, zero padded to m.
+	for k := 0; k < bs.n; k++ {
+		bs.u[k] = src[k] * bs.chirp[k]
+	}
+	for k := bs.n; k < bs.m; k++ {
+		bs.u[k] = 0
+	}
+	// Circular convolution with the conjugate chirp via the sub-FFT; the
+	// inverse transform uses the conjugation identity.
+	bs.sub.forward(bs.v, bs.u)
+	for k := range bs.v {
+		bs.v[k] = cmplx.Conj(bs.v[k] * bs.bfft[k])
+	}
+	bs.sub.forward(bs.u, bs.v)
+	scale := 1 / float64(bs.m)
+	for k := 0; k < bs.n; k++ {
+		conv := complex(real(bs.u[k])*scale, -imag(bs.u[k])*scale)
+		dst[k] = conv * bs.chirp[k]
+	}
+}

@@ -4,11 +4,19 @@
 // (amplitude, phase, energy), and band-limited reconstruction from a small
 // set of retained frequency components.
 //
+// The engine is Plan: an iterative in-place mixed-radix (Stockham) FFT with
+// twiddle factors precomputed per length, a real-input RFFT path, Bluestein's
+// algorithm for lengths with large prime factors, and a batch API that fans
+// per-tower spectra across a worker pool (see plan.go and batch.go). The
+// package-level DFT/IDFT/Reconstruct functions are thin compatibility
+// wrappers that draw plans from a pool keyed by signal length; hold a Plan
+// explicitly (NewPlan or AcquirePlan/Release) when transforming many signals
+// of one length.
+//
 // The traffic vectors analysed by the paper have N = 4032 samples
-// (28 days × 144 ten-minute slots). 4032 = 2^6 · 63 is highly composite, so
-// a mixed-radix Cooley–Tukey recursion with a direct-DFT base case gives
-// O(N log N)-ish behaviour without external dependencies; a plain O(N²)
-// fallback is kept for prime lengths and used as the reference in tests.
+// (28 days × 144 ten-minute slots); 4032 = 2⁶·3²·7 runs entirely through the
+// radix-4/2 and generic odd-radix Stockham stages. The O(N²) direct
+// transform survives only as the test oracle (directDFT).
 package dsp
 
 import (
@@ -16,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // ErrEmpty is returned when a transform is requested on an empty signal.
@@ -30,11 +39,16 @@ func DFT(x []float64) ([]complex128, error) {
 	if len(x) == 0 {
 		return nil, ErrEmpty
 	}
-	c := make([]complex128, len(x))
-	for i, v := range x {
-		c[i] = complex(v, 0)
+	p, err := AcquirePlan(len(x))
+	if err != nil {
+		return nil, err
 	}
-	return dftComplex(c, false), nil
+	defer p.Release()
+	out := make([]complex128, len(x))
+	if err := p.Transform(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // IDFT computes the inverse discrete Fourier transform of the spectrum X,
@@ -45,44 +59,40 @@ func IDFT(x []complex128) ([]complex128, error) {
 	if len(x) == 0 {
 		return nil, ErrEmpty
 	}
-	out := dftComplex(x, true)
-	n := complex(float64(len(x)), 0)
-	for i := range out {
-		out[i] /= n
+	p, err := AcquirePlan(len(x))
+	if err != nil {
+		return nil, err
+	}
+	defer p.Release()
+	out := make([]complex128, len(x))
+	if err := p.Inverse(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // IDFTReal computes the inverse DFT and returns only the real part. It is
-// intended for spectra of real signals (conjugate-symmetric), where the
-// imaginary part of the inverse is numerical noise.
+// intended for spectra of real signals (conjugate-symmetric), where it runs
+// the half-length inverse RFFT path.
 func IDFTReal(x []complex128) ([]float64, error) {
-	c, err := IDFT(x)
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	p, err := AcquirePlan(len(x))
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(c))
-	for i, v := range c {
-		out[i] = real(v)
+	defer p.Release()
+	out := make([]float64, len(x))
+	if err := p.InverseReal(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// dftComplex dispatches between the recursive mixed-radix transform and the
-// direct transform. inverse selects the sign of the exponent (no 1/N
-// scaling is applied here).
-func dftComplex(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	if n == 1 {
-		return []complex128{x[0]}
-	}
-	if f := smallestFactor(n); f < n {
-		return cooleyTukey(x, f, inverse)
-	}
-	return directDFT(x, inverse)
-}
-
-// directDFT is the O(N²) reference transform, used for prime lengths.
+// directDFT is the O(N²) reference transform, retained as the oracle for the
+// equivalence and fuzz tests of the FFT engine. inverse selects the sign of
+// the exponent (no 1/N scaling is applied).
 func directDFT(x []complex128, inverse bool) []complex128 {
 	n := len(x)
 	sign := -1.0
@@ -99,51 +109,6 @@ func directDFT(x []complex128, inverse bool) []complex128 {
 		out[k] = sum
 	}
 	return out
-}
-
-// cooleyTukey performs one decimation step with radix p (a factor of
-// len(x)) and recurses on the sub-transforms.
-func cooleyTukey(x []complex128, p int, inverse bool) []complex128 {
-	n := len(x)
-	q := n / p
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Split into p interleaved sub-signals of length q and transform each.
-	subs := make([][]complex128, p)
-	for r := 0; r < p; r++ {
-		sub := make([]complex128, q)
-		for j := 0; j < q; j++ {
-			sub[j] = x[j*p+r]
-		}
-		subs[r] = dftComplex(sub, inverse)
-	}
-	out := make([]complex128, n)
-	// Combine: X[k] = Σ_r e^{sign·2πi·k·r/N} · Sub_r[k mod q]
-	for k := 0; k < n; k++ {
-		var sum complex128
-		for r := 0; r < p; r++ {
-			angle := sign * 2 * math.Pi * float64(k) * float64(r) / float64(n)
-			sum += cmplx.Exp(complex(0, angle)) * subs[r][k%q]
-		}
-		out[k] = sum
-	}
-	return out
-}
-
-// smallestFactor returns the smallest prime factor of n, or n itself when
-// n is prime.
-func smallestFactor(n int) int {
-	if n%2 == 0 {
-		return 2
-	}
-	for f := 3; f*f <= n; f += 2 {
-		if n%f == 0 {
-			return f
-		}
-	}
-	return n
 }
 
 // Amplitude returns |X[k]| for every bin of the spectrum.
@@ -186,28 +151,68 @@ func SpectralEnergy(spectrum []complex128) float64 {
 	return s / float64(len(spectrum))
 }
 
-// KeepComponents zeroes every bin of the spectrum except bin 0 (the DC
-// term), the listed bins k, and their conjugate mirrors N-k. This is the
-// Xʳ[k] masking step of Section 5.1. The input is not modified.
-func KeepComponents(spectrum []complex128, ks ...int) ([]complex128, error) {
+// maskPool recycles the boolean masks of the package-level MaskComponents so
+// masking allocates nothing in steady state.
+var maskPool sync.Pool
+
+// MaskComponents zeroes every bin of the spectrum in place except bin 0 (the
+// DC term), the listed bins k, and their conjugate mirrors N-k — the Xʳ[k]
+// masking step of Section 5.1 applied to the caller's buffer. On error
+// (component out of range) the spectrum is left untouched.
+func MaskComponents(spectrum []complex128, ks ...int) error {
 	n := len(spectrum)
 	if n == 0 {
-		return nil, ErrEmpty
+		return ErrEmpty
 	}
-	keep := make(map[int]bool, 2*len(ks)+1)
-	keep[0] = true
+	mp, _ := maskPool.Get().(*[]bool)
+	if mp == nil || len(*mp) < n {
+		m := make([]bool, n)
+		mp = &m
+	}
+	err := applyMask(*mp, spectrum, ks)
+	maskPool.Put(mp)
+	return err
+}
+
+// applyMask zeroes the non-kept bins of spectrum using the caller-owned
+// boolean mask (len(mask) ≥ len(spectrum), all false). The mask is restored
+// to all-false before returning, touching only the set entries.
+func applyMask(mask []bool, spectrum []complex128, ks []int) error {
+	n := len(spectrum)
 	for _, k := range ks {
 		if k < 0 || k >= n {
-			return nil, fmt.Errorf("dsp: component %d out of range [0,%d)", k, n)
+			return fmt.Errorf("dsp: component %d out of range [0,%d)", k, n)
 		}
-		keep[k] = true
-		keep[(n-k)%n] = true
 	}
-	out := make([]complex128, n)
-	for i, c := range spectrum {
-		if keep[i] {
-			out[i] = c
+	mask[0] = true
+	for _, k := range ks {
+		mask[k] = true
+		mask[(n-k)%n] = true
+	}
+	for i, keep := range mask[:n] {
+		if !keep {
+			spectrum[i] = 0
 		}
+	}
+	mask[0] = false
+	for _, k := range ks {
+		mask[k] = false
+		mask[(n-k)%n] = false
+	}
+	return nil
+}
+
+// KeepComponents returns a copy of the spectrum with every bin zeroed except
+// bin 0, the listed bins and their conjugate mirrors. The input is not
+// modified; use MaskComponents to mask a buffer in place.
+func KeepComponents(spectrum []complex128, ks ...int) ([]complex128, error) {
+	if len(spectrum) == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]complex128, len(spectrum))
+	copy(out, spectrum)
+	if err := MaskComponents(out, ks...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -217,22 +222,13 @@ func KeepComponents(spectrum []complex128, ks ...int) ([]complex128, error) {
 // conjugate mirrors). It returns the reconstructed signal and the relative
 // energy loss |E(x) - E(xr)| / E(x) as defined in Section 5.1 of the paper.
 func Reconstruct(x []float64, ks ...int) (reconstructed []float64, energyLoss float64, err error) {
-	spectrum, err := DFT(x)
+	if len(x) == 0 {
+		return nil, 0, ErrEmpty
+	}
+	p, err := AcquirePlan(len(x))
 	if err != nil {
 		return nil, 0, err
 	}
-	masked, err := KeepComponents(spectrum, ks...)
-	if err != nil {
-		return nil, 0, err
-	}
-	reconstructed, err = IDFTReal(masked)
-	if err != nil {
-		return nil, 0, err
-	}
-	orig := Energy(x)
-	if orig == 0 {
-		return reconstructed, 0, nil
-	}
-	energyLoss = math.Abs(orig-Energy(reconstructed)) / orig
-	return reconstructed, energyLoss, nil
+	defer p.Release()
+	return p.Reconstruct(x, ks...)
 }

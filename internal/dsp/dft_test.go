@@ -68,14 +68,19 @@ func TestDFTSingleTone(t *testing.T) {
 func TestDFTMatchesDirectOnCompositeAndPrimeLengths(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for _, n := range []int{1, 2, 3, 5, 7, 8, 12, 13, 60, 63, 97, 144} {
-		x := make([]complex128, n)
+		x := make([]float64, n)
+		c := make([]complex128, n)
 		for i := range x {
-			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			x[i] = rng.NormFloat64()
+			c[i] = complex(x[i], 0)
 		}
-		fast := dftComplex(x, false)
-		ref := directDFT(x, false)
+		fast, err := DFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := directDFT(c, false)
 		for k := range ref {
-			if cmplx.Abs(fast[k]-ref[k]) > 1e-6*float64(n) {
+			if cmplx.Abs(fast[k]-ref[k]) > 1e-9*float64(n) {
 				t.Errorf("n=%d bin %d: fast %v vs direct %v", n, k, fast[k], ref[k])
 			}
 		}
@@ -320,11 +325,46 @@ func TestDFTRoundTripProperty(t *testing.T) {
 	}
 }
 
-func TestSmallestFactor(t *testing.T) {
-	cases := map[int]int{2: 2, 3: 3, 4: 2, 9: 3, 13: 13, 63: 3, 97: 97, 4032: 2}
-	for n, want := range cases {
-		if got := smallestFactor(n); got != want {
-			t.Errorf("smallestFactor(%d) = %d, want %d", n, got, want)
+func TestFactorize(t *testing.T) {
+	cases := []struct {
+		n        int
+		want     []int
+		stockham bool
+	}{
+		{2, []int{2}, true},
+		{4, []int{4}, true},
+		{9, []int{3, 3}, true},
+		{13, []int{13}, true},
+		{63, []int{3, 3, 7}, true},
+		{4032, []int{4, 4, 4, 3, 3, 7}, true},
+		{97, nil, false},   // prime > maxStockhamRadix → Bluestein
+		{2018, nil, false}, // 2·1009, large prime factor → Bluestein
+	}
+	for _, c := range cases {
+		got, ok := factorize(c.n)
+		if ok != c.stockham {
+			t.Errorf("factorize(%d) stockham = %v, want %v", c.n, ok, c.stockham)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		prod := 1
+		for _, f := range got {
+			prod *= f
+		}
+		if prod != c.n {
+			t.Errorf("factorize(%d) = %v, product %d", c.n, got, prod)
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("factorize(%d) = %v, want %v", c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("factorize(%d) = %v, want %v", c.n, got, c.want)
+				break
+			}
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/dsp"
 	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/synth"
@@ -47,6 +48,10 @@ type Env struct {
 	Result  *core.Result
 	// Truth[i] is the ground-truth region of dataset row i.
 	Truth []urban.Region
+	// Plan is the FFT plan for the dataset's slot count, shared by every
+	// frequency-domain experiment. Runners execute sequentially, so the
+	// plan's scratch buffers are never contended.
+	Plan *dsp.Plan
 }
 
 // Build generates the synthetic city at the given scale, vectorises its
@@ -74,7 +79,11 @@ func Build(scale Scale) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ground truth: %w", err)
 	}
-	return &Env{Scale: scale, City: city, Dataset: ds, Result: res, Truth: truth}, nil
+	plan, err := dsp.NewPlan(ds.NumSlots())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: FFT plan: %w", err)
+	}
+	return &Env{Scale: scale, City: city, Dataset: ds, Result: res, Truth: truth, Plan: plan}, nil
 }
 
 // Output is the artefact bundle of one experiment.

@@ -31,7 +31,7 @@ func Figure12(env *Env) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	spec, err := dsp.NewSpectrum(agg)
+	spec, err := env.Plan.Spectrum(agg)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +49,7 @@ func Figure12(env *Env) (*Output, error) {
 		return nil, err
 	}
 
-	reconstructed, loss, err := dsp.Reconstruct(agg, week, day, half)
+	reconstructed, loss, err := env.Plan.Reconstruct(agg, week, day, half)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +100,7 @@ func Figure13(env *Env) (*Output, error) {
 	if maxBin > ds.NumSlots()/2 {
 		maxBin = ds.NumSlots() / 2
 	}
-	variance, err := freqdomain.AmplitudeVariance(ds.Normalized, maxBin)
+	variance, err := freqdomain.AmplitudeVariancePlan(env.Plan, ds.Normalized, maxBin)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +154,7 @@ func Figure14(env *Env) (*Output, error) {
 			return nil, err
 		}
 		agg := view.AggregateRaw
-		reconstructed, loss, err := dsp.Reconstruct(agg, week, day, half)
+		reconstructed, loss, err := env.Plan.Reconstruct(agg, week, day, half)
 		if err != nil {
 			return nil, err
 		}

@@ -145,7 +145,15 @@ func (m *SpectralModel) Fit(train linalg.Vector, trainDays, slotsPerDay int) err
 			valid = append(valid, b)
 		}
 	}
-	reconstructed, _, err := dsp.Reconstruct(train, valid...)
+	// The band-limited reconstruction runs on a pooled FFT plan: fitting a
+	// fleet of per-tower models of one window length reuses a single set of
+	// twiddle tables.
+	plan, err := dsp.AcquirePlan(len(train))
+	if err != nil {
+		return fmt.Errorf("forecast: %w", err)
+	}
+	reconstructed, _, err := plan.Reconstruct(train, valid...)
+	plan.Release()
 	if err != nil {
 		return fmt.Errorf("forecast: %w", err)
 	}

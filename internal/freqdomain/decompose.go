@@ -87,6 +87,11 @@ func CombineTimeDomain(d *Decomposition, primarySeries []linalg.Vector, nDays in
 	if err != nil {
 		return nil, err
 	}
+	plan, err := dsp.AcquirePlan(n)
+	if err != nil {
+		return nil, err
+	}
+	defer plan.Release()
 	out := &TimeCombination{
 		Components: make([]linalg.Vector, len(primarySeries)),
 		Combined:   make(linalg.Vector, n),
@@ -95,11 +100,11 @@ func CombineTimeDomain(d *Decomposition, primarySeries []linalg.Vector, nDays in
 		if len(series) != n {
 			return nil, fmt.Errorf("%w: series %d has %d samples, want %d", ErrBadShape, i, len(series), n)
 		}
-		rec, _, err := dsp.Reconstruct(series, week, day, half)
-		if err != nil {
+		comp := make(linalg.Vector, n)
+		if _, err := plan.ReconstructInto(comp, series, week, day, half); err != nil {
 			return nil, err
 		}
-		comp := linalg.Vector(rec).Scale(d.Coefficients[i])
+		comp.ScaleInPlace(d.Coefficients[i])
 		out.Components[i] = comp
 		if err := out.Combined.AddInPlace(comp); err != nil {
 			return nil, err

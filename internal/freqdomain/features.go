@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/cmplx"
 
 	"repro/internal/cluster"
 	"repro/internal/dsp"
@@ -54,38 +55,57 @@ func (f Features) Vector6() linalg.Vector {
 
 // Extract computes the spectral features of every traffic vector. The
 // vectors must all have the same length and cover nDays whole days (a
-// multiple of 7 so the weekly bin exists).
+// multiple of 7 so the weekly bin exists). It draws an FFT plan for the
+// vector length from the package-level pool; callers that already hold a
+// plan (core.Analyze) should use ExtractPlan.
 func Extract(vectors []linalg.Vector, nDays int) ([]Features, error) {
 	if len(vectors) == 0 {
 		return nil, ErrNoVectors
 	}
-	n := len(vectors[0])
+	plan, err := dsp.AcquirePlan(len(vectors[0]))
+	if err != nil {
+		return nil, err
+	}
+	defer plan.Release()
+	return ExtractPlan(plan, vectors, nDays)
+}
+
+// ExtractPlan is Extract using the caller's FFT plan (whose length must
+// match the vectors). The per-tower transforms are fanned across the plan's
+// batch worker pool.
+func ExtractPlan(plan *dsp.Plan, vectors []linalg.Vector, nDays int) ([]Features, error) {
+	if len(vectors) == 0 {
+		return nil, ErrNoVectors
+	}
+	n := plan.N()
 	week, day, half, err := dsp.PrincipalBins(n, nDays)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Features, len(vectors))
+	signals := make([][]float64, len(vectors))
 	for i, v := range vectors {
 		if len(v) != n {
 			return nil, fmt.Errorf("%w: vector %d has %d samples, want %d", ErrBadShape, i, len(v), n)
 		}
-		spec, err := dsp.NewSpectrum(v)
-		if err != nil {
-			return nil, err
-		}
-		comps, err := spec.Components(week, day, half)
-		if err != nil {
-			return nil, err
-		}
+		signals[i] = v
+	}
+	out := make([]Features, len(vectors))
+	err = plan.BatchTransform(signals, func(i int, spectrum []complex128) error {
+		scale := 1 / float64(n)
+		cw, cd, ch := spectrum[week], spectrum[day], spectrum[half]
 		out[i] = Features{
 			Index:        i,
-			AmpWeek:      comps[0].Amplitude / float64(n),
-			PhaseWeek:    comps[0].Phase,
-			AmpDay:       comps[1].Amplitude / float64(n),
-			PhaseDay:     comps[1].Phase,
-			AmpHalfDay:   comps[2].Amplitude / float64(n),
-			PhaseHalfDay: comps[2].Phase,
+			AmpWeek:      cmplx.Abs(cw) * scale,
+			PhaseWeek:    cmplx.Phase(cw),
+			AmpDay:       cmplx.Abs(cd) * scale,
+			PhaseDay:     cmplx.Phase(cd),
+			AmpHalfDay:   cmplx.Abs(ch) * scale,
+			PhaseHalfDay: cmplx.Phase(ch),
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -99,26 +119,44 @@ func AmplitudeVariance(vectors []linalg.Vector, maxBin int) ([]float64, error) {
 	if len(vectors) == 0 {
 		return nil, ErrNoVectors
 	}
-	n := len(vectors[0])
+	plan, err := dsp.AcquirePlan(len(vectors[0]))
+	if err != nil {
+		return nil, err
+	}
+	defer plan.Release()
+	return AmplitudeVariancePlan(plan, vectors, maxBin)
+}
+
+// AmplitudeVariancePlan is AmplitudeVariance using the caller's FFT plan,
+// fanning the per-tower transforms across the batch worker pool.
+func AmplitudeVariancePlan(plan *dsp.Plan, vectors []linalg.Vector, maxBin int) ([]float64, error) {
+	if len(vectors) == 0 {
+		return nil, ErrNoVectors
+	}
+	n := plan.N()
 	if maxBin <= 0 || maxBin > n {
 		return nil, fmt.Errorf("freqdomain: maxBin %d out of range (0,%d]", maxBin, n)
+	}
+	signals := make([][]float64, len(vectors))
+	for i, v := range vectors {
+		if len(v) != n {
+			return nil, fmt.Errorf("%w: vector %d has %d samples, want %d", ErrBadShape, i, len(v), n)
+		}
+		signals[i] = v
 	}
 	amps := make([]linalg.Vector, maxBin)
 	for k := range amps {
 		amps[k] = make(linalg.Vector, len(vectors))
 	}
-	for i, v := range vectors {
-		if len(v) != n {
-			return nil, fmt.Errorf("%w: vector %d has %d samples, want %d", ErrBadShape, i, len(v), n)
-		}
-		spec, err := dsp.DFT(v)
-		if err != nil {
-			return nil, err
-		}
+	err := plan.BatchTransform(signals, func(i int, spectrum []complex128) error {
 		for k := 0; k < maxBin; k++ {
-			re, im := real(spec[k]), imag(spec[k])
+			re, im := real(spectrum[k]), imag(spectrum[k])
 			amps[k][i] = math.Sqrt(re*re+im*im) / float64(n)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float64, maxBin)
 	for k := range out {

@@ -85,12 +85,24 @@ func (m *Matrix) MulVec(v Vector) (Vector, error) {
 // Transpose returns mᵀ.
 func (m *Matrix) Transpose() *Matrix {
 	out := NewMatrix(m.Cols, m.Rows)
+	_ = m.TransposeInto(out) // shapes match by construction
+	return out
+}
+
+// TransposeInto writes mᵀ into dst, which must be Cols×Rows and must not
+// share storage with m. It allows iterative algorithms to reuse one
+// transpose buffer across iterations.
+func (m *Matrix) TransposeInto(dst *Matrix) error {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		return fmt.Errorf("%w: transpose of %dx%d into %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, dst.Rows, dst.Cols)
+	}
 	for i := 0; i < m.Rows; i++ {
-		for j := 0; j < m.Cols; j++ {
-			out.Set(j, i, m.At(i, j))
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			dst.Data[j*dst.Cols+i] = x
 		}
 	}
-	return out
+	return nil
 }
 
 // Mul returns m · other.
@@ -99,18 +111,39 @@ func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: %dx%d times %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, other.Rows, other.Cols)
 	}
 	out := NewMatrix(m.Rows, other.Cols)
+	if err := m.MulInto(out, other); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulInto writes m · other into dst, which must be Rows×other.Cols and must
+// not share storage with m or other. Reusing dst across calls avoids the
+// per-iteration allocations of Mul in iterative algorithms.
+func (m *Matrix) MulInto(dst, other *Matrix) error {
+	if m.Cols != other.Rows {
+		return fmt.Errorf("%w: %dx%d times %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	if dst.Rows != m.Rows || dst.Cols != other.Cols {
+		return fmt.Errorf("%w: product %dx%d into %dx%d", ErrDimensionMismatch, m.Rows, other.Cols, dst.Rows, dst.Cols)
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		for k := 0; k < m.Cols; k++ {
 			a := m.At(i, k)
 			if a == 0 {
 				continue
 			}
-			for j := 0; j < other.Cols; j++ {
-				out.Data[i*out.Cols+j] += a * other.At(k, j)
+			out := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			row := other.Data[k*other.Cols : (k+1)*other.Cols]
+			for j, x := range row {
+				out[j] += a * x
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // SolveSPD solves the linear system A·x = b for a symmetric positive

@@ -112,45 +112,56 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 		h.Data[i] = rng.Float64()*scale + epsilon
 	}
 
+	// Scratch matrices for the multiplicative updates, allocated once and
+	// reused across iterations (the updates would otherwise reallocate
+	// every W·H-shaped product each round).
+	var (
+		wt   = linalg.NewMatrix(r, n)
+		wtv  = linalg.NewMatrix(r, m)
+		wtw  = linalg.NewMatrix(r, r)
+		wtwh = linalg.NewMatrix(r, m)
+		ht   = linalg.NewMatrix(m, r)
+		vht  = linalg.NewMatrix(n, r)
+		wh   = linalg.NewMatrix(n, m)
+		whht = linalg.NewMatrix(n, r)
+	)
 	prevErr := math.Inf(1)
 	iterations := 0
 	for ; iterations < opts.MaxIterations; iterations++ {
 		// H ← H ∘ (Wᵀ V) / (Wᵀ W H)
-		wt := w.Transpose()
-		wtv, err := wt.Mul(v)
-		if err != nil {
+		if err := w.TransposeInto(wt); err != nil {
 			return nil, err
 		}
-		wtw, err := wt.Mul(w)
-		if err != nil {
+		if err := wt.MulInto(wtv, v); err != nil {
 			return nil, err
 		}
-		wtwh, err := wtw.Mul(h)
-		if err != nil {
+		if err := wt.MulInto(wtw, w); err != nil {
+			return nil, err
+		}
+		if err := wtw.MulInto(wtwh, h); err != nil {
 			return nil, err
 		}
 		for i := range h.Data {
 			h.Data[i] *= wtv.Data[i] / (wtwh.Data[i] + epsilon)
 		}
 		// W ← W ∘ (V Hᵀ) / (W H Hᵀ)
-		ht := h.Transpose()
-		vht, err := v.Mul(ht)
-		if err != nil {
+		if err := h.TransposeInto(ht); err != nil {
 			return nil, err
 		}
-		wh, err := w.Mul(h)
-		if err != nil {
+		if err := v.MulInto(vht, ht); err != nil {
 			return nil, err
 		}
-		whht, err := wh.Mul(ht)
-		if err != nil {
+		if err := w.MulInto(wh, h); err != nil {
+			return nil, err
+		}
+		if err := wh.MulInto(whht, ht); err != nil {
 			return nil, err
 		}
 		for i := range w.Data {
 			w.Data[i] *= vht.Data[i] / (whht.Data[i] + epsilon)
 		}
 		// Convergence check on the reconstruction error.
-		cur := frobeniusError(v, w, h)
+		cur := frobeniusError(v, w, h, wh)
 		if prevErr-cur < opts.Tolerance*(prevErr+epsilon) {
 			prevErr = cur
 			iterations++
@@ -159,7 +170,7 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 		prevErr = cur
 	}
 
-	finalErr := frobeniusError(v, w, h)
+	finalErr := frobeniusError(v, w, h, wh)
 	rel := 0.0
 	if norm > 0 {
 		rel = finalErr / norm
@@ -167,10 +178,9 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 	return &Result{W: w, H: h, FrobeniusError: finalErr, RelativeError: rel, Iterations: iterations}, nil
 }
 
-// frobeniusError computes ‖V − W·H‖_F.
-func frobeniusError(v, w, h *linalg.Matrix) float64 {
-	wh, err := w.Mul(h)
-	if err != nil {
+// frobeniusError computes ‖V − W·H‖_F, using wh as the product scratch.
+func frobeniusError(v, w, h, wh *linalg.Matrix) float64 {
+	if err := w.MulInto(wh, h); err != nil {
 		return math.Inf(1)
 	}
 	var s float64
