@@ -15,6 +15,8 @@ package repro
 // benchmark iteration then measures only the experiment's own work.
 
 import (
+	"math"
+	"math/rand"
 	"os"
 	"sync"
 	"testing"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/forecast"
 	"repro/internal/label"
+	"repro/internal/linalg"
 	"repro/internal/nmf"
 	"repro/internal/pipeline"
 	"repro/internal/synth"
@@ -444,4 +447,108 @@ func formatNoise(noise float64) string {
 	default:
 		return "noise-0.40"
 	}
+}
+
+// --- Modeling engine ----------------------------------------------------
+
+// The modeling-engine benchmarks measure the deterministic parallel stage
+// (condensed NN-chain hierarchical clustering, chunked k-means, parallel
+// NMF) on synthetic traffic-shaped vectors at one week of 10-minute slots.
+// The default tower count keeps the CI benchmark smoke run fast; set
+// REPRO_BENCH_SCALE=paper for the ≈10k towers of the paper's deployment.
+// Each benchmark has a serial and an all-cores sub-run so the multi-core
+// speedup is visible directly in the output.
+
+const modelSlots = 7 * 144 // one week of 10-minute slots
+
+func modelTowers() int {
+	if os.Getenv("REPRO_BENCH_SCALE") == "paper" {
+		return 10000
+	}
+	return 1000
+}
+
+var (
+	modelPointsOnce sync.Once
+	modelRawRows    []linalg.Vector
+	modelNormRows   []linalg.Vector
+)
+
+// modelingPoints generates diurnal traffic-shaped rows once per process:
+// raw (non-negative, for NMF) and z-scored (for the clustering paths).
+func modelingPoints(b *testing.B) (raw, norm []linalg.Vector) {
+	b.Helper()
+	modelPointsOnce.Do(func() {
+		rng := rand.New(rand.NewSource(97))
+		towers := modelTowers()
+		modelRawRows = make([]linalg.Vector, towers)
+		modelNormRows = make([]linalg.Vector, towers)
+		for i := range modelRawRows {
+			row := make(linalg.Vector, modelSlots)
+			phase := rng.Float64() * 2 * math.Pi
+			amp := rng.Float64()*40 + 10
+			for j := range row {
+				hour := float64(j%144) / 144 * 2 * math.Pi
+				row[j] = amp*(1.3+math.Sin(hour+phase)) + rng.Float64()*3
+			}
+			modelRawRows[i] = row
+			modelNormRows[i] = linalg.ZScoreNormalize(row)
+		}
+	})
+	return modelRawRows, modelNormRows
+}
+
+// benchWorkers runs fn once per parallelism level (serial vs all cores).
+func benchWorkers(b *testing.B, fn func(b *testing.B, workers int)) {
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"allcores", 0}} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b, c.workers)
+		})
+	}
+}
+
+// BenchmarkCluster_Hierarchical measures the condensed NN-chain engine on
+// the week-long vectors (the paper's pattern-identifier stage).
+func BenchmarkCluster_Hierarchical(b *testing.B) {
+	_, norm := modelingPoints(b)
+	benchWorkers(b, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.HierarchicalWorkers(norm, cluster.AverageLinkage, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCluster_KMeans measures the chunked-assignment k-means baseline
+// with concurrent seeded restarts.
+func BenchmarkCluster_KMeans(b *testing.B) {
+	_, norm := modelingPoints(b)
+	benchWorkers(b, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			opts := cluster.KMeansOptions{K: 5, Seed: 3, Restarts: 2, MaxIterations: 25, Workers: workers}
+			if _, err := cluster.KMeans(norm, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkNMF_Factorize measures the rank-5 factorisation of the raw
+// traffic matrix with the blocked parallel matrix kernels.
+func BenchmarkNMF_Factorize(b *testing.B) {
+	raw, _ := modelingPoints(b)
+	benchWorkers(b, func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			opts := nmf.Options{Rank: 5, Seed: 3, MaxIterations: 30, Workers: workers}
+			if _, err := nmf.Factorize(raw, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -11,11 +11,18 @@
 // plus the cleaner's dedup state (~40 bytes per distinct connection, or a
 // hard bound when -dedup-window is set).
 //
+// The modeling stage (hierarchical clustering, NMF basis extraction,
+// k-means baseline) runs in parallel; -workers bounds the goroutines and
+// a given -seed produces bit-identical results for any worker count.
+// -nmf-rank sizes the NMF decomposition (default: one basis pattern per
+// identified cluster; 0 disables the stage).
+//
 // Examples:
 //
 //	analyze -trace ./trace
 //	analyze -synthetic -towers 600 -days 28
 //	analyze -synthetic -stream -towers 400 -days 28
+//	analyze -synthetic -workers 4 -seed 7 -nmf-rank 5
 package main
 
 import (
@@ -46,19 +53,27 @@ func main() {
 		stream    = flag.Bool("stream", false, "with -synthetic, ingest the city's CDR log through the full streaming path instead of the pre-aggregated series fast path")
 		towers    = flag.Int("towers", 600, "towers for -synthetic")
 		days      = flag.Int("days", 28, "days for -synthetic")
-		seed      = flag.Int64("seed", 1, "seed for -synthetic")
+		seed      = flag.Int64("seed", 1, "seed for -synthetic city generation and for the modeling stage (NMF initialisation, k-means restarts)")
 		clusters  = flag.Int("k", 0, "force the number of clusters (0 = pick by Davies-Bouldin index)")
 		window    = flag.Int("dedup-window", 0, "bound the streaming cleaner's dedup state to ~this many recent records (0 = exact, unbounded); copies of a connection arriving further apart than the window are not deduplicated")
+		workers   = flag.Int("workers", 0, "bound the parallelism of the modeling stage (0 = all cores); results are identical for any value")
+		nmfRank   = flag.Int("nmf-rank", core.NMFRankAuto, "NMF decomposition rank (-1 = one basis per cluster, 0 = skip the NMF stage)")
 	)
 	flag.Parse()
 
-	if err := run(*traceDir, *synthetic, *stream, *towers, *days, *seed, *clusters, *window); err != nil {
+	if err := run(*traceDir, *synthetic, *stream, *towers, *days, *seed, *clusters, *window, *workers, *nmfRank); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(traceDir string, synthetic, stream bool, towers, days int, seed int64, forceK, dedupWindow int) error {
-	opts := core.Options{ForceK: forceK, CleanWindow: dedupWindow}
+func run(traceDir string, synthetic, stream bool, towers, days int, seed int64, forceK, dedupWindow, workers, nmfRank int) error {
+	opts := core.Options{
+		ForceK:      forceK,
+		CleanWindow: dedupWindow,
+		Workers:     workers,
+		Seed:        seed,
+		NMFRank:     nmfRank,
+	}
 	var (
 		res *core.Result
 		err error
@@ -241,6 +256,23 @@ func printResult(res *core.Result) {
 		t3.AddRow(c.Region.String(), c.AveragedPOI[poi.Resident], c.AveragedPOI[poi.Transport], c.AveragedPOI[poi.Office], c.AveragedPOI[poi.Entertainment])
 	}
 	fmt.Println(t3.String())
+
+	if res.NMF != nil {
+		tn := &report.Table{
+			Title:   "NMF decomposition: towers dominated by each basis pattern",
+			Headers: []string{"basis", "towers", "share"},
+		}
+		counts := make([]int, res.NMF.H.Rows)
+		for _, b := range res.DominantBasis {
+			counts[b]++
+		}
+		for b, c := range counts {
+			tn.AddRow(b, c, float64(c)/float64(len(res.DominantBasis)))
+		}
+		fmt.Println(tn.String())
+		fmt.Printf("NMF rank %d converged in %d iterations (relative error %.4f)\n\n",
+			res.NMF.H.Rows, res.NMF.Iterations, res.NMF.RelativeError)
+	}
 
 	t45 := &report.Table{
 		Title:   "Tables 4 & 5: time-domain characteristics (weekday)",

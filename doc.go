@@ -4,8 +4,12 @@
 //
 // The implementation lives under internal/: the synthetic city and trace
 // generator (internal/synth), the streaming ingestion and vectorisation
-// pipeline (internal/trace, internal/pipeline), the pattern identifier and
-// metric tuner (internal/cluster), the geographical labelling
+// pipeline (internal/trace, internal/pipeline), the deterministic parallel
+// modeling engine — the pattern identifier and metric tuner
+// (internal/cluster, condensed NN-chain hierarchical clustering and a
+// chunked k-means baseline) plus NMF basis extraction (internal/nmf) on
+// the blocked parallel kernels of internal/linalg, bit-identical for any
+// worker count under a fixed seed — the geographical labelling
 // (internal/poi, internal/label), the time- and frequency-domain analyses
 // (internal/timedomain, internal/freqdomain — the latter driven by the
 // plan-based FFT engine of internal/dsp, whose dsp.Plan precomputes twiddle

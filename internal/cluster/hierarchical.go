@@ -11,9 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/linalg"
 )
@@ -78,48 +78,137 @@ type Dendrogram struct {
 }
 
 // Hierarchical builds the dendrogram of the points under the given linkage
-// using the nearest-neighbour-chain algorithm, which runs in O(N²) time and
-// O(N²) memory for the distance matrix. Distances are Euclidean, matching
-// the paper.
+// using the nearest-neighbour-chain algorithm over a condensed
+// upper-triangular distance matrix: O(N²) time, N(N-1)/2 matrix entries
+// (half the memory of the previous full-matrix path) and O(N) extra
+// scratch for the chain. Distances are Euclidean, matching the paper.
+// The distance matrix is computed with GOMAXPROCS workers; see
+// HierarchicalWorkers to bound the parallelism.
 func Hierarchical(points []linalg.Vector, linkage Linkage) (*Dendrogram, error) {
+	return HierarchicalWorkers(points, linkage, 0)
+}
+
+// HierarchicalWorkers is Hierarchical with an explicit bound on the
+// goroutines used for the distance matrix (≤ 0 means GOMAXPROCS). The
+// result is bit-identical for any worker count: every matrix entry is
+// computed independently and the agglomeration itself is sequential.
+func HierarchicalWorkers(points []linalg.Vector, linkage Linkage, workers int) (*Dendrogram, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, ErrNoPoints
 	}
-	dim := len(points[0])
-	for i, p := range points {
-		if len(p) != dim {
-			return nil, fmt.Errorf("%w: point %d has %d dims, want %d", ErrShapeRagged, i, len(p), dim)
-		}
+	switch linkage {
+	case AverageLinkage, SingleLinkage, CompleteLinkage:
+	default:
+		return nil, fmt.Errorf("cluster: unknown linkage %v", linkage)
 	}
 	if n == 1 {
 		return &Dendrogram{N: 1, Linkage: linkage, Merges: nil}, nil
 	}
 
-	dist, err := distanceMatrix(points)
+	dist, err := condensedDistances(points, workers)
 	if err != nil {
 		return nil, err
 	}
+	slotMerges, err := nnChain(dist, linkage)
+	if err != nil {
+		return nil, err
+	}
+	return relabelMerges(n, linkage, slotMerges), nil
+}
 
-	// Active cluster bookkeeping. Slot i of the matrices always holds the
-	// "current" cluster occupying the slot of original leaf i. Merges are
-	// recorded against slots and converted into dendrogram node IDs after
-	// sorting by distance (the NN-chain finds reciprocal pairs in an order
-	// that is not globally sorted; for reducible linkages the sorted order
-	// is a valid agglomeration order).
+// condensed is an upper-triangular N×N distance matrix stored as the
+// N(N-1)/2 entries above the diagonal, row-major: row i holds the
+// distances to j ∈ (i, N) in a contiguous run.
+type condensed struct {
+	n int
+	d []float64
+}
+
+func newCondensed(n int) condensed {
+	return condensed{n: n, d: make([]float64, n*(n-1)/2)}
+}
+
+// index maps an unordered pair (i ≠ j) to its condensed offset.
+func (c condensed) index(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return i*(2*c.n-i-1)/2 + (j - i - 1)
+}
+
+func (c condensed) at(i, j int) float64     { return c.d[c.index(i, j)] }
+func (c condensed) set(i, j int, v float64) { c.d[c.index(i, j)] = v }
+
+// row returns the contiguous slice of distances from i to j ∈ (i, N).
+func (c condensed) row(i int) []float64 {
+	lo := c.index(i, i+1)
+	return c.d[lo : lo+c.n-1-i]
+}
+
+// condensedDistances computes the condensed Euclidean distance matrix with
+// up to `workers` goroutines (≤ 0 means GOMAXPROCS). Dimensions are
+// validated up front, before any worker starts, so a ragged input can
+// never strand the work distribution (the previous full-matrix path fed
+// an unbuffered channel and could deadlock if every worker exited early
+// on a SquaredDistance error). Workers claim rows from an atomic counter,
+// so there is no producer to block.
+func condensedDistances(points []linalg.Vector, workers int) (condensed, error) {
+	n := len(points)
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return condensed{}, fmt.Errorf("%w: point %d has %d dims, want %d", ErrShapeRagged, i, len(p), dim)
+		}
+	}
+	c := newCondensed(n)
+	workers = linalg.ResolveWorkers(workers)
+	if workers > n-1 {
+		workers = n - 1
+	}
+	var nextRow atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextRow.Add(1)) - 1
+				if i >= n-1 {
+					return
+				}
+				row := c.row(i)
+				pi := points[i]
+				for k := range row {
+					sq, _ := linalg.SquaredDistance(pi, points[i+1+k])
+					row[k] = math.Sqrt(sq)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return c, nil
+}
+
+// slotMerge records one agglomeration against matrix slots: slot i always
+// holds the current cluster occupying the slot of original leaf i.
+type slotMerge struct {
+	slotA, slotB int
+	distance     float64
+}
+
+// nnChain runs the nearest-neighbour-chain agglomeration over the condensed
+// matrix, destroying it in the process. Extra scratch is O(N): the active
+// and size arrays plus the chain stack. Merges are recorded against slots
+// in discovery order, which for reducible linkages (average, single,
+// complete) sorts into a valid agglomeration order.
+func nnChain(dist condensed, linkage Linkage) ([]slotMerge, error) {
+	n := dist.n
 	active := make([]bool, n)
 	size := make([]int, n)
 	for i := range active {
 		active[i] = true
 		size[i] = 1
-	}
-
-	d := func(i, j int) float64 { return dist[i*n+j] }
-	setD := func(i, j int, v float64) { dist[i*n+j] = v; dist[j*n+i] = v }
-
-	type slotMerge struct {
-		slotA, slotB int
-		distance     float64
 	}
 	slotMerges := make([]slotMerge, 0, n-1)
 	chain := make([]int, 0, n)
@@ -145,7 +234,7 @@ func Hierarchical(points []linalg.Vector, linkage Linkage) (*Dendrogram, error) 
 				if j == top || !active[j] {
 					continue
 				}
-				if dj := d(top, j); dj < bestDist {
+				if dj := dist.at(top, j); dj < bestDist {
 					best, bestDist = j, dj
 				}
 			}
@@ -168,15 +257,13 @@ func Hierarchical(points []linalg.Vector, linkage Linkage) (*Dendrogram, error) 
 					var nd float64
 					switch linkage {
 					case AverageLinkage:
-						nd = (float64(na)*d(a, k) + float64(nb)*d(b, k)) / float64(na+nb)
+						nd = (float64(na)*dist.at(a, k) + float64(nb)*dist.at(b, k)) / float64(na+nb)
 					case SingleLinkage:
-						nd = math.Min(d(a, k), d(b, k))
+						nd = math.Min(dist.at(a, k), dist.at(b, k))
 					case CompleteLinkage:
-						nd = math.Max(d(a, k), d(b, k))
-					default:
-						return nil, fmt.Errorf("cluster: unknown linkage %v", linkage)
+						nd = math.Max(dist.at(a, k), dist.at(b, k))
 					}
-					setD(a, k, nd)
+					dist.set(a, k, nd)
 				}
 				slotMerges = append(slotMerges, slotMerge{slotA: a, slotB: b, distance: bestDist})
 				active[b] = false
@@ -186,9 +273,12 @@ func Hierarchical(points []linalg.Vector, linkage Linkage) (*Dendrogram, error) 
 			chain = append(chain, best)
 		}
 	}
+	return slotMerges, nil
+}
 
-	// Sort merges by distance and relabel slots into dendrogram node IDs
-	// with a union-find over the leaves.
+// relabelMerges sorts slot merges by distance and relabels slots into
+// dendrogram node IDs with a union-find over the leaves.
+func relabelMerges(n int, linkage Linkage, slotMerges []slotMerge) *Dendrogram {
 	sort.SliceStable(slotMerges, func(i, j int) bool { return slotMerges[i].distance < slotMerges[j].distance })
 	parent := make([]int, 2*n-1)
 	nodeSize := make([]int, 2*n-1)
@@ -215,46 +305,7 @@ func Hierarchical(points []linalg.Vector, linkage Linkage) (*Dendrogram, error) 
 		nodeSize[newNode] = nodeSize[ra] + nodeSize[rb]
 		merges = append(merges, Merge{A: ra, B: rb, Distance: sm.distance, Size: nodeSize[newNode]})
 	}
-	return &Dendrogram{N: n, Linkage: linkage, Merges: merges}, nil
-}
-
-// distanceMatrix computes the full N×N Euclidean distance matrix in
-// parallel.
-func distanceMatrix(points []linalg.Vector) ([]float64, error) {
-	n := len(points)
-	dist := make([]float64, n*n)
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	rows := make(chan int)
-	errOnce := sync.Once{}
-	var firstErr error
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range rows {
-				for j := i + 1; j < n; j++ {
-					sq, err := linalg.SquaredDistance(points[i], points[j])
-					if err != nil {
-						errOnce.Do(func() { firstErr = err })
-						return
-					}
-					v := math.Sqrt(sq)
-					dist[i*n+j] = v
-					dist[j*n+i] = v
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		rows <- i
-	}
-	close(rows)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return dist, nil
+	return &Dendrogram{N: n, Linkage: linkage, Merges: merges}
 }
 
 // Assignment maps each input point to a cluster label in [0, K).

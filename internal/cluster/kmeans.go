@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/linalg"
 )
@@ -19,6 +21,13 @@ type KMeansOptions struct {
 	// Restarts runs the algorithm this many times with different
 	// initialisations and keeps the lowest-inertia result (default 1).
 	Restarts int
+	// Workers bounds the goroutines used for the assignment step and for
+	// running restarts concurrently (≤ 0 means GOMAXPROCS). The result is
+	// bit-identical for any Workers value: every restart draws from its own
+	// seeded RNG, per-point assignments are independent, and all floating-
+	// point reductions (centroid update, inertia) keep a fixed serial
+	// order.
+	Workers int
 }
 
 func (o KMeansOptions) withDefaults() KMeansOptions {
@@ -44,7 +53,11 @@ type KMeansResult struct {
 
 // KMeans clusters the points with Lloyd's algorithm and k-means++
 // initialisation. It is the baseline the benchmark harness compares the
-// paper's hierarchical clustering against.
+// paper's hierarchical clustering against. Restarts run concurrently, each
+// with its own RNG seeded from Seed and the restart index, so the outcome
+// does not depend on scheduling: the best result is selected by scanning
+// the restarts in index order with a strict inertia comparison, exactly as
+// the serial loop did.
 func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 	opts = opts.withDefaults()
 	n := len(points)
@@ -61,13 +74,48 @@ func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 		}
 	}
 
-	var best *KMeansResult
-	for r := 0; r < opts.Restarts; r++ {
-		rng := rand.New(rand.NewSource(opts.Seed + int64(r)*104729))
-		res, err := kmeansOnce(points, opts, rng)
+	workers := linalg.ResolveWorkers(opts.Workers)
+	restartRNG := func(r int) *rand.Rand {
+		return rand.New(rand.NewSource(opts.Seed + int64(r)*104729))
+	}
+	results := make([]*KMeansResult, opts.Restarts)
+	errs := make([]error, opts.Restarts)
+	if workers == 1 || opts.Restarts == 1 {
+		for r := range results {
+			results[r], errs[r] = kmeansOnce(points, opts, restartRNG(r), workers)
+		}
+	} else {
+		// Concurrent restarts, bounded by the worker budget: at most
+		// `concurrent` restarts run at once, each chunking its assignment
+		// step across the remaining budget, so the total goroutine count
+		// stays within Workers.
+		concurrent := workers
+		if concurrent > opts.Restarts {
+			concurrent = opts.Restarts
+		}
+		inner := workers / concurrent
+		sem := make(chan struct{}, concurrent)
+		var wg sync.WaitGroup
+		for r := range results {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(r int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[r], errs[r] = kmeansOnce(points, opts, restartRNG(r), inner)
+			}(r)
+		}
+		wg.Wait()
+	}
+	// Deterministic selection: first error, then lowest inertia, both in
+	// restart order.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	var best *KMeansResult
+	for _, res := range results {
 		if best == nil || res.Inertia < best.Inertia {
 			best = res
 		}
@@ -75,37 +123,36 @@ func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 	return best, nil
 }
 
-func kmeansOnce(points []linalg.Vector, opts KMeansOptions, rng *rand.Rand) (*KMeansResult, error) {
+// kmeansOnce runs one restart. The RNG is consumed only by the serial
+// phases (k-means++ initialisation and the empty-cluster reseeding of the
+// update step), so the draw sequence — and with it the result — is
+// independent of the worker count.
+func kmeansOnce(points []linalg.Vector, opts KMeansOptions, rng *rand.Rand, workers int) (*KMeansResult, error) {
 	n := len(points)
 	centroids, err := kmeansPlusPlusInit(points, opts.K, rng)
 	if err != nil {
 		return nil, err
 	}
 	labels := make([]int, n)
+	// pointDist[i] is the squared distance of point i to its assigned (or,
+	// after the final pass, nearest) centroid — per-point scratch shared by
+	// the assignment workers, each writing a disjoint chunk.
+	pointDist := make([]float64, n)
 	var iterations int
 	for iterations = 0; iterations < opts.MaxIterations; iterations++ {
-		changed := false
-		// Assignment step.
-		for i, p := range points {
-			best, bestDist := 0, math.Inf(1)
-			for c, centroid := range centroids {
-				d, err := linalg.SquaredDistance(p, centroid)
-				if err != nil {
-					return nil, err
-				}
-				if d < bestDist {
-					best, bestDist = c, d
-				}
-			}
-			if labels[i] != best {
-				labels[i] = best
-				changed = true
-			}
+		// Assignment step, chunked across workers. Each point's nearest
+		// centroid is independent of every other point, so the chunking
+		// cannot change the outcome.
+		changed, err := assignChunked(points, centroids, labels, pointDist, workers)
+		if err != nil {
+			return nil, err
 		}
 		if !changed && iterations > 0 {
 			break
 		}
-		// Update step.
+		// Update step: kept serial so the centroid sums accumulate in point
+		// order and the empty-cluster reseeding consumes the RNG in the
+		// same sequence as a serial run.
 		dim := len(points[0])
 		sums := make([]linalg.Vector, opts.K)
 		counts := make([]int, opts.K)
@@ -127,12 +174,14 @@ func kmeansOnce(points []linalg.Vector, opts KMeansOptions, rng *rand.Rand) (*KM
 			centroids[c] = sums[c].Scale(1 / float64(counts[c]))
 		}
 	}
+	// Final inertia of the assigned labels against the final centroids:
+	// distances in parallel, reduced serially in point order so the sum is
+	// bit-identical to the serial loop.
+	if err := assignedDistances(points, centroids, labels, pointDist, workers); err != nil {
+		return nil, err
+	}
 	var inertia float64
-	for i, p := range points {
-		d, err := linalg.SquaredDistance(p, centroids[labels[i]])
-		if err != nil {
-			return nil, err
-		}
+	for _, d := range pointDist {
 		inertia += d
 	}
 	return &KMeansResult{
@@ -141,6 +190,79 @@ func kmeansOnce(points []linalg.Vector, opts KMeansOptions, rng *rand.Rand) (*KM
 		Inertia:    inertia,
 		Iterations: iterations,
 	}, nil
+}
+
+// chunkPoints splits [0, n) into at most `workers` contiguous chunks and
+// runs fn on each concurrently, returning the first error by chunk order.
+func chunkPoints(n, workers int, fn func(lo, hi int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// assignChunked relabels every point to its nearest centroid (ties to the
+// lowest centroid index, as in the serial scan) and reports whether any
+// label changed. dist[i] receives the squared distance of point i to its
+// new centroid.
+func assignChunked(points []linalg.Vector, centroids []linalg.Vector, labels []int, dist []float64, workers int) (bool, error) {
+	var changed atomic.Bool
+	err := chunkPoints(len(points), workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			best, bestDist := 0, math.Inf(1)
+			for c, centroid := range centroids {
+				d, err := linalg.SquaredDistance(points[i], centroid)
+				if err != nil {
+					return err
+				}
+				if d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			dist[i] = bestDist
+			if labels[i] != best {
+				labels[i] = best
+				changed.Store(true)
+			}
+		}
+		return nil
+	})
+	return changed.Load(), err
+}
+
+// assignedDistances fills dist[i] with the squared distance of point i to
+// its ASSIGNED centroid (labels are not touched) — the final-inertia pass.
+func assignedDistances(points []linalg.Vector, centroids []linalg.Vector, labels []int, dist []float64, workers int) error {
+	return chunkPoints(len(points), workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			d, err := linalg.SquaredDistance(points[i], centroids[labels[i]])
+			if err != nil {
+				return err
+			}
+			dist[i] = d
+		}
+		return nil
+	})
 }
 
 // kmeansPlusPlusInit picks initial centroids with the k-means++ scheme:

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// This file retains the pre-condensed agglomeration paths as test oracles
+// for the production NN-chain engine in hierarchical.go. They are compiled
+// into the package (not the tests) so the benchmark harness can also pit
+// the production path against them, but nothing outside the oracle
+// property tests and benchmarks should call them: both are strictly slower
+// and the naive path is O(N³).
+
+// hierarchicalNaive is the textbook agglomeration: scan every active pair
+// for the global minimum linkage distance, merge, apply the Lance–Williams
+// update on a full N×N matrix, repeat. O(N³) time, O(N²) memory — slow but
+// obviously correct, which is exactly what an oracle should be.
+func hierarchicalNaive(points []linalg.Vector, linkage Linkage) (*Dendrogram, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	switch linkage {
+	case AverageLinkage, SingleLinkage, CompleteLinkage:
+	default:
+		return nil, fmt.Errorf("cluster: unknown linkage %v", linkage)
+	}
+	if n == 1 {
+		return &Dendrogram{N: 1, Linkage: linkage, Merges: nil}, nil
+	}
+	dist, err := distanceMatrix(points)
+	if err != nil {
+		return nil, err
+	}
+	d := func(i, j int) float64 { return dist[i*n+j] }
+	setD := func(i, j int, v float64) { dist[i*n+j] = v; dist[j*n+i] = v }
+
+	active := make([]bool, n)
+	size := make([]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+	}
+	slotMerges := make([]slotMerge, 0, n-1)
+	for len(slotMerges) < n-1 {
+		// Global minimum over all active pairs, first pair in (i,j) scan
+		// order on ties.
+		bestA, bestB, bestDist := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if dj := d(i, j); dj < bestDist {
+					bestA, bestB, bestDist = i, j, dj
+				}
+			}
+		}
+		a, b := bestA, bestB
+		na, nb := size[a], size[b]
+		for k := 0; k < n; k++ {
+			if !active[k] || k == a || k == b {
+				continue
+			}
+			var nd float64
+			switch linkage {
+			case AverageLinkage:
+				nd = (float64(na)*d(a, k) + float64(nb)*d(b, k)) / float64(na+nb)
+			case SingleLinkage:
+				nd = math.Min(d(a, k), d(b, k))
+			case CompleteLinkage:
+				nd = math.Max(d(a, k), d(b, k))
+			}
+			setD(a, k, nd)
+		}
+		slotMerges = append(slotMerges, slotMerge{slotA: a, slotB: b, distance: bestDist})
+		active[b] = false
+		size[a] = na + nb
+	}
+	return relabelMerges(n, linkage, slotMerges), nil
+}
+
+// distanceMatrix computes the full N×N Euclidean distance matrix in
+// parallel. The up-front dimension validation is the fix for the latent
+// deadlock the previous version had: SquaredDistance could fail mid-flight
+// on ragged input, every worker would exit early, and the producer was
+// stranded forever on the unbuffered send. The cancellable select in the
+// producer is defence in depth — unreachable today because validation
+// removes the only error source, but it keeps the fan-out pattern correct
+// if the worker loop ever gains another early exit.
+func distanceMatrix(points []linalg.Vector) ([]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("%w: point %d has %d dims, want %d", ErrShapeRagged, i, len(p), dim)
+		}
+	}
+	dist := make([]float64, n*n)
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	done := make(chan struct{})
+	errOnce := sync.Once{}
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				for j := i + 1; j < n; j++ {
+					sq, err := linalg.SquaredDistance(points[i], points[j])
+					if err != nil {
+						errOnce.Do(func() {
+							firstErr = err
+							close(done)
+						})
+						return
+					}
+					v := math.Sqrt(sq)
+					dist[i*n+j] = v
+					dist[j*n+i] = v
+				}
+			}
+		}()
+	}
+produce:
+	for i := 0; i < n; i++ {
+		select {
+		case rows <- i:
+		case <-done:
+			break produce
+		}
+	}
+	close(rows)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return dist, nil
+}

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/linalg"
+)
+
+// testWorkerCounts sweeps the serial path, fixed small counts, GOMAXPROCS
+// and the "all cores" default.
+func testWorkerCounts() []int {
+	return []int{1, 2, 4, runtime.GOMAXPROCS(0), 0}
+}
+
+// randomPoints draws n points with continuous coordinates, so pairwise
+// distances are distinct with probability 1 and the NN-chain and naive
+// agglomerations must produce the same dendrogram.
+func randomPoints(rng *rand.Rand, n, dim int) []linalg.Vector {
+	points := make([]linalg.Vector, n)
+	for i := range points {
+		p := make(linalg.Vector, dim)
+		for d := range p {
+			p[d] = rng.NormFloat64() * 3
+		}
+		points[i] = p
+	}
+	return points
+}
+
+// Property: the condensed NN-chain engine agrees with the naive O(N³)
+// global-minimum agglomeration oracle for every linkage — same merge
+// structure, same sizes, same distances (up to FP noise), and identical
+// partitions at every cut.
+func TestHierarchicalMatchesNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, linkage := range []Linkage{AverageLinkage, SingleLinkage, CompleteLinkage} {
+		for _, n := range []int{2, 3, 5, 13, 31, 60} {
+			points := randomPoints(rng, n, 4)
+			got, err := Hierarchical(points, linkage)
+			if err != nil {
+				t.Fatalf("%v n=%d: %v", linkage, n, err)
+			}
+			want, err := hierarchicalNaive(points, linkage)
+			if err != nil {
+				t.Fatalf("%v n=%d oracle: %v", linkage, n, err)
+			}
+			if len(got.Merges) != len(want.Merges) {
+				t.Fatalf("%v n=%d: %d merges, oracle %d", linkage, n, len(got.Merges), len(want.Merges))
+			}
+			for i := range got.Merges {
+				g, w := got.Merges[i], want.Merges[i]
+				// The pair within one merge is unordered: the chain can
+				// reach it from either side.
+				ga, gb := min(g.A, g.B), max(g.A, g.B)
+				wa, wb := min(w.A, w.B), max(w.A, w.B)
+				if ga != wa || gb != wb || g.Size != w.Size {
+					t.Fatalf("%v n=%d merge %d: got %+v, oracle %+v", linkage, n, i, g, w)
+				}
+				if diff := math.Abs(g.Distance - w.Distance); diff > 1e-9*(1+w.Distance) {
+					t.Fatalf("%v n=%d merge %d: distance %g, oracle %g", linkage, n, i, g.Distance, w.Distance)
+				}
+			}
+			for k := 1; k <= n && k <= 8; k++ {
+				ga, err := got.CutK(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wa, err := want.CutK(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(ga.Labels, wa.Labels) {
+					t.Fatalf("%v n=%d k=%d: labels %v, oracle %v", linkage, n, k, ga.Labels, wa.Labels)
+				}
+			}
+		}
+	}
+}
+
+// Property: the dendrogram is bit-identical for any worker count — the
+// distance matrix entries are each computed by exactly one goroutine and
+// the agglomeration is sequential.
+func TestHierarchicalWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	points := randomPoints(rng, 120, 6)
+	base, err := HierarchicalWorkers(points, AverageLinkage, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range testWorkerCounts() {
+		d, err := HierarchicalWorkers(points, AverageLinkage, workers)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(d, base) {
+			t.Fatalf("workers %d: dendrogram differs from serial run", workers)
+		}
+	}
+}
+
+// Regression for the latent deadlock in distanceMatrix: with ragged input
+// every worker used to exit early on the SquaredDistance error, stranding
+// the producer on the unbuffered rows channel forever. Both distance paths
+// now validate dimensions before any worker starts, so they must return
+// the dimension error promptly (the timeout is the deadlock detector).
+func TestDistanceMatrixRaggedNoDeadlock(t *testing.T) {
+	// Enough rows that the old producer outlived the workers' early exit.
+	points := make([]linalg.Vector, 256)
+	for i := range points {
+		points[i] = linalg.Vector{1, 2, 3}
+	}
+	points[1] = linalg.Vector{1} // ragged
+
+	type result struct {
+		name string
+		err  error
+	}
+	done := make(chan result, 2)
+	go func() {
+		_, err := distanceMatrix(points)
+		done <- result{"distanceMatrix", err}
+	}()
+	go func() {
+		_, err := condensedDistances(points, 0)
+		done <- result{"condensedDistances", err}
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-done:
+			if !errors.Is(r.err, ErrShapeRagged) {
+				t.Errorf("%s: error = %v, want ErrShapeRagged", r.name, r.err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("distance computation deadlocked on ragged input")
+		}
+	}
+}
+
+// The condensed index must cover every pair exactly once.
+func TestCondensedIndexing(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 12} {
+		c := newCondensed(n)
+		seen := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				idx := c.index(i, j)
+				if idx != c.index(j, i) {
+					t.Fatalf("n=%d: index(%d,%d) != index(%d,%d)", n, i, j, j, i)
+				}
+				if idx < 0 || idx >= len(c.d) {
+					t.Fatalf("n=%d: index(%d,%d) = %d out of [0,%d)", n, i, j, idx, len(c.d))
+				}
+				if seen[idx] {
+					t.Fatalf("n=%d: index(%d,%d) = %d already used", n, i, j, idx)
+				}
+				seen[idx] = true
+			}
+		}
+		if len(seen) != len(c.d) {
+			t.Fatalf("n=%d: %d distinct indices for %d entries", n, len(seen), len(c.d))
+		}
+		// row(i) must alias the same storage the pair index reaches.
+		for i := 0; i < n-1; i++ {
+			row := c.row(i)
+			if len(row) != n-1-i {
+				t.Fatalf("n=%d: row(%d) has %d entries, want %d", n, i, len(row), n-1-i)
+			}
+			row[0] = float64(i + 1)
+			if c.at(i, i+1) != float64(i+1) {
+				t.Fatalf("n=%d: row(%d) does not alias pair (%d,%d)", n, i, i, i+1)
+			}
+		}
+	}
+}
+
+// Property: KMeans is bit-identical for any Workers value — the serial path
+// (Workers=1) is the oracle for the chunked assignment step and the
+// concurrent restarts.
+func TestKMeansWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	points, _ := blobs(rng, 4, 60, 8, 2.5)
+	for _, maxIter := range []int{3, 100} { // exhaustion and convergence exits
+		opts := KMeansOptions{K: 4, Seed: 17, Restarts: 3, MaxIterations: maxIter}
+		opts.Workers = 1
+		serial, err := KMeans(points, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range testWorkerCounts() {
+			opts.Workers = workers
+			par, err := KMeans(points, opts)
+			if err != nil {
+				t.Fatalf("workers %d: %v", workers, err)
+			}
+			if !reflect.DeepEqual(par, serial) {
+				t.Fatalf("maxIter %d workers %d: result differs from serial run:\npar  %+v\nser  %+v",
+					maxIter, workers, par, serial)
+			}
+		}
+	}
+}
+
+func BenchmarkHierarchicalVsNaive400(b *testing.B) {
+	rng := rand.New(rand.NewSource(49))
+	points := randomPoints(rng, 400, 24)
+	b.Run("nnchain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Hierarchical(points, AverageLinkage); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := hierarchicalNaive(points, AverageLinkage); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

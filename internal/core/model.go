@@ -20,11 +20,16 @@ import (
 	"repro/internal/freqdomain"
 	"repro/internal/label"
 	"repro/internal/linalg"
+	"repro/internal/nmf"
 	"repro/internal/pipeline"
 	"repro/internal/poi"
 	"repro/internal/timedomain"
 	"repro/internal/urban"
 )
+
+// NMFRankAuto asks the NMF stage to use the selected cluster count as the
+// factorisation rank (one basis pattern per traffic pattern).
+const NMFRankAuto = -1
 
 // Options configure the end-to-end analysis. The zero value is usable and
 // matches the paper's configuration where applicable.
@@ -54,6 +59,23 @@ type Options struct {
 	// (~40 bytes per distinct connection). Ignored by Analyze, which
 	// takes an already-vectorised dataset.
 	CleanWindow int
+	// Workers bounds the goroutines of the modeling stage — the
+	// hierarchical clustering distance matrix, the NMF multiplicative
+	// updates and the k-means baseline (≤ 0 means GOMAXPROCS). The stage
+	// is deterministic: for a fixed Seed, every Workers value produces
+	// bit-identical assignments, factors and labels.
+	Workers int
+	// Seed drives the stochastic modeling components: the NMF random
+	// initialisation and the k-means++ restarts.
+	Seed int64
+	// NMFRank enables the NMF decomposition stage on the raw traffic
+	// matrix: a positive value is used as the rank directly, NMFRankAuto
+	// (-1) uses the selected cluster count, and 0 (the zero value) skips
+	// the stage.
+	NMFRank int
+	// KMeansRestarts enables the k-means baseline at the selected cluster
+	// count with this many restarts. 0 (the zero value) skips it.
+	KMeansRestarts int
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +146,16 @@ type Result struct {
 	// Labeling carries the full labelling diagnostics (Table 3 matrix,
 	// dominance).
 	Labeling *label.Result
+	// NMF is the non-negative factorisation of the raw traffic matrix,
+	// present only when Options.NMFRank enabled the stage.
+	NMF *nmf.Result
+	// DominantBasis[i] is the largest-weight NMF basis of dataset row i —
+	// the hard clustering induced by the factorisation. Nil unless the NMF
+	// stage ran.
+	DominantBasis []int
+	// KMeans is the k-means baseline at the selected cluster count,
+	// present only when Options.KMeansRestarts enabled it.
+	KMeans *cluster.KMeansResult
 }
 
 // Analyze runs the full pipeline on a vectorised dataset: clustering with
@@ -143,8 +175,10 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 
 	clock := timedomain.Clock{Start: ds.Start, SlotMinutes: ds.SlotMinutes}
 
-	// Pattern identifier: hierarchical clustering of normalised vectors.
-	dendro, err := cluster.Hierarchical(ds.Normalized, opts.Linkage)
+	// Pattern identifier: hierarchical clustering of normalised vectors
+	// (condensed NN-chain engine, distance matrix parallelised across
+	// opts.Workers goroutines).
+	dendro, err := cluster.HierarchicalWorkers(ds.Normalized, opts.Linkage, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
 	}
@@ -183,6 +217,45 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 	assign, err := dendro.CutK(k)
 	if err != nil {
 		return nil, fmt.Errorf("core: cutting dendrogram: %w", err)
+	}
+
+	// Optional decomposition models, both deterministic under opts.Seed
+	// for any opts.Workers value: NMF basis extraction on the raw traffic
+	// matrix (the related-work baseline the paper's convex combination is
+	// compared against) and the k-means baseline at the selected K.
+	var (
+		nmfRes        *nmf.Result
+		dominantBasis []int
+		kmRes         *cluster.KMeansResult
+	)
+	if opts.NMFRank != 0 {
+		rank := opts.NMFRank
+		if rank == NMFRankAuto {
+			rank = k
+			if rank > ds.NumSlots() {
+				rank = ds.NumSlots()
+			}
+		}
+		nmfRes, err = nmf.Factorize(ds.Raw, nmf.Options{
+			Rank:    rank,
+			Seed:    opts.Seed,
+			Workers: opts.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: NMF decomposition: %w", err)
+		}
+		dominantBasis = nmfRes.DominantBasis()
+	}
+	if opts.KMeansRestarts > 0 {
+		kmRes, err = cluster.KMeans(ds.Normalized, cluster.KMeansOptions{
+			K:        k,
+			Seed:     opts.Seed,
+			Restarts: opts.KMeansRestarts,
+			Workers:  opts.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: k-means baseline: %w", err)
+		}
 	}
 
 	// Geographical context: POI counting and cluster labelling.
@@ -262,6 +335,9 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 		Features:      features,
 		Clock:         clock,
 		Labeling:      labeling,
+		NMF:           nmfRes,
+		DominantBasis: dominantBasis,
+		KMeans:        kmRes,
 	}, nil
 }
 

@@ -29,6 +29,10 @@ type Scale struct {
 	Days int
 	// Seed drives the generator.
 	Seed int64
+	// Workers bounds the parallelism of the modeling stage (≤ 0 means
+	// GOMAXPROCS). Results are identical for any value — the modeling
+	// engine is deterministic — so experiments never depend on it.
+	Workers int
 }
 
 // SmallScale is a fast configuration used by unit tests and the quickstart:
@@ -71,7 +75,13 @@ func Build(scale Scale) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building dataset: %w", err)
 	}
-	res, err := core.Analyze(ds, city.POIs, core.Options{ForceK: 5, MinClusters: 2, MaxClusters: 10})
+	res, err := core.Analyze(ds, city.POIs, core.Options{
+		ForceK:      5,
+		MinClusters: 2,
+		MaxClusters: 10,
+		Workers:     scale.Workers,
+		Seed:        scale.Seed,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: analysing: %w", err)
 	}

@@ -1,0 +1,128 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel matrix kernels for the modeling engine.
+//
+// Both kernels partition their output into fixed-size row blocks that
+// workers claim from a shared atomic counter. Every output element is
+// computed by exactly one worker using the same inner-loop order as the
+// serial MulInto/TransposeInto, so the results are bit-identical to the
+// serial kernels for ANY worker count — the property the deterministic
+// modeling engine (internal/nmf, internal/cluster) is built on.
+
+// parallelBlockRows is the number of output rows per work unit. Blocks keep
+// the atomic-counter contention negligible while still load-balancing
+// uneven rows.
+const parallelBlockRows = 16
+
+// parallelMinWork is the approximate flop count below which the goroutine
+// fan-out costs more than it saves and the serial kernel is used directly.
+const parallelMinWork = 1 << 15
+
+// ResolveWorkers normalises a worker-count option: values ≤ 0 mean "use
+// every core" (GOMAXPROCS).
+func ResolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// parallelRowBlocks runs fn over [0, rows) split into parallelBlockRows-size
+// blocks claimed by `workers` goroutines. fn must be safe to call
+// concurrently for disjoint row ranges.
+func parallelRowBlocks(rows, workers int, fn func(lo, hi int)) {
+	blocks := (rows + parallelBlockRows - 1) / parallelBlockRows
+	if workers > blocks {
+		workers = blocks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				lo := b * parallelBlockRows
+				hi := lo + parallelBlockRows
+				if hi > rows {
+					hi = rows
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ParallelMulInto writes m · other into dst using up to `workers`
+// goroutines (≤ 0 means GOMAXPROCS). dst must be Rows×other.Cols and must
+// not share storage with m or other. The result is bit-identical to
+// MulInto for any worker count: output rows are partitioned into blocks and
+// each row is accumulated in the same k-then-j order as the serial kernel.
+func (m *Matrix) ParallelMulInto(dst, other *Matrix, workers int) error {
+	workers = ResolveWorkers(workers)
+	if workers == 1 || m.Rows*m.Cols*other.Cols < parallelMinWork {
+		return m.MulInto(dst, other)
+	}
+	if m.Cols != other.Rows {
+		return fmt.Errorf("%w: %dx%d times %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	if dst.Rows != m.Rows || dst.Cols != other.Cols {
+		return fmt.Errorf("%w: product %dx%d into %dx%d", ErrDimensionMismatch, m.Rows, other.Cols, dst.Rows, dst.Cols)
+	}
+	parallelRowBlocks(m.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j := range out {
+				out[j] = 0
+			}
+			for k := 0; k < m.Cols; k++ {
+				a := m.At(i, k)
+				if a == 0 {
+					continue
+				}
+				row := other.Data[k*other.Cols : (k+1)*other.Cols]
+				for j, x := range row {
+					out[j] += a * x
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// ParallelTransposeInto writes mᵀ into dst using up to `workers` goroutines
+// (≤ 0 means GOMAXPROCS). dst must be Cols×Rows and must not share storage
+// with m. Each destination element is written exactly once, so the result
+// is bit-identical to TransposeInto for any worker count.
+func (m *Matrix) ParallelTransposeInto(dst *Matrix, workers int) error {
+	workers = ResolveWorkers(workers)
+	if workers == 1 || m.Rows*m.Cols < parallelMinWork {
+		return m.TransposeInto(dst)
+	}
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		return fmt.Errorf("%w: transpose of %dx%d into %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, dst.Rows, dst.Cols)
+	}
+	// Partition the SOURCE rows: worker w copies rows [lo,hi) of m into
+	// columns [lo,hi) of dst. Disjoint writes, no synchronisation needed.
+	parallelRowBlocks(m.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, x := range row {
+				dst.Data[j*dst.Cols+i] = x
+			}
+		}
+	})
+	return nil
+}

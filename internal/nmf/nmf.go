@@ -29,6 +29,12 @@ type Options struct {
 	Tolerance float64
 	// Seed drives the random initialisation.
 	Seed int64
+	// Workers bounds the goroutines used for the matrix products of the
+	// multiplicative updates (≤ 0 means GOMAXPROCS). The factorisation is
+	// deterministic: for a fixed Seed the result is bit-identical for any
+	// Workers value, because the parallel kernels partition output rows and
+	// keep the serial accumulation order within each row.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -125,43 +131,44 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 		wh   = linalg.NewMatrix(n, m)
 		whht = linalg.NewMatrix(n, r)
 	)
+	workers := linalg.ResolveWorkers(opts.Workers)
 	prevErr := math.Inf(1)
 	iterations := 0
 	for ; iterations < opts.MaxIterations; iterations++ {
 		// H ← H ∘ (Wᵀ V) / (Wᵀ W H)
-		if err := w.TransposeInto(wt); err != nil {
+		if err := w.ParallelTransposeInto(wt, workers); err != nil {
 			return nil, err
 		}
-		if err := wt.MulInto(wtv, v); err != nil {
+		if err := wt.ParallelMulInto(wtv, v, workers); err != nil {
 			return nil, err
 		}
-		if err := wt.MulInto(wtw, w); err != nil {
+		if err := wt.ParallelMulInto(wtw, w, workers); err != nil {
 			return nil, err
 		}
-		if err := wtw.MulInto(wtwh, h); err != nil {
+		if err := wtw.ParallelMulInto(wtwh, h, workers); err != nil {
 			return nil, err
 		}
 		for i := range h.Data {
 			h.Data[i] *= wtv.Data[i] / (wtwh.Data[i] + epsilon)
 		}
 		// W ← W ∘ (V Hᵀ) / (W H Hᵀ)
-		if err := h.TransposeInto(ht); err != nil {
+		if err := h.ParallelTransposeInto(ht, workers); err != nil {
 			return nil, err
 		}
-		if err := v.MulInto(vht, ht); err != nil {
+		if err := v.ParallelMulInto(vht, ht, workers); err != nil {
 			return nil, err
 		}
-		if err := w.MulInto(wh, h); err != nil {
+		if err := w.ParallelMulInto(wh, h, workers); err != nil {
 			return nil, err
 		}
-		if err := wh.MulInto(whht, ht); err != nil {
+		if err := wh.ParallelMulInto(whht, ht, workers); err != nil {
 			return nil, err
 		}
 		for i := range w.Data {
 			w.Data[i] *= vht.Data[i] / (whht.Data[i] + epsilon)
 		}
 		// Convergence check on the reconstruction error.
-		cur := frobeniusError(v, w, h, wh)
+		cur := frobeniusError(v, w, h, wh, workers)
 		if prevErr-cur < opts.Tolerance*(prevErr+epsilon) {
 			prevErr = cur
 			iterations++
@@ -170,7 +177,7 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 		prevErr = cur
 	}
 
-	finalErr := frobeniusError(v, w, h, wh)
+	finalErr := frobeniusError(v, w, h, wh, workers)
 	rel := 0.0
 	if norm > 0 {
 		rel = finalErr / norm
@@ -178,9 +185,11 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 	return &Result{W: w, H: h, FrobeniusError: finalErr, RelativeError: rel, Iterations: iterations}, nil
 }
 
-// frobeniusError computes ‖V − W·H‖_F, using wh as the product scratch.
-func frobeniusError(v, w, h, wh *linalg.Matrix) float64 {
-	if err := w.MulInto(wh, h); err != nil {
+// frobeniusError computes ‖V − W·H‖_F, using wh as the product scratch. The
+// residual reduction stays serial (fixed summation order) so the error — and
+// therefore the convergence decision — is identical for any worker count.
+func frobeniusError(v, w, h, wh *linalg.Matrix, workers int) float64 {
+	if err := w.ParallelMulInto(wh, h, workers); err != nil {
 		return math.Inf(1)
 	}
 	var s float64

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -216,6 +217,44 @@ func TestFactorizeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Property: Factorize is bit-identical for any Workers value — the serial
+// path (Workers=1) is the oracle for the parallel multiplicative updates.
+// The matrix is sized so the parallel kernels actually engage (the blocked
+// kernels fall back to serial below a work threshold).
+func TestFactorizeParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	rows, _ := syntheticMix(rng, 120, 90, 4)
+	serial, err := Factorize(rows, Options{Rank: 5, Seed: 9, MaxIterations: 40, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), 0} {
+		par, err := Factorize(rows, Options{Rank: 5, Seed: 9, MaxIterations: 40, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if par.Iterations != serial.Iterations {
+			t.Errorf("workers %d: %d iterations, serial did %d", workers, par.Iterations, serial.Iterations)
+		}
+		if par.FrobeniusError != serial.FrobeniusError || par.RelativeError != serial.RelativeError {
+			t.Errorf("workers %d: error %g/%g, serial %g/%g", workers,
+				par.FrobeniusError, par.RelativeError, serial.FrobeniusError, serial.RelativeError)
+		}
+		for i := range serial.W.Data {
+			if par.W.Data[i] != serial.W.Data[i] {
+				t.Fatalf("workers %d: W[%d] = %g, serial %g (must be bit-identical)",
+					workers, i, par.W.Data[i], serial.W.Data[i])
+			}
+		}
+		for i := range serial.H.Data {
+			if par.H.Data[i] != serial.H.Data[i] {
+				t.Fatalf("workers %d: H[%d] = %g, serial %g (must be bit-identical)",
+					workers, i, par.H.Data[i], serial.H.Data[i])
+			}
+		}
 	}
 }
 
