@@ -15,9 +15,13 @@ package repro
 // benchmark iteration then measures only the experiment's own work.
 
 import (
+	"bytes"
+	"errors"
+	"io"
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -210,6 +214,164 @@ func BenchmarkIngest_CityLogsStream(b *testing.B) {
 		}
 		src.Close()
 	}
+}
+
+// --- Ingestion engine: serial vs batched vs parallel CSV parse -----------
+
+// The three BenchmarkIngest_{Serial,Batched,Parallel} benchmarks measure
+// the raw CSV→Record parse throughput over the identical in-memory trace
+// (so disk speed is out of the picture): the PR 1 encoding/csv reader
+// pulling one record per interface call, the zero-allocation byte-level
+// Scanner pulling batches, and the order-preserving ParallelCSVSource
+// fanning chunk parsing across all cores. Output is benchstat-friendly:
+// compare the records/s metric (and MB/s) across the three, and
+// allocs/record for the steady-state allocation story.
+
+var (
+	ingestCSVOnce sync.Once
+	ingestCSVData []byte
+	ingestCSVRecs int
+	ingestCSVErr  error
+)
+
+// ingestTraceCSV renders a synthetic city's CDR log to CSV bytes once
+// per process: ~360k records at the default scale, ~2.9M with
+// REPRO_BENCH_SCALE=paper.
+func ingestTraceCSV(b *testing.B) ([]byte, int) {
+	b.Helper()
+	ingestCSVOnce.Do(func() {
+		cfg := synth.SmallConfig()
+		cfg.Towers = 120
+		cfg.Users = 1000
+		cfg.Days = 7
+		if os.Getenv("REPRO_BENCH_SCALE") == "paper" {
+			cfg.Towers = 480
+			cfg.Days = 14
+		}
+		city, err := synth.GenerateCity(cfg)
+		if err != nil {
+			ingestCSVErr = err
+			return
+		}
+		series, err := city.GenerateSeries()
+		if err != nil {
+			ingestCSVErr = err
+			return
+		}
+		src := city.LogSource(series, synth.LogOptions{})
+		defer src.Close()
+		var buf bytes.Buffer
+		cw := trace.NewCSVWriter(&buf)
+		if err := trace.ForEachBatch(src, cw.WriteBatch); err != nil {
+			ingestCSVErr = err
+			return
+		}
+		if err := cw.Flush(); err != nil {
+			ingestCSVErr = err
+			return
+		}
+		ingestCSVData = buf.Bytes()
+		ingestCSVRecs = cw.Count()
+	})
+	if ingestCSVErr != nil {
+		b.Fatalf("building ingestion benchmark trace: %v", ingestCSVErr)
+	}
+	return ingestCSVData, ingestCSVRecs
+}
+
+// benchIngest drives one parse path over the shared trace and reports
+// records/s and allocs/record alongside the standard ns/op, MB/s and
+// allocs/op columns.
+func benchIngest(b *testing.B, parse func(data []byte) (int, error)) {
+	data, recs := ingestTraceCSV(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := parse(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != recs {
+			b.Fatalf("parsed %d records, want %d", got, recs)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	b.ReportMetric(float64(recs)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(b.N)/float64(recs), "allocs/record")
+}
+
+// BenchmarkIngest_Serial is the PR 1 streaming path: encoding/csv,
+// strconv and time.Parse, one record per Next call.
+func BenchmarkIngest_Serial(b *testing.B) {
+	benchIngest(b, func(data []byte) (int, error) {
+		cr, err := trace.NewCSVReader(bytes.NewReader(data))
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for {
+			if _, err := cr.Next(); err != nil {
+				if errors.Is(err, io.EOF) {
+					return n, nil
+				}
+				return n, err
+			}
+			n++
+		}
+	})
+}
+
+// BenchmarkIngest_Batched is the zero-allocation byte-level Scanner
+// draining through NextBatch.
+func BenchmarkIngest_Batched(b *testing.B) {
+	batch := make([]trace.Record, trace.DefaultBatchSize)
+	benchIngest(b, func(data []byte) (int, error) {
+		sc, err := trace.NewScanner(bytes.NewReader(data))
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for {
+			m, err := sc.NextBatch(batch)
+			n += m
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return n, nil
+				}
+				return n, err
+			}
+		}
+	})
+}
+
+// BenchmarkIngest_Parallel is the order-preserving chunk-parallel parser
+// on all cores. On a single-core runner it degrades to roughly the
+// batched scanner plus chunk-handoff overhead; the speedup shows on
+// multi-core hardware.
+func BenchmarkIngest_Parallel(b *testing.B) {
+	batch := make([]trace.Record, trace.DefaultBatchSize)
+	benchIngest(b, func(data []byte) (int, error) {
+		p, err := trace.NewParallelCSVSource(bytes.NewReader(data), 0)
+		if err != nil {
+			return 0, err
+		}
+		defer p.Close()
+		n := 0
+		for {
+			m, err := p.NextBatch(batch)
+			n += m
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return n, nil
+				}
+				return n, err
+			}
+		}
+	})
 }
 
 // --- Ablations ------------------------------------------------------------

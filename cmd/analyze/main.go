@@ -6,10 +6,14 @@
 // of a few comprehensive towers (Table 6).
 //
 // Trace directories are ingested with streaming file I/O end-to-end: the
-// logs are cleaned and vectorised one record at a time, so no record
-// slice is ever materialised. Memory is towers × slots for the vectorizer
-// plus the cleaner's dedup state (~40 bytes per distinct connection, or a
-// hard bound when -dedup-window is set).
+// logs flow through the zero-allocation CSV scanner (or, with
+// -ingest-workers != 1, the order-preserving parallel chunk parser) into
+// the cleaner and vectorizer in batches, so no record slice is ever
+// materialised. Memory is towers × slots for the vectorizer plus the
+// cleaner's dedup state (~40 bytes per distinct connection, or a hard
+// bound when -dedup-window is set). Results are identical for any
+// -ingest-workers value: the parallel parser reassembles chunks in input
+// order.
 //
 // The modeling stage (hierarchical clustering, NMF basis extraction,
 // k-means baseline) runs in parallel; -workers bounds the goroutines and
@@ -20,6 +24,7 @@
 // Examples:
 //
 //	analyze -trace ./trace
+//	analyze -trace ./trace -ingest-workers 4
 //	analyze -synthetic -towers 600 -days 28
 //	analyze -synthetic -stream -towers 400 -days 28
 //	analyze -synthetic -workers 4 -seed 7 -nmf-rank 5
@@ -58,15 +63,16 @@ func main() {
 		window    = flag.Int("dedup-window", 0, "bound the streaming cleaner's dedup state to ~this many recent records (0 = exact, unbounded); copies of a connection arriving further apart than the window are not deduplicated")
 		workers   = flag.Int("workers", 0, "bound the parallelism of the modeling stage (0 = all cores); results are identical for any value")
 		nmfRank   = flag.Int("nmf-rank", core.NMFRankAuto, "NMF decomposition rank (-1 = one basis per cluster, 0 = skip the NMF stage)")
+		ingestW   = flag.Int("ingest-workers", 0, "parallelism of the CSV ingestion stage (0 = all cores, 1 = the serial zero-allocation scanner); the record stream is identical for any value")
 	)
 	flag.Parse()
 
-	if err := run(*traceDir, *synthetic, *stream, *towers, *days, *seed, *clusters, *window, *workers, *nmfRank); err != nil {
+	if err := run(*traceDir, *synthetic, *stream, *towers, *days, *seed, *clusters, *window, *workers, *nmfRank, *ingestW); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(traceDir string, synthetic, stream bool, towers, days int, seed int64, forceK, dedupWindow, workers, nmfRank int) error {
+func run(traceDir string, synthetic, stream bool, towers, days int, seed int64, forceK, dedupWindow, workers, nmfRank, ingestWorkers int) error {
 	opts := core.Options{
 		ForceK:      forceK,
 		CleanWindow: dedupWindow,
@@ -82,7 +88,7 @@ func run(traceDir string, synthetic, stream bool, towers, days int, seed int64, 
 	case synthetic:
 		res, err = runSynthetic(towers, days, seed, stream, opts)
 	case traceDir != "":
-		res, err = runTrace(traceDir, opts)
+		res, err = runTrace(traceDir, opts, ingestWorkers)
 	default:
 		return fmt.Errorf("either -trace or -synthetic is required")
 	}
@@ -132,16 +138,18 @@ func runSynthetic(towers, days int, seed int64, stream bool, opts core.Options) 
 
 // runTrace analyses a gentrace output directory with streaming file I/O
 // end-to-end: the logs are scanned once to derive the aggregation window
-// and then streamed through the cleaner and vectorizer, so the full
-// record slice is never held in memory.
-func runTrace(dir string, opts core.Options) (*core.Result, error) {
+// and then streamed batch-wise through the cleaner and vectorizer, so
+// the full record slice is never held in memory. ingestWorkers sets the
+// parallelism of the CSV parse itself; the record stream is identical
+// for any value.
+func runTrace(dir string, opts core.Options, ingestWorkers int) (*core.Result, error) {
 	towers, pois, err := loadMetadata(dir)
 	if err != nil {
 		return nil, err
 	}
 
 	logsPath := filepath.Join(dir, "logs.csv")
-	start, days, err := scanWindow(logsPath)
+	start, days, err := scanWindow(logsPath, ingestWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -152,10 +160,11 @@ func runTrace(dir string, opts core.Options) (*core.Result, error) {
 		return nil, fmt.Errorf("opening logs.csv: %w", err)
 	}
 	defer logsFile.Close()
-	src, err := trace.NewCSVReader(bufio.NewReaderSize(logsFile, 1<<20))
+	src, err := trace.NewIngestSource(bufio.NewReaderSize(logsFile, 1<<20), ingestWorkers)
 	if err != nil {
 		return nil, err
 	}
+	defer src.Close()
 	res, stats, err := core.AnalyzeSource(src, towers, pois, pipeline.VectorizerOptions{
 		Start: start,
 		Days:  days,
@@ -199,31 +208,35 @@ func loadMetadata(dir string) ([]trace.TowerInfo, []poi.POI, error) {
 
 // scanWindow streams the log once to find the time span of the valid
 // records, returning the midnight-aligned start and the number of days
-// covered. This first pass holds no records: only the running min and max.
-func scanWindow(path string) (time.Time, int, error) {
+// covered. This first pass holds no records beyond one pooled batch:
+// only the running min and max survive it.
+func scanWindow(path string, ingestWorkers int) (time.Time, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return time.Time{}, 0, fmt.Errorf("opening logs.csv: %w", err)
 	}
 	defer f.Close()
-	src, err := trace.NewCSVReader(bufio.NewReaderSize(f, 1<<20))
+	src, err := trace.NewIngestSource(bufio.NewReaderSize(f, 1<<20), ingestWorkers)
 	if err != nil {
 		return time.Time{}, 0, err
 	}
+	defer src.Close()
 	var start, end time.Time
 	n := 0
-	err = trace.ForEach(src, func(r trace.Record) error {
-		if n == 0 {
-			start, end = r.Start, r.End
-		} else {
-			if r.Start.Before(start) {
-				start = r.Start
+	err = trace.ForEachBatch(src, func(batch []trace.Record) error {
+		for _, r := range batch {
+			if n == 0 {
+				start, end = r.Start, r.End
+			} else {
+				if r.Start.Before(start) {
+					start = r.Start
+				}
+				if r.End.After(end) {
+					end = r.End
+				}
 			}
-			if r.End.After(end) {
-				end = r.End
-			}
+			n++
 		}
-		n++
 		return nil
 	})
 	if err != nil {

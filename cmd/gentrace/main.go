@@ -73,7 +73,9 @@ func run(out string, towers, users, days int, seed int64) error {
 	log.Printf("wrote %d POIs", len(city.POIs))
 
 	// Connection logs: streamed from the generator source to the CSV
-	// writer one record at a time, never materialised.
+	// writer batch-wise, never materialised. The writer serialises rows
+	// with time.AppendFormat / strconv.Append* into one reused buffer, so
+	// emission is allocation-free per record.
 	series, err := city.GenerateSeries()
 	if err != nil {
 		return fmt.Errorf("generating traffic series: %w", err)
@@ -83,7 +85,7 @@ func run(out string, towers, users, days int, seed int64) error {
 		src := city.LogSource(series, synth.LogOptions{})
 		defer src.Close()
 		cw := trace.NewCSVWriter(w)
-		if err := trace.ForEach(src, cw.Write); err != nil {
+		if err := trace.ForEachBatch(src, cw.WriteBatch); err != nil {
 			return err
 		}
 		count = cw.Count()

@@ -3,8 +3,12 @@
 // (Wang et al., ACM IMC 2015).
 //
 // The implementation lives under internal/: the synthetic city and trace
-// generator (internal/synth), the streaming ingestion and vectorisation
-// pipeline (internal/trace, internal/pipeline), the deterministic parallel
+// generator (internal/synth), the batched zero-allocation ingestion and
+// vectorisation pipeline (internal/trace, internal/pipeline — a custom
+// byte-level CSV scanner with an order-preserving parallel chunk parser
+// behind trace.NewIngestSource, moving records downstream through the
+// BatchSource interface; see README.md "Ingestion engine"), the
+// deterministic parallel
 // modeling engine — the pattern identifier and metric tuner
 // (internal/cluster, condensed NN-chain hierarchical clustering and a
 // chunked k-means baseline) plus NMF basis extraction (internal/nmf) on

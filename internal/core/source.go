@@ -20,6 +20,12 @@ import (
 // shape the paper's Hadoop deployment relies on to process billions of
 // logs).
 //
+// The whole chain is batch-wise: when src is batch-capable (the trace
+// ingestion Scanner, a ParallelCSVSource, a synthetic LogStream), records
+// move from the parser through the cleaner into the vectorizer's shard
+// queues thousands at a time, and the per-record interface calls of the
+// PR 1 design disappear. Scalar sources are adapted transparently.
+//
 // towers supplies the resolved tower locations (typically from
 // trace.ReadTowersCSV); towers appearing in the stream but absent from it
 // simply get a zero location, as with VectorizeRecords. The returned

@@ -19,14 +19,17 @@ import (
 const sourceBatchSize = 512
 
 // VectorizeSource is the streaming form of VectorizeRecords: it pulls
-// records from src one at a time and shards them by tower ID across a
-// worker pool of per-tower slot accumulators. Peak memory is
-// O(towers × slots) for the accumulators plus a bounded number of
-// in-flight record batches — never O(records) — so a trace of any length
-// can be vectorised in constant space per tower.
+// record batches from src (through trace.Batched, so batch-capable
+// sources like the ingestion Scanner, ParallelCSVSource and
+// trace.CleanedSource hand over thousands of records per interface
+// call) and shards them by tower ID across a worker pool of per-tower
+// slot accumulators. Peak memory is O(towers × slots) for the
+// accumulators plus a bounded number of in-flight record batches —
+// never O(records) — so a trace of any length can be vectorised in
+// constant space per tower.
 //
-// The record stream is typically a trace.CSVReader (possibly wrapped in
-// trace.CleanSource) or a synthetic city's log source. As with
+// The record stream is typically a trace ingestion source (possibly
+// wrapped in trace.CleanSource) or a synthetic city's log source. As with
 // VectorizeRecords, a record's bytes are attributed to the slot containing
 // its start time, records outside the aggregation window are dropped, and
 // every tower appearing in the stream gets a row even if all its records
@@ -91,26 +94,30 @@ func VectorizeSource(src trace.Source, towers []trace.TowerInfo, opts Vectorizer
 		pending[w] = newBatch()
 	}
 
+	batched := trace.Batched(src)
+	inp := trace.GetBatch()
 	var srcErr error
 	for {
-		r, err := src.Next()
-		if errors.Is(err, io.EOF) {
-			break
+		n, err := batched.NextBatch(*inp)
+		for _, r := range (*inp)[:n] {
+			w := r.TowerID % workers
+			if w < 0 {
+				w += workers
+			}
+			pending[w] = append(pending[w], r)
+			if len(pending[w]) >= sourceBatchSize {
+				chans[w] <- pending[w]
+				pending[w] = newBatch()
+			}
 		}
 		if err != nil {
-			srcErr = err
+			if !errors.Is(err, io.EOF) {
+				srcErr = err
+			}
 			break
 		}
-		w := r.TowerID % workers
-		if w < 0 {
-			w += workers
-		}
-		pending[w] = append(pending[w], r)
-		if len(pending[w]) >= sourceBatchSize {
-			chans[w] <- pending[w]
-			pending[w] = newBatch()
-		}
 	}
+	trace.PutBatch(inp)
 	for w := range chans {
 		if len(pending[w]) > 0 {
 			chans[w] <- pending[w]

@@ -33,7 +33,9 @@ func (o LogOptions) withDefaults() LogOptions {
 // so full-scale configurations should stream via GenerateLogsFunc (push)
 // or LogSource (pull) instead of materialising the slice.
 func (c *City) GenerateLogs(series []TowerSeries, opts LogOptions) ([]trace.Record, error) {
-	var out []trace.Record
+	// Preallocate from the emission-rate estimate instead of growing the
+	// slice from nil through every power of two.
+	out := make([]trace.Record, 0, c.estimateLogRecords(series, opts))
 	err := c.GenerateLogsFunc(series, opts, func(r trace.Record) error {
 		out = append(out, r)
 		return nil

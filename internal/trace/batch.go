@@ -1,0 +1,113 @@
+package trace
+
+// batch.go is the batched face of the ingestion layer. PR 1 moved the
+// pipeline from slices to one-record-at-a-time Sources; at millions of
+// records per second the per-record interface call itself becomes the
+// bottleneck, so the engine now moves records in batches: producers that
+// can fill a slice in one call implement BatchSource, everything else is
+// adapted with Batched, and consumers drain through pooled batch buffers
+// so the steady state recycles a fixed set of slices.
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// DefaultBatchSize is the record count of pooled batch buffers: large
+// enough to amortise interface calls and channel handoffs down to noise,
+// small enough (~250 KiB of records) to stay cache- and pool-friendly.
+const DefaultBatchSize = 2048
+
+// BatchSource is a pull-based stream of record batches. NextBatch fills
+// dst with up to len(dst) records and returns how many were produced;
+// dst[:n] is always valid. A non-nil error is terminal and may accompany
+// the stream's final records: io.EOF for the normal end of stream,
+// anything else a producer failure. After a non-nil error the source
+// must not be used again. Calling NextBatch with an empty dst returns
+// (0, nil) and makes no progress.
+type BatchSource interface {
+	NextBatch(dst []Record) (int, error)
+}
+
+// SizeHinter is implemented by sources that can estimate how many
+// records remain. The hint is approximate — collectors use it to
+// preallocate, never to bound the stream.
+type SizeHinter interface {
+	SizeHint() int
+}
+
+// Batched adapts src to the batch interface. Sources that already
+// implement BatchSource (the Scanner, ParallelCSVSource, CleanedSource,
+// synthetic log streams) are returned as-is; anything else is wrapped in
+// an adapter that fills batches one Next call at a time, which still
+// amortises the downstream handoffs even when the producer is scalar.
+func Batched(src Source) BatchSource {
+	if bs, ok := src.(BatchSource); ok {
+		return bs
+	}
+	return &batchAdapter{src: src}
+}
+
+type batchAdapter struct {
+	src Source
+}
+
+func (a *batchAdapter) NextBatch(dst []Record) (int, error) {
+	for i := range dst {
+		r, err := a.src.Next()
+		if err != nil {
+			return i, err
+		}
+		dst[i] = r
+	}
+	return len(dst), nil
+}
+
+// batchPool recycles batch buffers across sources and consumers.
+// Pointers to slices avoid the allocation a plain []Record interface
+// conversion would cost on every Put.
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]Record, DefaultBatchSize)
+		return &b
+	},
+}
+
+// GetBatch returns a pooled batch buffer of DefaultBatchSize records.
+// Return it with PutBatch when drained.
+func GetBatch() *[]Record {
+	return batchPool.Get().(*[]Record)
+}
+
+// PutBatch returns a buffer obtained from GetBatch to the pool.
+func PutBatch(b *[]Record) {
+	if b != nil && cap(*b) >= DefaultBatchSize {
+		*b = (*b)[:cap(*b)]
+		batchPool.Put(b)
+	}
+}
+
+// ForEachBatch drains src through a pooled batch buffer, invoking fn for
+// every non-empty batch. The batch slice is reused between calls: fn
+// must not retain it. It stops at the first error from either side
+// (io.EOF from the source is the normal end of stream and yields nil).
+func ForEachBatch(src BatchSource, fn func([]Record) error) error {
+	bp := GetBatch()
+	defer PutBatch(bp)
+	buf := *bp
+	for {
+		n, err := src.NextBatch(buf)
+		if n > 0 {
+			if ferr := fn(buf[:n]); ferr != nil {
+				return ferr
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}

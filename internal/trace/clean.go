@@ -134,9 +134,14 @@ func (c *Cleaner) evict() {
 // records, including amendments.
 func (c *Cleaner) Stats() CleanStats { return c.stats }
 
-// CleanedSource filters a Source through a streaming Cleaner.
+// CleanedSource filters a Source through a streaming Cleaner. It speaks
+// both the scalar and the batch interface: when the wrapped source is
+// batch-capable (a Scanner, ParallelCSVSource or synthetic log stream),
+// records flow through the cleaner a batch at a time and are compacted
+// in place, so the per-record interface call of the PR 1 design
+// disappears from the ingestion hot path.
 type CleanedSource struct {
-	src     Source
+	src     BatchSource
 	cleaner *Cleaner
 }
 
@@ -153,21 +158,44 @@ func CleanSource(src Source) *CleanedSource {
 // provided copies of one connection arrive within `window` records of
 // each other. window 0 means unbounded.
 func CleanSourceWindow(src Source, window int) *CleanedSource {
-	return &CleanedSource{src: src, cleaner: NewCleanerWindow(window)}
+	return &CleanedSource{src: Batched(src), cleaner: NewCleanerWindow(window)}
 }
 
 // Next pulls records from the underlying source until one survives
-// cleaning, and returns it.
+// cleaning, and returns it. Do not interleave Next and NextBatch calls
+// with records still buffered downstream; both draw from the same
+// underlying stream.
 func (s *CleanedSource) Next() (Record, error) {
+	var one [1]Record
 	for {
-		r, err := s.src.Next()
+		n, err := s.NextBatch(one[:])
+		if n == 1 {
+			return one[0], nil
+		}
 		if err != nil {
 			return Record{}, err
 		}
-		if out, ok := s.cleaner.Observe(r); ok {
-			return out, nil
+	}
+}
+
+// NextBatch fills dst with up to len(dst) records that survived
+// cleaning, compacting each underlying batch in place. See BatchSource
+// for the error contract.
+func (s *CleanedSource) NextBatch(dst []Record) (int, error) {
+	out := 0
+	for out == 0 && len(dst) > 0 {
+		n, err := s.src.NextBatch(dst)
+		for i := 0; i < n; i++ {
+			if r, ok := s.cleaner.Observe(dst[i]); ok {
+				dst[out] = r
+				out++
+			}
+		}
+		if err != nil {
+			return out, err
 		}
 	}
+	return out, nil
 }
 
 // Stats returns the cleaning counters accumulated so far.

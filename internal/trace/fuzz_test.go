@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzScanRecords differentially fuzzes the custom byte-level Scanner
+// against the encoding/csv + parseRow oracle (CSVReader): for any input
+// bytes both paths must construct or fail together, and on success must
+// yield the same records in the same order with the same malformed-row
+// skip count. This is the safety net that lets the zero-allocation
+// parser replace encoding/csv on the ingestion hot path.
+func FuzzScanRecords(f *testing.F) {
+	// A well-formed trace written by the production writer.
+	var wellFormed bytes.Buffer
+	records := []Record{validRecord()}
+	r2 := validRecord()
+	r2.Address = "No.500 Century Road, Pudong District, Shanghai (BS-00007)"
+	r2.Tech = Tech3G
+	r3 := validRecord()
+	r3.Address = "say \"hi\"\nsecond line"
+	records = append(records, r2, r3)
+	if err := WriteCSV(&wellFormed, records); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wellFormed.Bytes())
+
+	seeds := []string{
+		"",
+		scanHeader,
+		scanHeader + "1,2014-08-01T08:00:00Z,2014-08-01T08:05:00Z,7,addr,100,LTE\n",
+		scanHeader + "1,2014-08-01T08:00:00Z,2014-08-01T08:05:00Z,7,addr,100,LTE",
+		scanHeader + "1,2014-08-01T08:00:00Z,2014-08-01T08:05:00Z,7,addr,100,LTE\r",
+		strings.ReplaceAll(scanHeader, "\n", "\r\n") + "1,2014-08-01T08:00:00Z,2014-08-01T08:05:00Z,7,\"a,b\",100,3G\r\n",
+		scanHeader + "1,2014-08-01T08:00:00Z,2014-08-01T08:05:00Z,7,\"multi\nline\",100,LTE\n",
+		scanHeader + "1,2014-08-01T08:00:00Z,2014-08-01T08:05:00Z,7,\"esc\"\"aped\",100,LTE\n",
+		scanHeader + "1,2014-08-01T08:00:00Z,2014-08-01T08:05:00Z,7,ba\"re,100,LTE\n",
+		scanHeader + "1,2014-08-01T08:00:00Z,2014-08-01T08:05:00Z,7,\"open,100,LTE\n",
+		scanHeader + "\n\n2,bad-time,2014-08-01T08:05:00Z,7,addr,100,LTE\nx\n",
+		scanHeader + "+1,2014-08-01T08:00:00+08:00,2014-08-01T08:05:00.5+08:00,7,addr,99999999999999999999,5G\n",
+		"foo,bar\n1,2\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // keep each execution cheap; structure, not volume, matters
+		}
+		compareScan(t, data)
+	})
+}

@@ -1,0 +1,466 @@
+package trace
+
+// parallel.go parallelises CSV ingestion across cores while keeping the
+// record stream deterministic. The input is split at record boundaries
+// into large chunks, each chunk is parsed by a pooled worker running the
+// zero-allocation Scanner over its bytes, and the parsed batches are
+// reassembled in input order — so cleaning, vectorisation and the golden
+// end-to-end fixtures observe exactly the byte order of the file no
+// matter how many workers raced on it.
+//
+// Chunk boundaries are found by running the same quoting state machine
+// the row parser uses — quotes open fields only at field starts, bare
+// quotes inside unquoted fields are content of a row the parser will
+// reject and resynchronise after, quoted fields may contain newlines —
+// so a newline is marked as a record boundary exactly when the serial
+// scanner would start a fresh row there, for malformed input as much as
+// for well-formed input.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+const (
+	// parallelChunkSize is the target chunk payload handed to one worker:
+	// big enough that parse time dwarfs the per-chunk channel handoff,
+	// small enough to keep a few chunks per worker in flight.
+	parallelChunkSize = 256 << 10
+	// chunkRecordsCap sizes the pooled per-chunk record slices for the
+	// typical row length; chunks with shorter rows grow them once.
+	chunkRecordsCap = 4096
+)
+
+// IngestSource is the common surface of the CSV ingestion readers:
+// scalar and batched record access, malformed-row accounting, and Close
+// for releasing background resources when a stream is abandoned before
+// io.EOF (a no-op for the serial Scanner, mandatory cleanup for the
+// goroutine-backed ParallelCSVSource).
+type IngestSource interface {
+	Source
+	BatchSource
+	Skipped() int
+	Close()
+}
+
+// NewIngestSource returns the fastest CSV reader for the given worker
+// count: the serial zero-allocation Scanner for one worker (including
+// workers <= 0 resolving to GOMAXPROCS on a single-core machine, where
+// the chunk handoff would only cost), or a ParallelCSVSource fanning
+// chunk parsing across workers goroutines.
+func NewIngestSource(r io.Reader, workers int) (IngestSource, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return NewScanner(r)
+	}
+	return NewParallelCSVSource(r, workers)
+}
+
+// boundaryState is the chunker's position in the CSV quoting state
+// machine, mirroring how the serial row parser consumes lines.
+type boundaryState uint8
+
+const (
+	boundaryFieldStart boundaryState = iota // at the start of a field (or record)
+	boundaryUnquoted                        // inside an unquoted field
+	boundaryQuoted                          // inside a quoted field (newlines are content)
+	boundaryQuoteQuote                      // just saw a '"' inside a quoted field
+	boundaryRawSkip                         // discarding an errored row's remaining line, quotes and all
+)
+
+// scanBoundaries advances the quoting state machine over data, returning
+// the final state, the bytes consumed (always len(data) unless the data
+// ends inside a run that cannot change state) and the updated lastSafe:
+// base+i+1 for the last newline at which the serial scanner would start
+// a fresh record.
+//
+// The machine replays exactly how the row parser consumes input: a
+// quote opens a field only at a field start; a bare quote inside an
+// unquoted field — or junk after a closing quote — makes the parser
+// reject the row and discard the REST OF THAT LINE as raw text
+// (boundaryRawSkip), so no later quote on the errored line can reopen a
+// field; quoted fields may span newlines. One malformed row therefore
+// never poisons boundary detection for the rows after it. Runs are
+// skipped with vectorised IndexByte scans.
+func scanBoundaries(data []byte, state boundaryState, lastSafe, base int) (boundaryState, int, int) {
+	i := 0
+	n := len(data)
+	for i < n {
+		switch state {
+		case boundaryQuoted:
+			j := bytes.IndexByte(data[i:], '"')
+			if j < 0 {
+				return state, n, lastSafe
+			}
+			i += j + 1
+			state = boundaryQuoteQuote
+		case boundaryQuoteQuote:
+			switch data[i] {
+			case '"':
+				state = boundaryQuoted // "" escape
+			case ',':
+				state = boundaryFieldStart
+			case '\n':
+				lastSafe = base + i + 1
+				state = boundaryFieldStart
+			default:
+				state = boundaryRawSkip // csv's ErrQuote: drop the rest of the line
+			}
+			i++
+		case boundaryRawSkip:
+			j := bytes.IndexByte(data[i:], '\n')
+			if j < 0 {
+				return state, n, lastSafe
+			}
+			i += j + 1
+			lastSafe = base + i
+			state = boundaryFieldStart
+		default: // boundaryFieldStart, boundaryUnquoted
+			// Scan the current line up to its first quote. A quote-free
+			// line is all plain fields: its newline is a boundary and
+			// nothing else in it matters.
+			j := bytes.IndexByte(data[i:], '\n')
+			lineEnd := n - i
+			if j >= 0 {
+				lineEnd = j
+			}
+			q := bytes.IndexByte(data[i:i+lineEnd], '"')
+			if q < 0 {
+				if j < 0 {
+					// Partial line at the end of the data: the resume
+					// state depends only on whether a field just ended.
+					if data[n-1] == ',' {
+						state = boundaryFieldStart
+					} else {
+						state = boundaryUnquoted
+					}
+					return state, n, lastSafe
+				}
+				i += j + 1
+				lastSafe = base + i
+				state = boundaryFieldStart
+				continue
+			}
+			// The quote opens a field only at a field start: directly
+			// after a comma, or first on the line with no field content
+			// before it. Anything else is csv's ErrBareQuote, after
+			// which the parser discards the rest of the line raw.
+			opening := (q == 0 && state == boundaryFieldStart) || (q > 0 && data[i+q-1] == ',')
+			i += q + 1
+			if opening {
+				state = boundaryQuoted
+			} else {
+				state = boundaryRawSkip
+			}
+		}
+	}
+	return state, i, lastSafe
+}
+
+// job is one chunk of whole CSV lines awaiting a worker.
+type job struct {
+	data []byte
+	out  chan parsedChunk
+}
+
+// parsedChunk is a worker's output for one chunk, or the reader's
+// terminal I/O error.
+type parsedChunk struct {
+	recs    []Record
+	skipped int
+	err     error
+}
+
+// ParallelCSVSource is an order-preserving parallel reader over the CSV
+// format written by WriteCSV / CSVWriter. It yields the same records
+// with the same malformed-row skip counts as CSVReader and Scanner, in
+// the same order, for any worker count. Not safe for concurrent use by
+// multiple consumers.
+type ParallelCSVSource struct {
+	order     chan chan parsedChunk
+	jobs      chan job
+	done      chan struct{}
+	chunkSize int
+
+	cur     []Record
+	pos     int
+	skipped int
+	err     error
+	closed  bool
+
+	bufPool sync.Pool
+	recPool sync.Pool
+}
+
+// NewParallelCSVSource wraps r, reads and checks the header row, and
+// starts the chunk reader plus workers parse workers (workers <= 0 means
+// GOMAXPROCS). Call Close to release the goroutines if the stream is
+// abandoned before io.EOF or an error.
+func NewParallelCSVSource(r io.Reader, workers int) (*ParallelCSVSource, error) {
+	return newParallelCSVSource(r, workers, parallelChunkSize)
+}
+
+// newParallelCSVSource exposes the chunk size so tests can force many
+// tiny chunks through small inputs.
+func newParallelCSVSource(r io.Reader, workers, chunkSize int) (*ParallelCSVSource, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The serial scanner consumes the header (with full CSV semantics —
+	// a quoted header field may span lines) and leaves the rest of its
+	// read buffer as the first bytes of the chunk stream.
+	sc, err := NewScanner(r)
+	if err != nil {
+		return nil, err
+	}
+	pending := append([]byte(nil), sc.buf[sc.start:sc.end]...)
+	src := r
+	if sc.readErr != nil {
+		// The header scanner latched a read error that arrived together
+		// with data: the chunk reader must surface it after the buffered
+		// records, exactly as the serial Scanner would.
+		src = errorReader{err: sc.readErr}
+	}
+
+	p := &ParallelCSVSource{
+		order:     make(chan chan parsedChunk, 2*workers),
+		jobs:      make(chan job, workers),
+		done:      make(chan struct{}),
+		chunkSize: chunkSize,
+	}
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	go p.readChunks(src, pending, sc.eof)
+	return p, nil
+}
+
+// errorReader replays a latched read error.
+type errorReader struct {
+	err error
+}
+
+func (r errorReader) Read([]byte) (int, error) { return 0, r.err }
+
+// readChunks assembles record-aligned chunks and dispatches them to the
+// workers in input order.
+func (p *ParallelCSVSource) readChunks(r io.Reader, pending []byte, eof bool) {
+	defer close(p.order)
+	defer close(p.jobs)
+
+	// acc always starts at a record boundary. state is the quoting state
+	// machine's position, scanned the prefix of acc already examined,
+	// and lastSafe the index just past the last record-boundary newline.
+	acc := p.getBuf()
+	acc = append(acc, pending...)
+	var (
+		state    = boundaryFieldStart
+		scanned  int
+		lastSafe int
+	)
+	rescan := func() {
+		var adv int
+		state, adv, lastSafe = scanBoundaries(acc[scanned:], state, lastSafe, scanned)
+		scanned += adv
+	}
+
+	for {
+		for !eof && len(acc) < cap(acc) {
+			n, err := r.Read(acc[len(acc):cap(acc)])
+			acc = acc[:len(acc)+n]
+			if err == io.EOF {
+				eof = true
+			} else if err != nil {
+				// Flush the complete records read so far, then surface
+				// the I/O error in order, exactly once.
+				rescan()
+				if lastSafe > 0 {
+					p.dispatch(acc[:lastSafe])
+				}
+				errCh := make(chan parsedChunk, 1)
+				errCh <- parsedChunk{err: fmt.Errorf("trace: reading row: %w", err)}
+				select {
+				case p.order <- errCh:
+				case <-p.done:
+				}
+				return
+			}
+		}
+		rescan()
+		if eof {
+			// Final chunk: may end mid-line; the chunk scanner applies
+			// the end-of-input CSV semantics (truncated final line,
+			// trailing \r, unterminated quote) because this genuinely is
+			// the end of the stream.
+			if len(acc) > 0 {
+				p.dispatch(acc)
+			}
+			return
+		}
+		if lastSafe == 0 {
+			// A single record larger than the chunk: grow and read on.
+			bigger := make([]byte, len(acc), 2*cap(acc))
+			copy(bigger, acc)
+			acc = bigger
+			continue
+		}
+		next := p.getBuf()
+		next = append(next, acc[lastSafe:]...)
+		if !p.dispatch(acc[:lastSafe]) {
+			return
+		}
+		acc = next
+		scanned = len(acc)
+		lastSafe = 0
+	}
+}
+
+// dispatch hands one chunk to the workers, keeping its result slot in
+// the order queue. It reports false when the source was closed.
+func (p *ParallelCSVSource) dispatch(data []byte) bool {
+	ch := make(chan parsedChunk, 1)
+	select {
+	case p.order <- ch:
+	case <-p.done:
+		return false
+	}
+	select {
+	case p.jobs <- job{data: data, out: ch}:
+	case <-p.done:
+		return false
+	}
+	return true
+}
+
+// worker parses chunks with a private zero-allocation scanner whose
+// scratch buffers and address intern table persist across chunks.
+func (p *ParallelCSVSource) worker() {
+	sc := newChunkScanner()
+	for j := range p.jobs {
+		sc.resetBytes(j.data)
+		recs := p.getRecs()
+		for {
+			if len(recs) == cap(recs) {
+				recs = append(recs, Record{})[:len(recs)]
+			}
+			n, err := sc.NextBatch(recs[len(recs):cap(recs)])
+			recs = recs[:len(recs)+n]
+			if err != nil {
+				// Always io.EOF: a bytes-mode scanner has no reader to fail.
+				break
+			}
+		}
+		p.putBuf(j.data)
+		// The send never blocks: out is buffered and owned by this chunk.
+		j.out <- parsedChunk{recs: recs, skipped: sc.Skipped()}
+	}
+}
+
+// advance releases the consumed batch and takes the next chunk's result
+// in input order.
+func (p *ParallelCSVSource) advance() error {
+	if p.cur != nil {
+		p.putRecs(p.cur)
+		p.cur = nil
+	}
+	p.pos = 0
+	ch, ok := <-p.order
+	if !ok {
+		return io.EOF
+	}
+	c := <-ch
+	p.skipped += c.skipped
+	if c.err != nil {
+		return c.err
+	}
+	p.cur = c.recs
+	return nil
+}
+
+// Next returns the next record in input order. The error is io.EOF at
+// end of input or the underlying I/O error, both sticky.
+func (p *ParallelCSVSource) Next() (Record, error) {
+	if p.err != nil {
+		return Record{}, p.err
+	}
+	for p.pos >= len(p.cur) {
+		if err := p.advance(); err != nil {
+			p.err = err
+			return Record{}, err
+		}
+	}
+	r := p.cur[p.pos]
+	p.pos++
+	return r, nil
+}
+
+// NextBatch copies up to len(dst) records in input order; see
+// BatchSource for the contract.
+func (p *ParallelCSVSource) NextBatch(dst []Record) (int, error) {
+	if p.err != nil {
+		return 0, p.err
+	}
+	n := 0
+	for n < len(dst) {
+		if p.pos >= len(p.cur) {
+			if err := p.advance(); err != nil {
+				p.err = err
+				return n, err
+			}
+			continue
+		}
+		m := copy(dst[n:], p.cur[p.pos:])
+		n += m
+		p.pos += m
+	}
+	return n, nil
+}
+
+// Skipped returns the number of malformed rows skipped in the chunks
+// consumed so far; after the stream is drained it is the total for the
+// whole input, equal to what CSVReader would report.
+func (p *ParallelCSVSource) Skipped() int { return p.skipped }
+
+// Close stops the background reader and workers. Subsequent calls
+// return io.EOF (or the earlier terminal error). Close is idempotent
+// and unnecessary once Next or NextBatch returned a non-nil error; it
+// does not interrupt a Read blocked in the underlying reader.
+func (p *ParallelCSVSource) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.done)
+	if p.err == nil {
+		p.err = io.EOF
+	}
+}
+
+func (p *ParallelCSVSource) getBuf() []byte {
+	if v := p.bufPool.Get(); v != nil {
+		return (*v.(*[]byte))[:0]
+	}
+	return make([]byte, 0, p.chunkSize)
+}
+
+func (p *ParallelCSVSource) putBuf(b []byte) {
+	b = b[:0]
+	p.bufPool.Put(&b)
+}
+
+func (p *ParallelCSVSource) getRecs() []Record {
+	if v := p.recPool.Get(); v != nil {
+		return (*v.(*[]Record))[:0]
+	}
+	return make([]Record, 0, chunkRecordsCap)
+}
+
+func (p *ParallelCSVSource) putRecs(r []Record) {
+	r = r[:0]
+	p.recPool.Put(&r)
+}

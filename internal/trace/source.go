@@ -48,6 +48,19 @@ func (s *sliceSource) Next() (Record, error) {
 	return r, nil
 }
 
+// NextBatch copies the next run of records into dst.
+func (s *sliceSource) NextBatch(dst []Record) (int, error) {
+	if s.pos >= len(s.records) {
+		return 0, io.EOF
+	}
+	n := copy(dst, s.records[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// SizeHint reports exactly how many records remain.
+func (s *sliceSource) SizeHint() int { return len(s.records) - s.pos }
+
 // ForEach drains the source, invoking fn for every record. It stops at
 // the first error from either the source or fn and returns it (io.EOF
 // from the source is the normal end of stream and yields nil).
@@ -68,16 +81,28 @@ func ForEach(src Source, fn func(Record) error) error {
 
 // Collect drains the source into a slice. Prefer streaming consumers for
 // large traces; Collect exists for tests and the slice-based wrappers.
+// Sources implementing SizeHinter get their slice preallocated instead
+// of grown from nil, and batch-capable sources are drained batch-wise.
 func Collect(src Source) ([]Record, error) {
 	var out []Record
-	err := ForEach(src, func(r Record) error {
-		out = append(out, r)
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	if h, ok := src.(SizeHinter); ok {
+		if n := h.SizeHint(); n > 0 {
+			out = make([]Record, 0, n)
+		}
 	}
-	return out, nil
+	bs := Batched(src)
+	bp := GetBatch()
+	defer PutBatch(bp)
+	for {
+		n, err := bs.NextBatch(*bp)
+		out = append(out, (*bp)[:n]...)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, err
+		}
+	}
 }
 
 // CSVReader is a streaming Source over the CSV format written by
