@@ -28,6 +28,7 @@
 //	analyze -synthetic -towers 600 -days 28
 //	analyze -synthetic -stream -towers 400 -days 28
 //	analyze -synthetic -workers 4 -seed 7 -nmf-rank 5
+//	analyze -synthetic -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -37,6 +38,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -64,11 +67,48 @@ func main() {
 		workers   = flag.Int("workers", 0, "bound the parallelism of the modeling stage (0 = all cores); results are identical for any value")
 		nmfRank   = flag.Int("nmf-rank", core.NMFRankAuto, "NMF decomposition rank (-1 = one basis per cluster, 0 = skip the NMF stage)")
 		ingestW   = flag.Int("ingest-workers", 0, "parallelism of the CSV ingestion stage (0 = all cores, 1 = the serial zero-allocation scanner); the record stream is identical for any value")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
 
-	if err := run(*traceDir, *synthetic, *stream, *towers, *days, *seed, *clusters, *window, *workers, *nmfRank, *ingestW); err != nil {
-		log.Fatal(err)
+	var cpuFile *os.File
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("creating CPU profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("starting CPU profile: %v", err)
+		}
+		cpuFile = f
+	}
+
+	runErr := run(*traceDir, *synthetic, *stream, *towers, *days, *seed, *clusters, *window, *workers, *nmfRank, *ingestW)
+
+	// Flush the profiles even when the run failed: a profile of the work
+	// done up to the error is exactly what a perf investigation wants.
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			log.Fatalf("closing CPU profile: %v", err)
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatalf("creating heap profile: %v", err)
+		}
+		runtime.GC() // settle the heap so the profile shows what the run retains
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("writing heap profile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing heap profile: %v", err)
+		}
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
 	}
 }
 

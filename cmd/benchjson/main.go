@@ -1,0 +1,144 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON document, so CI can archive the performance
+// trajectory of the pipeline (ingestion records/s, FFT ns/op, distance
+// kernel pairs/s, full-analysis latency, allocations) across PRs without
+// scraping benchstat text.
+//
+// Every benchmark line of the form
+//
+//	BenchmarkName/sub-4   10   123 ns/op   456 MB/s   7 allocs/op
+//
+// becomes one entry with its name (GOMAXPROCS suffix stripped), iteration
+// count and a metric map keyed by unit. Non-benchmark lines are ignored,
+// so the tool can eat a full `go test` transcript.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | tee bench.txt
+//	go run ./cmd/benchjson -in bench.txt -out BENCH_5.json \
+//	    -select 'Ingest_|DSP_FFT|Cluster_Distances|Pipeline_FullAnalysis'
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the b.N the reported values were averaged over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps a unit (ns/op, MB/s, records/s, allocs/op, ...) to its
+	// reported value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the archived JSON shape.
+type Document struct {
+	// Source names the input the benchmarks were parsed from.
+	Source string `json:"source"`
+	// Benchmarks holds every selected benchmark in input order.
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		in     = flag.String("in", "", "benchmark output to parse (default stdin)")
+		out    = flag.String("out", "", "JSON file to write (default stdout)")
+		filter = flag.String("select", "", "regexp keeping only matching benchmark names (default all)")
+	)
+	flag.Parse()
+
+	var sel *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if sel, err = regexp.Compile(*filter); err != nil {
+			log.Fatalf("bad -select: %v", err)
+		}
+	}
+
+	src := os.Stdin
+	sourceName := "stdin"
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+		sourceName = *in
+	}
+	doc, err := parse(src, sourceName, sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines matched")
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmarks to %s", len(doc.Benchmarks), *out)
+}
+
+// gomaxprocsSuffix strips the trailing -N the testing package appends to
+// benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse scans benchmark lines out of r. The format is fixed by the testing
+// package: name, iteration count, then value/unit pairs separated by
+// whitespace.
+func parse(r io.Reader, source string, sel *regexp.Regexp) (*Document, error) {
+	doc := &Document{Source: source}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		if sel != nil && !sel.MatchString(name) {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a log line that happens to start with Benchmark
+		}
+		entry := Entry{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			entry.Metrics[fields[i+1]] = value
+		}
+		doc.Benchmarks = append(doc.Benchmarks, entry)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}

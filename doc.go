@@ -12,8 +12,12 @@
 // modeling engine — the pattern identifier and metric tuner
 // (internal/cluster, condensed NN-chain hierarchical clustering and a
 // chunked k-means baseline) plus NMF basis extraction (internal/nmf) on
-// the blocked parallel kernels of internal/linalg, bit-identical for any
-// worker count under a fixed seed — the geographical labelling
+// the blocked kernels of internal/linalg: a Gram-matrix distance engine
+// (register-tiled, AVX2+FMA assembly micro-kernels on amd64) feeding on
+// the contiguous flat matrices behind every pipeline.Dataset, plus tiled
+// parallel matrix products, all bit-identical for any
+// worker count under a fixed seed (see README.md "Distance engine" for
+// the Gram-trick tolerance model) — the geographical labelling
 // (internal/poi, internal/label), the time- and frequency-domain analyses
 // (internal/timedomain, internal/freqdomain — the latter driven by the
 // plan-based FFT engine of internal/dsp, whose dsp.Plan precomputes twiddle

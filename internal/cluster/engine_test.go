@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/synth"
+)
+
+// cityPoints builds the normalised traffic vectors of a seeded synthetic
+// city — the realistic workload the decisions-unchanged guarantees are
+// pinned on before the golden e2e fixture is trusted.
+func cityPoints(t *testing.T, towers int, seed int64) []linalg.Vector {
+	t.Helper()
+	cfg := synth.SmallConfig()
+	cfg.Towers = towers
+	cfg.Days = 7
+	cfg.Seed = seed
+	city, err := synth.GenerateCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := city.BuildDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Normalized
+}
+
+// The blocked Gram-trick engine must make the identical agglomeration
+// decisions as the per-pair distance oracle on seeded city traffic: same
+// merge pairs, same sizes, same cut partitions, distances within the
+// 1e-9 relative tolerance the Gram trick is allowed.
+func TestHierarchicalDecisionsUnchangedOnSeededCity(t *testing.T) {
+	points := cityPoints(t, 90, 31)
+	for _, linkage := range []Linkage{AverageLinkage, SingleLinkage, CompleteLinkage} {
+		got, err := Hierarchical(points, linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := hierarchicalPerPairOracle(points, linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Merges) != len(want.Merges) {
+			t.Fatalf("%v: %d merges, oracle %d", linkage, len(got.Merges), len(want.Merges))
+		}
+		for i := range got.Merges {
+			g, w := got.Merges[i], want.Merges[i]
+			ga, gb := min(g.A, g.B), max(g.A, g.B)
+			wa, wb := min(w.A, w.B), max(w.A, w.B)
+			if ga != wa || gb != wb || g.Size != w.Size {
+				t.Fatalf("%v merge %d: got %+v, oracle %+v", linkage, i, g, w)
+			}
+			if diff := math.Abs(g.Distance - w.Distance); diff > 1e-9*(1+w.Distance) {
+				t.Fatalf("%v merge %d: distance %g, oracle %g", linkage, i, g.Distance, w.Distance)
+			}
+		}
+		for _, k := range []int{2, 3, 5, 8} {
+			ga, err := got.CutK(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wa, err := want.CutK(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ga.Labels, wa.Labels) {
+				t.Fatalf("%v k=%d: labels diverge from per-pair oracle", linkage, k)
+			}
+		}
+	}
+}
+
+// The blocked k-means assignment step must make the identical decisions as
+// the per-pair serial oracle on seeded city traffic: same labels, sizes
+// and iteration counts, inertia within Gram-trick precision.
+func TestKMeansDecisionsUnchangedOnSeededCity(t *testing.T) {
+	points := cityPoints(t, 90, 37)
+	for _, seed := range []int64{1, 7, 23} {
+		opts := KMeansOptions{K: 5, Seed: seed, Restarts: 3, Workers: 1}
+		got, err := KMeans(points, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := kmeansOracle(points, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Assignment, want.Assignment) {
+			t.Fatalf("seed %d: assignment diverges from per-pair oracle", seed)
+		}
+		if got.Iterations != want.Iterations {
+			t.Fatalf("seed %d: %d iterations, oracle %d", seed, got.Iterations, want.Iterations)
+		}
+		if diff := math.Abs(got.Inertia - want.Inertia); diff > 1e-9*(1+want.Inertia) {
+			t.Fatalf("seed %d: inertia %g, oracle %g", seed, got.Inertia, want.Inertia)
+		}
+		for c := range got.Centroids {
+			for j := range got.Centroids[c] {
+				if diff := math.Abs(got.Centroids[c][j] - want.Centroids[c][j]); diff > 1e-9 {
+					t.Fatalf("seed %d: centroid %d[%d] = %g, oracle %g", seed, c, j, got.Centroids[c][j], want.Centroids[c][j])
+				}
+			}
+		}
+	}
+}
+
+// The blocked validity indices must agree with their per-pair oracles to
+// Gram-trick precision on city traffic.
+func TestValidityIndicesMatchPerPairOracles(t *testing.T) {
+	points := cityPoints(t, 80, 41)
+	dendro, err := Hierarchical(points, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4, 6} {
+		assign, err := dendro.CutK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbi, err := DaviesBouldin(points, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbiOracle, err := daviesBouldinOracle(points, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(dbi - dbiOracle); diff > 1e-9*(1+math.Abs(dbiOracle)) {
+			t.Errorf("k=%d: DBI %g, oracle %g", k, dbi, dbiOracle)
+		}
+		sil, err := Silhouette(points, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		silOracle, err := silhouetteOracle(points, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(sil - silOracle); diff > 1e-9*(1+math.Abs(silOracle)) {
+			t.Errorf("k=%d: silhouette %g, oracle %g", k, sil, silOracle)
+		}
+	}
+}
+
+// The validity indices must be bit-identical for any worker count.
+func TestValidityIndicesBitIdenticalAcrossWorkers(t *testing.T) {
+	points := cityPoints(t, 70, 43)
+	dendro, err := Hierarchical(points, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := dendro.CutK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbiBase, err := DaviesBouldinWorkers(points, assign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silBase, err := SilhouetteWorkers(points, assign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curveBase, err := DBICurveWorkers(points, dendro, 2, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range testWorkerCounts() {
+		dbi, err := DaviesBouldinWorkers(points, assign, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dbi != dbiBase {
+			t.Errorf("workers %d: DBI %g differs from serial %g", workers, dbi, dbiBase)
+		}
+		sil, err := SilhouetteWorkers(points, assign, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sil != silBase {
+			t.Errorf("workers %d: silhouette %g differs from serial %g", workers, sil, silBase)
+		}
+		curve, err := DBICurveWorkers(points, dendro, 2, 6, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(curve, curveBase) {
+			t.Errorf("workers %d: DBI curve differs from serial", workers)
+		}
+	}
+}
+
+// The Lloyd loop's scratch is hoisted per restart: extra iterations must
+// not allocate. Comparing a long run against a short one isolates the
+// per-iteration cost from the fixed per-restart setup.
+func TestKMeansZeroAllocsPerIteration(t *testing.T) {
+	points := cityPoints(t, 60, 47)
+	run := func(iters int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			opts := KMeansOptions{K: 4, Seed: 11, Restarts: 1, MaxIterations: iters, Workers: 1}
+			if _, err := KMeans(points, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := run(2)
+	long := run(40)
+	if extra := long - short; extra > 1 {
+		t.Errorf("extra Lloyd iterations allocated %v times (short %v, long %v); want 0 allocs/iter warmed",
+			extra, short, long)
+	}
+}

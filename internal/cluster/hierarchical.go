@@ -12,8 +12,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/linalg"
 )
@@ -146,13 +144,16 @@ func (c condensed) row(i int) []float64 {
 	return c.d[lo : lo+c.n-1-i]
 }
 
-// condensedDistances computes the condensed Euclidean distance matrix with
-// up to `workers` goroutines (≤ 0 means GOMAXPROCS). Dimensions are
-// validated up front, before any worker starts, so a ragged input can
-// never strand the work distribution (the previous full-matrix path fed
-// an unbuffered channel and could deadlock if every worker exited early
-// on a SquaredDistance error). Workers claim rows from an atomic counter,
-// so there is no producer to block.
+// condensedDistances computes the condensed Euclidean distance matrix on
+// the blocked Gram-trick kernel with up to `workers` goroutines (≤ 0 means
+// GOMAXPROCS). Dimensions are validated up front, before any worker
+// starts, so a ragged input can never strand the work distribution. When
+// the points alias one contiguous matrix — the row views of a
+// pipeline.Dataset's flat backing — the kernel runs on that storage
+// directly; loose rows are packed once. The per-pair form this replaces
+// lives on as condensedDistancesOracle in oracle.go; the kernel agrees
+// with it to ≤1e-9 relative error (Gram-trick reassociation) and is
+// bit-identical across worker counts.
 func condensedDistances(points []linalg.Vector, workers int) (condensed, error) {
 	n := len(points)
 	dim := len(points[0])
@@ -162,31 +163,18 @@ func condensedDistances(points []linalg.Vector, workers int) (condensed, error) 
 		}
 	}
 	c := newCondensed(n)
-	workers = linalg.ResolveWorkers(workers)
-	if workers > n-1 {
-		workers = n - 1
+	if n < 2 {
+		return c, nil
 	}
-	var nextRow atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(nextRow.Add(1)) - 1
-				if i >= n-1 {
-					return
-				}
-				row := c.row(i)
-				pi := points[i]
-				for k := range row {
-					sq, _ := linalg.SquaredDistance(pi, points[i+1+k])
-					row[k] = math.Sqrt(sq)
-				}
-			}
-		}()
+	x, err := linalg.RowsMatrix(points)
+	if err != nil {
+		return condensed{}, err
 	}
-	wg.Wait()
+	norms := make(linalg.Vector, n)
+	if err := linalg.PairwiseSquaredCondensed(c.d, x, norms, workers); err != nil {
+		return condensed{}, err
+	}
+	linalg.SquaredDistancesSqrtInPlace(c.d, workers)
 	return c, nil
 }
 

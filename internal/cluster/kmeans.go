@@ -24,9 +24,9 @@ type KMeansOptions struct {
 	// Workers bounds the goroutines used for the assignment step and for
 	// running restarts concurrently (≤ 0 means GOMAXPROCS). The result is
 	// bit-identical for any Workers value: every restart draws from its own
-	// seeded RNG, per-point assignments are independent, and all floating-
-	// point reductions (centroid update, inertia) keep a fixed serial
-	// order.
+	// seeded RNG, the blocked distance kernel computes every point-centroid
+	// entry exactly once in a fixed order, and all floating-point
+	// reductions (centroid update, inertia) keep a fixed serial order.
 	Workers int
 }
 
@@ -53,11 +53,16 @@ type KMeansResult struct {
 
 // KMeans clusters the points with Lloyd's algorithm and k-means++
 // initialisation. It is the baseline the benchmark harness compares the
-// paper's hierarchical clustering against. Restarts run concurrently, each
-// with its own RNG seeded from Seed and the restart index, so the outcome
-// does not depend on scheduling: the best result is selected by scanning
-// the restarts in index order with a strict inertia comparison, exactly as
-// the serial loop did.
+// paper's hierarchical clustering against. The assignment step runs on the
+// blocked Gram-trick kernel (points × centroids squared distances in one
+// tiled pass); all per-iteration scratch — the distance matrix, centroid
+// norms, and the update step's sums and counts — is hoisted into buffers
+// allocated once per restart, so a warmed Lloyd iteration allocates
+// nothing. Restarts run concurrently, each with its own RNG seeded from
+// Seed and the restart index, so the outcome does not depend on
+// scheduling: the best result is selected by scanning the restarts in
+// index order with a strict inertia comparison, exactly as a serial loop
+// would.
 func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 	opts = opts.withDefaults()
 	n := len(points)
@@ -74,6 +79,18 @@ func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 		}
 	}
 
+	// The points matrix and its norms are shared read-only by every
+	// restart: aliased for free when the points are views of a dataset's
+	// flat backing, packed once otherwise.
+	x, err := linalg.RowsMatrix(points)
+	if err != nil {
+		return nil, err
+	}
+	xnorms := make(linalg.Vector, n)
+	if err := linalg.RowNormsSquaredInto(xnorms, x); err != nil {
+		return nil, err
+	}
+
 	workers := linalg.ResolveWorkers(opts.Workers)
 	restartRNG := func(r int) *rand.Rand {
 		return rand.New(rand.NewSource(opts.Seed + int64(r)*104729))
@@ -82,7 +99,7 @@ func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 	errs := make([]error, opts.Restarts)
 	if workers == 1 || opts.Restarts == 1 {
 		for r := range results {
-			results[r], errs[r] = kmeansOnce(points, opts, restartRNG(r), workers)
+			results[r], errs[r] = kmeansOnce(points, x, xnorms, opts, restartRNG(r), workers)
 		}
 	} else {
 		// Concurrent restarts, bounded by the worker budget: at most
@@ -102,7 +119,7 @@ func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 			go func(r int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				results[r], errs[r] = kmeansOnce(points, opts, restartRNG(r), inner)
+				results[r], errs[r] = kmeansOnce(points, x, xnorms, opts, restartRNG(r), inner)
 			}(r)
 		}
 		wg.Wait()
@@ -123,70 +140,108 @@ func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 	return best, nil
 }
 
+// kmeansScratch is the per-restart working set of the Lloyd loop. Each
+// buffer is allocated once and reused by every iteration, so the warmed
+// update loop runs at zero allocations — pinned by
+// TestKMeansZeroAllocsPerIteration.
+type kmeansScratch struct {
+	centroids *linalg.Matrix // K × dim, the current centroids
+	cnorms    linalg.Vector  // squared centroid norms
+	dists     *linalg.Matrix // n × K point-to-centroid squared distances
+	sums      *linalg.Matrix // K × dim update-step accumulator
+	counts    []int
+	labels    []int
+}
+
+func newKMeansScratch(n, k, dim int) *kmeansScratch {
+	return &kmeansScratch{
+		centroids: linalg.NewMatrix(k, dim),
+		cnorms:    make(linalg.Vector, k),
+		dists:     linalg.NewMatrix(n, k),
+		sums:      linalg.NewMatrix(k, dim),
+		counts:    make([]int, k),
+		labels:    make([]int, n),
+	}
+}
+
 // kmeansOnce runs one restart. The RNG is consumed only by the serial
 // phases (k-means++ initialisation and the empty-cluster reseeding of the
 // update step), so the draw sequence — and with it the result — is
 // independent of the worker count.
-func kmeansOnce(points []linalg.Vector, opts KMeansOptions, rng *rand.Rand, workers int) (*KMeansResult, error) {
-	n := len(points)
-	centroids, err := kmeansPlusPlusInit(points, opts.K, rng)
+func kmeansOnce(points []linalg.Vector, x *linalg.Matrix, xnorms linalg.Vector, opts KMeansOptions, rng *rand.Rand, workers int) (*KMeansResult, error) {
+	n, dim := x.Rows, x.Cols
+	init, err := kmeansPlusPlusInit(points, opts.K, rng)
 	if err != nil {
 		return nil, err
 	}
-	labels := make([]int, n)
-	// pointDist[i] is the squared distance of point i to its assigned (or,
-	// after the final pass, nearest) centroid — per-point scratch shared by
-	// the assignment workers, each writing a disjoint chunk.
-	pointDist := make([]float64, n)
+	sc := newKMeansScratch(n, opts.K, dim)
+	for c, v := range init {
+		copy(sc.centroids.Row(c), v)
+	}
 	var iterations int
+	converged := false
 	for iterations = 0; iterations < opts.MaxIterations; iterations++ {
-		// Assignment step, chunked across workers. Each point's nearest
-		// centroid is independent of every other point, so the chunking
-		// cannot change the outcome.
-		changed, err := assignChunked(points, centroids, labels, pointDist, workers)
+		// Assignment step on the blocked kernel: all point-centroid
+		// squared distances in one tiled pass, then an argmin per point.
+		// Each point's nearest centroid is independent of every other
+		// point, so the worker chunking cannot change the outcome.
+		changed, err := assignNearest(x, xnorms, sc, workers)
 		if err != nil {
 			return nil, err
 		}
 		if !changed && iterations > 0 {
+			converged = true
 			break
 		}
 		// Update step: kept serial so the centroid sums accumulate in point
 		// order and the empty-cluster reseeding consumes the RNG in the
 		// same sequence as a serial run.
-		dim := len(points[0])
-		sums := make([]linalg.Vector, opts.K)
-		counts := make([]int, opts.K)
-		for c := range sums {
-			sums[c] = make(linalg.Vector, dim)
+		for i := range sc.sums.Data {
+			sc.sums.Data[i] = 0
 		}
-		for i, p := range points {
-			if err := sums[labels[i]].AddInPlace(p); err != nil {
+		for c := range sc.counts {
+			sc.counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			l := sc.labels[i]
+			if err := sc.sums.Row(l).AddInPlace(x.Row(i)); err != nil {
 				return nil, err
 			}
-			counts[labels[i]]++
+			sc.counts[l]++
 		}
-		for c := range centroids {
-			if counts[c] == 0 {
+		for c := 0; c < opts.K; c++ {
+			row := sc.centroids.Row(c)
+			if sc.counts[c] == 0 {
 				// Re-seed an empty cluster at a random point.
-				centroids[c] = points[rng.Intn(n)].Clone()
+				copy(row, points[rng.Intn(n)])
 				continue
 			}
-			centroids[c] = sums[c].Scale(1 / float64(counts[c]))
+			inv := 1 / float64(sc.counts[c])
+			sum := sc.sums.Row(c)
+			for j := range row {
+				row[j] = sum[j] * inv
+			}
 		}
 	}
 	// Final inertia of the assigned labels against the final centroids:
-	// distances in parallel, reduced serially in point order so the sum is
-	// bit-identical to the serial loop.
-	if err := assignedDistances(points, centroids, labels, pointDist, workers); err != nil {
-		return nil, err
+	// distances from the blocked kernel, reduced serially in point order so
+	// the sum is bit-identical for any worker count. On the convergence
+	// exit the centroids have not moved since the last assignment pass, so
+	// sc.dists already holds exactly these values and the kernel pass is
+	// skipped; only the iteration-budget exit (centroids updated after the
+	// last assignment) needs the recompute.
+	if !converged {
+		if err := pointCentroidDistances(x, xnorms, sc, workers); err != nil {
+			return nil, err
+		}
 	}
 	var inertia float64
-	for _, d := range pointDist {
-		inertia += d
+	for i := 0; i < n; i++ {
+		inertia += sc.dists.At(i, sc.labels[i])
 	}
 	return &KMeansResult{
-		Assignment: &Assignment{Labels: labels, K: opts.K},
-		Centroids:  centroids,
+		Assignment: &Assignment{Labels: sc.labels, K: opts.K},
+		Centroids:  sc.centroids.RowViews(),
 		Inertia:    inertia,
 		Iterations: iterations,
 	}, nil
@@ -221,48 +276,57 @@ func chunkPoints(n, workers int, fn func(lo, hi int) error) error {
 	return nil
 }
 
-// assignChunked relabels every point to its nearest centroid (ties to the
-// lowest centroid index, as in the serial scan) and reports whether any
-// label changed. dist[i] receives the squared distance of point i to its
-// new centroid.
-func assignChunked(points []linalg.Vector, centroids []linalg.Vector, labels []int, dist []float64, workers int) (bool, error) {
+// pointCentroidDistances fills sc.dists with the squared distances of every
+// point to every current centroid via the blocked cross kernel. The point
+// norms are fixed for the whole run and shared read-only across restarts;
+// only the centroid norms are refreshed.
+func pointCentroidDistances(x *linalg.Matrix, xnorms linalg.Vector, sc *kmeansScratch, workers int) error {
+	if err := linalg.RowNormsSquaredInto(sc.cnorms, sc.centroids); err != nil {
+		return err
+	}
+	return linalg.CrossSquaredInto(sc.dists, x, sc.centroids, xnorms, sc.cnorms, workers)
+}
+
+// assignNearest relabels every point to its nearest centroid (ties to the
+// lowest centroid index, as in a serial scan) and reports whether any
+// label changed. The serial path stays closure-free so a warmed Lloyd
+// iteration performs no allocations.
+func assignNearest(x *linalg.Matrix, xnorms linalg.Vector, sc *kmeansScratch, workers int) (bool, error) {
+	if err := pointCentroidDistances(x, xnorms, sc, workers); err != nil {
+		return false, err
+	}
+	if workers <= 1 {
+		return argminRange(sc, 0, x.Rows), nil
+	}
 	var changed atomic.Bool
-	err := chunkPoints(len(points), workers, func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			best, bestDist := 0, math.Inf(1)
-			for c, centroid := range centroids {
-				d, err := linalg.SquaredDistance(points[i], centroid)
-				if err != nil {
-					return err
-				}
-				if d < bestDist {
-					best, bestDist = c, d
-				}
-			}
-			dist[i] = bestDist
-			if labels[i] != best {
-				labels[i] = best
-				changed.Store(true)
-			}
+	err := chunkPoints(x.Rows, workers, func(lo, hi int) error {
+		if argminRange(sc, lo, hi) {
+			changed.Store(true)
 		}
 		return nil
 	})
 	return changed.Load(), err
 }
 
-// assignedDistances fills dist[i] with the squared distance of point i to
-// its ASSIGNED centroid (labels are not touched) — the final-inertia pass.
-func assignedDistances(points []linalg.Vector, centroids []linalg.Vector, labels []int, dist []float64, workers int) error {
-	return chunkPoints(len(points), workers, func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			d, err := linalg.SquaredDistance(points[i], centroids[labels[i]])
-			if err != nil {
-				return err
+// argminRange assigns points [lo, hi) to their nearest centroid by
+// scanning the distance rows in ascending centroid order (ties to the
+// lowest index) and reports whether any label changed.
+func argminRange(sc *kmeansScratch, lo, hi int) bool {
+	changed := false
+	for i := lo; i < hi; i++ {
+		row := sc.dists.Row(i)
+		best, bestDist := 0, math.Inf(1)
+		for c, d := range row {
+			if d < bestDist {
+				best, bestDist = c, d
 			}
-			dist[i] = d
 		}
-		return nil
-	})
+		if sc.labels[i] != best {
+			sc.labels[i] = best
+			changed = true
+		}
+	}
+	return changed
 }
 
 // kmeansPlusPlusInit picks initial centroids with the k-means++ scheme:

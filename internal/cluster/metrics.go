@@ -52,6 +52,16 @@ func Centroids(points []linalg.Vector, a *Assignment) ([]linalg.Vector, error) {
 // j. Lower is better. Clusters with fewer than one member are skipped.
 // The index is undefined for fewer than two non-empty clusters.
 func DaviesBouldin(points []linalg.Vector, a *Assignment) (float64, error) {
+	return DaviesBouldinWorkers(points, a, 0)
+}
+
+// DaviesBouldinWorkers is DaviesBouldin with an explicit bound on the
+// goroutines of the blocked distance kernels (≤ 0 means GOMAXPROCS). The
+// member-to-centroid and centroid-to-centroid distances both come from the
+// Gram-trick kernels, so the index is bit-identical for any worker count;
+// clusters whose centroids coincide bit-for-bit still divide by an exact
+// zero and score +Inf, exactly as the per-pair form did.
+func DaviesBouldinWorkers(points []linalg.Vector, a *Assignment, workers int) (float64, error) {
 	centroids, err := Centroids(points, a)
 	if err != nil {
 		return 0, err
@@ -70,6 +80,15 @@ func DaviesBouldin(points []linalg.Vector, a *Assignment) (float64, error) {
 	if len(idx) < 2 {
 		return 0, errors.New("cluster: Davies-Bouldin needs at least two non-empty clusters")
 	}
+	// Centroid separations M_ij via the blocked symmetric kernel.
+	cm, err := linalg.RowsMatrix(centroids)
+	if err != nil {
+		return 0, err
+	}
+	sep := linalg.NewMatrix(a.K, a.K)
+	if err := linalg.PairwiseSquaredInto(sep, cm, nil, workers); err != nil {
+		return 0, err
+	}
 	var sum float64
 	for _, i := range idx {
 		worst := math.Inf(-1)
@@ -77,10 +96,7 @@ func DaviesBouldin(points []linalg.Vector, a *Assignment) (float64, error) {
 			if i == j {
 				continue
 			}
-			m, err := linalg.Distance(centroids[i], centroids[j])
-			if err != nil {
-				return 0, err
-			}
+			m := math.Sqrt(sep.At(i, j))
 			if m == 0 {
 				// Coincident centroids: the ratio is unbounded; treat as a
 				// very bad separation rather than dividing by zero.
@@ -97,17 +113,37 @@ func DaviesBouldin(points []linalg.Vector, a *Assignment) (float64, error) {
 }
 
 // clusterScatter returns S_i (mean member-to-centroid distance) and member
-// counts per cluster.
+// counts per cluster. Each point needs only the distance to its ASSIGNED
+// centroid, so this runs one Gram-trick dot per point — same operation
+// sequence as the cross kernel (making coincident point/centroid pairs
+// exactly zero) without computing the unused n×K remainder. The sums
+// accumulate serially in point order.
 func clusterScatter(points []linalg.Vector, a *Assignment, centroids []linalg.Vector) ([]float64, []int, error) {
+	x, err := linalg.RowsMatrix(points)
+	if err != nil {
+		return nil, nil, err
+	}
+	cm, err := linalg.RowsMatrix(centroids)
+	if err != nil {
+		return nil, nil, err
+	}
+	xnorms := make(linalg.Vector, x.Rows)
+	cnorms := make(linalg.Vector, cm.Rows)
+	if err := linalg.RowNormsSquaredInto(xnorms, x); err != nil {
+		return nil, nil, err
+	}
+	if err := linalg.RowNormsSquaredInto(cnorms, cm); err != nil {
+		return nil, nil, err
+	}
 	scatter := make([]float64, a.K)
 	counts := make([]int, a.K)
-	for i, p := range points {
+	for i := range points {
 		l := a.Labels[i]
-		d, err := linalg.Distance(p, centroids[l])
+		sq, err := linalg.AssignedSquaredDistance(x, cm, xnorms, cnorms, i, l)
 		if err != nil {
 			return nil, nil, err
 		}
-		scatter[l] += d
+		scatter[l] += math.Sqrt(sq)
 		counts[l]++
 	}
 	for i := range scatter {
@@ -145,6 +181,18 @@ func DistancesToCentroid(points []linalg.Vector, a *Assignment) ([][]float64, er
 // additional validity index used in the ablation benches. It is O(N²·d).
 // Points in singleton clusters contribute a silhouette of zero.
 func Silhouette(points []linalg.Vector, a *Assignment) (float64, error) {
+	return SilhouetteWorkers(points, a, 0)
+}
+
+// SilhouetteWorkers is Silhouette with an explicit bound on the goroutines
+// of the blocked distance kernel (≤ 0 means GOMAXPROCS). The full pairwise
+// matrix is computed once by the Gram-trick kernel — N²/2 fused tiles
+// instead of N²/2 per-pair loops — and the per-point reductions keep their
+// serial order, so the coefficient is bit-identical for any worker count.
+// The matrix costs O(N²) floats of transient memory (~740 MB at the
+// paper's 9,600 towers); the index is an ablation-bench statistic, not
+// part of the Analyze path, so the trade for kernel speed is deliberate.
+func SilhouetteWorkers(points []linalg.Vector, a *Assignment, workers int) (float64, error) {
 	n := len(points)
 	if n == 0 {
 		return 0, ErrNoPoints
@@ -155,7 +203,17 @@ func Silhouette(points []linalg.Vector, a *Assignment) (float64, error) {
 	if a.K < 2 {
 		return 0, errors.New("cluster: silhouette needs at least two clusters")
 	}
+	x, err := linalg.RowsMatrix(points)
+	if err != nil {
+		return 0, err
+	}
+	pair := linalg.NewMatrix(n, n)
+	if err := linalg.PairwiseSquaredInto(pair, x, nil, workers); err != nil {
+		return 0, err
+	}
+	linalg.SquaredDistancesSqrtInPlace(pair.Data, workers)
 	sizes := a.Sizes()
+	sumByCluster := make([]float64, a.K)
 	var total float64
 	for i := 0; i < n; i++ {
 		li := a.Labels[i]
@@ -164,16 +222,15 @@ func Silhouette(points []linalg.Vector, a *Assignment) (float64, error) {
 		}
 		// Mean distance to own cluster (a) and to the nearest other
 		// cluster (b).
-		sumByCluster := make([]float64, a.K)
+		for c := range sumByCluster {
+			sumByCluster[c] = 0
+		}
+		row := pair.Row(i)
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			d, err := linalg.Distance(points[i], points[j])
-			if err != nil {
-				return 0, err
-			}
-			sumByCluster[a.Labels[j]] += d
+			sumByCluster[a.Labels[j]] += row[j]
 		}
 		own := sumByCluster[li] / float64(sizes[li]-1)
 		other := math.Inf(1)
@@ -207,6 +264,12 @@ type DBICurvePoint struct {
 // DBICurve evaluates the Davies–Bouldin index for every cluster count in
 // [minK, maxK], reproducing the metric-tuner sweep behind Figure 6(a).
 func DBICurve(points []linalg.Vector, dendro *Dendrogram, minK, maxK int) ([]DBICurvePoint, error) {
+	return DBICurveWorkers(points, dendro, minK, maxK, 0)
+}
+
+// DBICurveWorkers is DBICurve with an explicit bound on the goroutines of
+// the per-K Davies–Bouldin evaluations (≤ 0 means GOMAXPROCS).
+func DBICurveWorkers(points []linalg.Vector, dendro *Dendrogram, minK, maxK, workers int) ([]DBICurvePoint, error) {
 	if minK < 2 {
 		return nil, fmt.Errorf("%w: minK=%d (need at least 2)", ErrBadK, minK)
 	}
@@ -219,7 +282,7 @@ func DBICurve(points []linalg.Vector, dendro *Dendrogram, minK, maxK int) ([]DBI
 		if err != nil {
 			return nil, err
 		}
-		dbi, err := DaviesBouldin(points, assign)
+		dbi, err := DaviesBouldinWorkers(points, assign, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -235,7 +298,13 @@ func DBICurve(points []linalg.Vector, dendro *Dendrogram, minK, maxK int) ([]DBI
 // OptimalK returns the cluster count minimising the Davies–Bouldin index
 // over [minK, maxK], together with the full curve.
 func OptimalK(points []linalg.Vector, dendro *Dendrogram, minK, maxK int) (int, []DBICurvePoint, error) {
-	curve, err := DBICurve(points, dendro, minK, maxK)
+	return OptimalKWorkers(points, dendro, minK, maxK, 0)
+}
+
+// OptimalKWorkers is OptimalK with an explicit bound on the goroutines of
+// the underlying Davies–Bouldin evaluations (≤ 0 means GOMAXPROCS).
+func OptimalKWorkers(points []linalg.Vector, dendro *Dendrogram, minK, maxK, workers int) (int, []DBICurvePoint, error) {
+	curve, err := DBICurveWorkers(points, dendro, minK, maxK, workers)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -1,20 +1,25 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"runtime"
 	"sync"
 
 	"repro/internal/linalg"
 )
 
-// This file retains the pre-condensed agglomeration paths as test oracles
-// for the production NN-chain engine in hierarchical.go. They are compiled
-// into the package (not the tests) so the benchmark harness can also pit
-// the production path against them, but nothing outside the oracle
-// property tests and benchmarks should call them: both are strictly slower
-// and the naive path is O(N³).
+// This file retains the superseded per-pair computation paths as test
+// oracles for the blocked production engine: the pre-condensed
+// agglomeration paths (for the NN-chain engine in hierarchical.go) and the
+// per-pair distance loops the Gram-trick kernels replaced (for the
+// condensed matrix, the k-means assignment step and the validity indices).
+// They are compiled into the package (not the tests) so the benchmark
+// harness can also pit the production paths against them, but nothing
+// outside the oracle property tests and benchmarks should call them: all
+// are strictly slower and the naive agglomeration is O(N³).
 
 // hierarchicalNaive is the textbook agglomeration: scan every active pair
 // for the global minimum linkage distance, merge, apply the Lance–Williams
@@ -149,4 +154,243 @@ produce:
 		return nil, firstErr
 	}
 	return dist, nil
+}
+
+// condensedDistancesOracle is the per-pair form condensedDistances had
+// before the blocked Gram-trick kernel: one subtract-square loop per pair,
+// serial. The production kernel must agree with it within 1e-9 relative
+// error and make the identical agglomeration decisions.
+func condensedDistancesOracle(points []linalg.Vector) (condensed, error) {
+	n := len(points)
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return condensed{}, fmt.Errorf("%w: point %d has %d dims, want %d", ErrShapeRagged, i, len(p), dim)
+		}
+	}
+	c := newCondensed(n)
+	for i := 0; i < n-1; i++ {
+		row := c.row(i)
+		pi := points[i]
+		for k := range row {
+			sq, _ := linalg.SquaredDistance(pi, points[i+1+k])
+			row[k] = math.Sqrt(sq)
+		}
+	}
+	return c, nil
+}
+
+// hierarchicalPerPairOracle runs the production NN-chain agglomeration
+// over the per-pair oracle distances — isolating the effect of the blocked
+// kernel from the effect of the chain algorithm (which
+// hierarchicalNaive covers).
+func hierarchicalPerPairOracle(points []linalg.Vector, linkage Linkage) (*Dendrogram, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	if n == 1 {
+		return &Dendrogram{N: 1, Linkage: linkage, Merges: nil}, nil
+	}
+	dist, err := condensedDistancesOracle(points)
+	if err != nil {
+		return nil, err
+	}
+	slotMerges, err := nnChain(dist, linkage)
+	if err != nil {
+		return nil, err
+	}
+	return relabelMerges(n, linkage, slotMerges), nil
+}
+
+// kmeansOracle is the per-pair serial k-means the blocked assignment step
+// replaced: SquaredDistance per point-centroid pair, freshly allocated
+// centroid sums every iteration. The RNG consumption is identical to the
+// production engine's, so for the same options the two must make the same
+// decisions (assignments, sizes, iteration counts) with inertia agreeing
+// to Gram-trick precision.
+func kmeansOracle(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
+	opts = opts.withDefaults()
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	var best *KMeansResult
+	for r := 0; r < opts.Restarts; r++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(r)*104729))
+		res, err := kmeansOnceOracle(points, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnceOracle(points []linalg.Vector, opts KMeansOptions, rng *rand.Rand) (*KMeansResult, error) {
+	n := len(points)
+	centroids, err := kmeansPlusPlusInit(points, opts.K, rng)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, n)
+	var iterations int
+	for iterations = 0; iterations < opts.MaxIterations; iterations++ {
+		changed := false
+		for i, p := range points {
+			best, bestDist := 0, math.Inf(1)
+			for c, centroid := range centroids {
+				d, err := linalg.SquaredDistance(p, centroid)
+				if err != nil {
+					return nil, err
+				}
+				if d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iterations > 0 {
+			break
+		}
+		dim := len(points[0])
+		sums := make([]linalg.Vector, opts.K)
+		counts := make([]int, opts.K)
+		for c := range sums {
+			sums[c] = make(linalg.Vector, dim)
+		}
+		for i, p := range points {
+			if err := sums[labels[i]].AddInPlace(p); err != nil {
+				return nil, err
+			}
+			counts[labels[i]]++
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				centroids[c] = points[rng.Intn(n)].Clone()
+				continue
+			}
+			centroids[c] = sums[c].Scale(1 / float64(counts[c]))
+		}
+	}
+	var inertia float64
+	for i, p := range points {
+		d, err := linalg.SquaredDistance(p, centroids[labels[i]])
+		if err != nil {
+			return nil, err
+		}
+		inertia += d
+	}
+	return &KMeansResult{
+		Assignment: &Assignment{Labels: labels, K: opts.K},
+		Centroids:  centroids,
+		Inertia:    inertia,
+		Iterations: iterations,
+	}, nil
+}
+
+// silhouetteOracle is the per-pair Silhouette the blocked kernel replaced.
+func silhouetteOracle(points []linalg.Vector, a *Assignment) (float64, error) {
+	n := len(points)
+	if n == 0 {
+		return 0, ErrNoPoints
+	}
+	sizes := a.Sizes()
+	var total float64
+	for i := 0; i < n; i++ {
+		li := a.Labels[i]
+		if sizes[li] <= 1 {
+			continue
+		}
+		sumByCluster := make([]float64, a.K)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d, err := linalg.Distance(points[i], points[j])
+			if err != nil {
+				return 0, err
+			}
+			sumByCluster[a.Labels[j]] += d
+		}
+		own := sumByCluster[li] / float64(sizes[li]-1)
+		other := math.Inf(1)
+		for c := 0; c < a.K; c++ {
+			if c == li || sizes[c] == 0 {
+				continue
+			}
+			if v := sumByCluster[c] / float64(sizes[c]); v < other {
+				other = v
+			}
+		}
+		if math.IsInf(other, 1) {
+			continue
+		}
+		max := math.Max(own, other)
+		if max > 0 {
+			total += (other - own) / max
+		}
+	}
+	return total / float64(n), nil
+}
+
+// daviesBouldinOracle is the per-pair Davies–Bouldin the blocked kernels
+// replaced.
+func daviesBouldinOracle(points []linalg.Vector, a *Assignment) (float64, error) {
+	centroids, err := Centroids(points, a)
+	if err != nil {
+		return 0, err
+	}
+	scatter := make([]float64, a.K)
+	counts := make([]int, a.K)
+	for i, p := range points {
+		l := a.Labels[i]
+		d, err := linalg.Distance(p, centroids[l])
+		if err != nil {
+			return 0, err
+		}
+		scatter[l] += d
+		counts[l]++
+	}
+	for i := range scatter {
+		if counts[i] > 0 {
+			scatter[i] /= float64(counts[i])
+		}
+	}
+	var idx []int
+	for i, c := range counts {
+		if c > 0 {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) < 2 {
+		return 0, errors.New("cluster: Davies-Bouldin needs at least two non-empty clusters")
+	}
+	var sum float64
+	for _, i := range idx {
+		worst := math.Inf(-1)
+		for _, j := range idx {
+			if i == j {
+				continue
+			}
+			m, err := linalg.Distance(centroids[i], centroids[j])
+			if err != nil {
+				return 0, err
+			}
+			if m == 0 {
+				worst = math.Inf(1)
+				continue
+			}
+			if r := (scatter[i] + scatter[j]) / m; r > worst {
+				worst = r
+			}
+		}
+		sum += worst
+	}
+	return sum / float64(len(idx)), nil
 }

@@ -60,9 +60,10 @@ type Options struct {
 	// takes an already-vectorised dataset.
 	CleanWindow int
 	// Workers bounds the goroutines of the modeling stage — the
-	// hierarchical clustering distance matrix, the NMF multiplicative
-	// updates and the k-means baseline (≤ 0 means GOMAXPROCS). The stage
-	// is deterministic: for a fixed Seed, every Workers value produces
+	// hierarchical clustering distance matrix, the metric tuner's
+	// Davies–Bouldin kernels, the NMF multiplicative updates and the
+	// k-means baseline (≤ 0 means GOMAXPROCS). The stage is
+	// deterministic: for a fixed Seed, every Workers value produces
 	// bit-identical assignments, factors and labels.
 	Workers int
 	// Seed drives the stochastic modeling components: the NMF random
@@ -203,13 +204,13 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 		}
 		if minK >= 2 && maxK >= minK && ds.NumTowers() > maxK {
 			// Still compute the curve for reporting when feasible.
-			curve, err = cluster.DBICurve(ds.Normalized, dendro, minK, maxK)
+			curve, err = cluster.DBICurveWorkers(ds.Normalized, dendro, minK, maxK, opts.Workers)
 			if err != nil {
 				return nil, fmt.Errorf("core: DBI curve: %w", err)
 			}
 		}
 	} else {
-		k, curve, err = cluster.OptimalK(ds.Normalized, dendro, minK, maxK)
+		k, curve, err = cluster.OptimalKWorkers(ds.Normalized, dendro, minK, maxK, opts.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: metric tuner: %w", err)
 		}

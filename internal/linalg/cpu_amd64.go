@@ -1,0 +1,31 @@
+package linalg
+
+// cpuid executes the CPUID instruction with the given EAX/ECX inputs.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (the OS-enabled state mask).
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2FMA reports whether the CPU and OS support the 256-bit FMA
+// kernels: AVX + FMA + OSXSAVE advertised, YMM state enabled by the OS
+// (XCR0 bits 1 and 2), and AVX2 present.
+var hasAVX2FMA = func() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	_, _, c1, _ := cpuid(1, 0)
+	if c1&osxsaveBit == 0 || c1&avxBit == 0 || c1&fmaBit == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}()

@@ -1,0 +1,22 @@
+package linalg
+
+// useAsm routes the blocked distance kernels through the AVX2+FMA assembly
+// micro-kernels. It is a variable (not a constant) so the property tests
+// can force the generic path and cross-check the two implementations.
+var useAsm = hasAVX2FMA
+
+// dotVecAsm returns the dot product of the n-element vectors at a and b
+// using two 4-wide FMA accumulators (lane m sums k ≡ m mod 8), folded as
+// (l0+l2)+(l1+l3) after pairing the two accumulators, with an ascending
+// scalar-FMA tail. dot1x4Asm uses the identical per-pair sequence, so a
+// row's norm and its cross dot products cancel exactly in the Gram trick.
+//
+//go:noescape
+func dotVecAsm(a, b *float64, n int) float64
+
+// dot1x4Asm computes the dot products of the n-element vector at a against
+// four rows starting at b with a stride of ldb elements, writing them to
+// out. The accumulation scheme is bit-identical to dotVecAsm's.
+//
+//go:noescape
+func dot1x4Asm(a, b *float64, ldb, n int, out *[4]float64)

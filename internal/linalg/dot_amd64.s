@@ -1,0 +1,139 @@
+#include "textflag.h"
+
+// The AVX2+FMA micro-kernels of the blocked distance engine. Both kernels
+// share one accumulation scheme per (a,b) pair — two 4-wide FMA
+// accumulators over k (acc0: k≡0..3 mod 8, acc1: k≡4..7 mod 8), folded as
+// acc0+acc1, then (l0+l2, l1+l3), then (l0+l2)+(l1+l3), with an ascending
+// scalar-FMA tail for n mod 8 leftovers — so any pair of bit-identical
+// rows produces exactly the same dot product as either row's norm, which
+// the Gram trick relies on for exact-zero distances.
+
+// func dotVecAsm(a, b *float64, n int) float64
+TEXT ·dotVecAsm(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	CMPQ DX, $0
+	JE   fold
+
+loop8:
+	VMOVUPD (SI)(AX*8), Y2
+	VFMADD231PD (DI)(AX*8), Y2, Y0
+	VMOVUPD 32(SI)(AX*8), Y3
+	VFMADD231PD 32(DI)(AX*8), Y3, Y1
+	ADDQ $8, AX
+	CMPQ AX, DX
+	JL   loop8
+
+fold:
+	VADDPD Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VPERMILPD $1, X0, X1
+	VADDSD X1, X0, X0
+
+	CMPQ AX, CX
+	JGE  done
+
+tail:
+	VMOVSD (SI)(AX*8), X2
+	VFMADD231SD (DI)(AX*8), X2, X0
+	INCQ AX
+	CMPQ AX, CX
+	JL   tail
+
+done:
+	VMOVSD X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func dot1x4Asm(a, b *float64, ldb, n int, out *[4]float64)
+TEXT ·dot1x4Asm(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ ldb+16(FP), DX
+	SHLQ $3, DX              // stride in bytes
+	MOVQ n+24(FP), CX
+	MOVQ out+32(FP), BX
+	LEAQ (DI)(DX*1), R8      // row 1
+	LEAQ (R8)(DX*1), R9      // row 2
+	LEAQ (R9)(DX*1), R10     // row 3
+	VXORPD Y0, Y0, Y0        // acc0 of rows 0..3
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4        // acc1 of rows 0..3
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	XORQ AX, AX
+	MOVQ CX, R11
+	ANDQ $-8, R11
+	CMPQ R11, $0
+	JE   fold4
+
+loop8x4:
+	VMOVUPD (SI)(AX*8), Y8
+	VFMADD231PD (DI)(AX*8), Y8, Y0
+	VFMADD231PD (R8)(AX*8), Y8, Y1
+	VFMADD231PD (R9)(AX*8), Y8, Y2
+	VFMADD231PD (R10)(AX*8), Y8, Y3
+	VMOVUPD 32(SI)(AX*8), Y9
+	VFMADD231PD 32(DI)(AX*8), Y9, Y4
+	VFMADD231PD 32(R8)(AX*8), Y9, Y5
+	VFMADD231PD 32(R9)(AX*8), Y9, Y6
+	VFMADD231PD 32(R10)(AX*8), Y9, Y7
+	ADDQ $8, AX
+	CMPQ AX, R11
+	JL   loop8x4
+
+fold4:
+	VADDPD Y4, Y0, Y0
+	VEXTRACTF128 $1, Y0, X10
+	VADDPD X10, X0, X0
+	VPERMILPD $1, X0, X10
+	VADDSD X10, X0, X0
+
+	VADDPD Y5, Y1, Y1
+	VEXTRACTF128 $1, Y1, X10
+	VADDPD X10, X1, X1
+	VPERMILPD $1, X1, X10
+	VADDSD X10, X1, X1
+
+	VADDPD Y6, Y2, Y2
+	VEXTRACTF128 $1, Y2, X10
+	VADDPD X10, X2, X2
+	VPERMILPD $1, X2, X10
+	VADDSD X10, X2, X2
+
+	VADDPD Y7, Y3, Y3
+	VEXTRACTF128 $1, Y3, X10
+	VADDPD X10, X3, X3
+	VPERMILPD $1, X3, X10
+	VADDSD X10, X3, X3
+
+	CMPQ AX, CX
+	JGE  store4
+
+tail4:
+	VMOVSD (SI)(AX*8), X8
+	VFMADD231SD (DI)(AX*8), X8, X0
+	VFMADD231SD (R8)(AX*8), X8, X1
+	VFMADD231SD (R9)(AX*8), X8, X2
+	VFMADD231SD (R10)(AX*8), X8, X3
+	INCQ AX
+	CMPQ AX, CX
+	JL   tail4
+
+store4:
+	VMOVSD X0, (BX)
+	VMOVSD X1, 8(BX)
+	VMOVSD X2, 16(BX)
+	VMOVSD X3, 24(BX)
+	VZEROUPPER
+	RET

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package linalg
+
+// The non-amd64 build always takes the portable Go kernels.
+var useAsm = false
+
+func dotVecAsm(a, b *float64, n int) float64 {
+	panic("linalg: dotVecAsm without assembly support")
+}
+
+func dot1x4Asm(a, b *float64, ldb, n int, out *[4]float64) {
+	panic("linalg: dot1x4Asm without assembly support")
+}

@@ -1,0 +1,491 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Blocked Gram-matrix distance engine.
+//
+// The clustering and metric stages of the pipeline are dominated by pairwise
+// Euclidean distances over ~10,000 rows of 1,008 slots. Computed per pair
+// (one subtract-square loop per (i,j)), every pair streams both rows from
+// memory: O(N²·d) loads for O(N²·d) flops, hopelessly memory-bound at scale.
+// The kernels here instead tile the output into pairTile×pairTile blocks and
+// compute dot products with a 4×4 register micro-kernel, so each pass over
+// two row panels produces 16 outputs per 8 loads and row panels are reused
+// from cache across a whole tile. Squared distances come from the Gram
+// trick: ‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b, clamped at zero (the subtraction can
+// go infinitesimally negative under rounding).
+//
+// On amd64 with AVX2+FMA the dot products run in the assembly micro-kernels
+// of dot_amd64.s (a 1×4 FMA kernel against four b rows at a time and its
+// single-pair twin), roughly 4× the scalar flop rate; everywhere else the
+// portable register-tiled Go kernels below apply.
+//
+// Determinism contract: every output entry is computed by exactly one
+// worker, and every entry — whichever kernel variant produces it —
+// accumulates its dot product over k in one fixed scheme per build (the
+// two-accumulator FMA fold of the assembly kernels, or a single ascending
+// accumulator in the portable ones). Results are therefore bit-identical
+// for ANY worker count, the property the deterministic modeling engine is
+// built on. Relative to the per-pair subtract-square form the Gram trick
+// shifts low-order bits (one rounding of the norms and the recombination
+// replaces d roundings of (a−b)²); the cluster and freqdomain oracles pin
+// the agreement to ≤1e-9 relative error, and two rows with bit-identical
+// contents still get an exactly-zero distance because their norms and
+// their cross dot product run the identical operation sequence.
+//
+// All kernels write into caller-provided storage and allocate nothing on
+// the serial (workers == 1) path, so warmed callers run at 0 allocs/op.
+
+// pairTile is the row/column tile size of the blocked kernels: two panels
+// of pairTile rows × 1,008 slots (the paper's week of 10-minute slots) sit
+// around 500 KiB together, comfortably inside L2 while a tile is computed.
+const pairTile = 32
+
+// stripWorkers normalises a worker count against the number of strips.
+func stripWorkers(strips, workers int) int {
+	workers = ResolveWorkers(workers)
+	if workers > strips {
+		workers = strips
+	}
+	return workers
+}
+
+// forEachStrip claims strip indices [0, strips) with `workers` goroutines
+// (> 1; the serial paths call their strip functions directly so the warmed
+// kernels stay allocation-free) from a shared atomic counter. Each strip is
+// processed by exactly one worker.
+func forEachStrip(strips, workers int, fn func(s int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= strips {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// dot4x4 accumulates the 16 dot products between four x rows and four y
+// rows into acc. Each accumulator receives its products in ascending-k
+// order, matching dotRows exactly, so the same (i,j) pair produces the same
+// bits whichever kernel computes it.
+func dot4x4(a0, a1, a2, a3, b0, b1, b2, b3 []float64, acc *[16]float64) {
+	var s00, s01, s02, s03 float64
+	var s10, s11, s12, s13 float64
+	var s20, s21, s22, s23 float64
+	var s30, s31, s32, s33 float64
+	n := len(a0)
+	a1, a2, a3 = a1[:n], a2[:n], a3[:n]
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	for k, x0 := range a0 {
+		x1, x2, x3 := a1[k], a2[k], a3[k]
+		y0, y1, y2, y3 := b0[k], b1[k], b2[k], b3[k]
+		s00 += x0 * y0
+		s01 += x0 * y1
+		s02 += x0 * y2
+		s03 += x0 * y3
+		s10 += x1 * y0
+		s11 += x1 * y1
+		s12 += x1 * y2
+		s13 += x1 * y3
+		s20 += x2 * y0
+		s21 += x2 * y1
+		s22 += x2 * y2
+		s23 += x2 * y3
+		s30 += x3 * y0
+		s31 += x3 * y1
+		s32 += x3 * y2
+		s33 += x3 * y3
+	}
+	acc[0], acc[1], acc[2], acc[3] = s00, s01, s02, s03
+	acc[4], acc[5], acc[6], acc[7] = s10, s11, s12, s13
+	acc[8], acc[9], acc[10], acc[11] = s20, s21, s22, s23
+	acc[12], acc[13], acc[14], acc[15] = s30, s31, s32, s33
+}
+
+// dot4x1 accumulates four x rows against one y row (the j edge of a tile).
+func dot4x1(a0, a1, a2, a3, b []float64) (s0, s1, s2, s3 float64) {
+	n := len(a0)
+	a1, a2, a3, b = a1[:n], a2[:n], a3[:n], b[:n]
+	for k, x0 := range a0 {
+		y := b[k]
+		s0 += x0 * y
+		s1 += a1[k] * y
+		s2 += a2[k] * y
+		s3 += a3[k] * y
+	}
+	return
+}
+
+// dotRows is the scalar edge kernel: a single ascending-k accumulator.
+func dotRows(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s float64
+	for k, x := range a {
+		s += x * b[k]
+	}
+	return s
+}
+
+// dotPair is the path-dispatching single-pair kernel: the AVX2+FMA vector
+// dot where available, the portable scalar one otherwise. Row norms and
+// tile edges go through it so every dot in a run shares one accumulation
+// scheme — the exact-zero guarantee of the Gram trick depends on that.
+func dotPair(a, b []float64) float64 {
+	if useAsm && len(a) > 0 {
+		return dotVecAsm(&a[0], &b[0], len(a))
+	}
+	return dotRows(a, b)
+}
+
+// pairTileRect fills out[(i-i0)*stride + (j-j0)] for i in [i0,i1), j in
+// [j0,j1) with either the raw dot product of x row i and y row j (norms nil)
+// or the clamped squared distance xn[i] + yn[j] − 2·dot (norms given).
+func pairTileRect(x, y *Matrix, xn, yn Vector, i0, i1, j0, j1 int, out []float64, stride int) {
+	d := x.Cols
+	xd, yd := x.Data, y.Data
+	emit := func(i, j int, dot float64) {
+		v := dot
+		if xn != nil {
+			v = xn[i] + yn[j] - 2*dot
+			if v < 0 {
+				v = 0
+			}
+		}
+		out[(i-i0)*stride+(j-j0)] = v
+	}
+	if useAsm && d > 0 {
+		var quad [4]float64
+		for i := i0; i < i1; i++ {
+			a := xd[i*d : (i+1)*d]
+			j := j0
+			for ; j+4 <= j1; j += 4 {
+				dot1x4Asm(&a[0], &yd[j*d], d, d, &quad)
+				emit(i, j+0, quad[0])
+				emit(i, j+1, quad[1])
+				emit(i, j+2, quad[2])
+				emit(i, j+3, quad[3])
+			}
+			for ; j < j1; j++ {
+				emit(i, j, dotVecAsm(&a[0], &yd[j*d], d))
+			}
+		}
+		return
+	}
+	var acc [16]float64
+	i := i0
+	for ; i+4 <= i1; i += 4 {
+		a0 := xd[(i+0)*d : (i+1)*d]
+		a1 := xd[(i+1)*d : (i+2)*d]
+		a2 := xd[(i+2)*d : (i+3)*d]
+		a3 := xd[(i+3)*d : (i+4)*d]
+		j := j0
+		for ; j+4 <= j1; j += 4 {
+			dot4x4(a0, a1, a2, a3,
+				yd[(j+0)*d:(j+1)*d], yd[(j+1)*d:(j+2)*d], yd[(j+2)*d:(j+3)*d], yd[(j+3)*d:(j+4)*d], &acc)
+			for di := 0; di < 4; di++ {
+				for dj := 0; dj < 4; dj++ {
+					emit(i+di, j+dj, acc[di*4+dj])
+				}
+			}
+		}
+		for ; j < j1; j++ {
+			s0, s1, s2, s3 := dot4x1(a0, a1, a2, a3, yd[j*d:(j+1)*d])
+			emit(i+0, j, s0)
+			emit(i+1, j, s1)
+			emit(i+2, j, s2)
+			emit(i+3, j, s3)
+		}
+	}
+	for ; i < i1; i++ {
+		a := xd[i*d : (i+1)*d]
+		for j := j0; j < j1; j++ {
+			emit(i, j, dotRows(a, yd[j*d:(j+1)*d]))
+		}
+	}
+}
+
+// RowNormsSquaredInto fills dst[i] with the squared Euclidean norm of row i
+// of x, accumulated in the same ascending order as the tile kernels so that
+// identical rows yield exactly-zero Gram-trick distances. dst must have
+// length x.Rows.
+func RowNormsSquaredInto(dst Vector, x *Matrix) error {
+	if len(dst) != x.Rows {
+		return fmt.Errorf("%w: %d norms for %d rows", ErrDimensionMismatch, len(dst), x.Rows)
+	}
+	d := x.Cols
+	for i := 0; i < x.Rows; i++ {
+		row := x.Data[i*d : (i+1)*d]
+		dst[i] = dotPair(row, row)
+	}
+	return nil
+}
+
+// GramInto writes the Gram matrix m·mᵀ into dst (m.Rows × m.Rows) using up
+// to `workers` goroutines (≤ 0 means GOMAXPROCS). Only the upper triangle
+// is computed — symmetry halves the flops — and mirrored into the lower
+// one. dst must not share storage with m. The result is bit-identical for
+// any worker count.
+func (m *Matrix) GramInto(dst *Matrix, workers int) error {
+	n := m.Rows
+	if dst.Rows != n || dst.Cols != n {
+		return fmt.Errorf("%w: gram of %dx%d into %dx%d", ErrDimensionMismatch, n, m.Cols, dst.Rows, dst.Cols)
+	}
+	symmetricTiles(m, nil, dst.Data, workers)
+	mirrorLower(dst, workers)
+	return nil
+}
+
+// PairwiseSquaredInto writes the full symmetric matrix of squared Euclidean
+// distances between the rows of x into dst (x.Rows × x.Rows) using up to
+// `workers` goroutines (≤ 0 means GOMAXPROCS). norms is caller scratch of
+// length x.Rows (nil allocates); on return it holds the squared row norms.
+// The diagonal is exactly zero and the result is bit-identical for any
+// worker count.
+func PairwiseSquaredInto(dst *Matrix, x *Matrix, norms Vector, workers int) error {
+	n := x.Rows
+	if dst.Rows != n || dst.Cols != n {
+		return fmt.Errorf("%w: pairwise of %d rows into %dx%d", ErrDimensionMismatch, n, dst.Rows, dst.Cols)
+	}
+	if norms == nil {
+		norms = make(Vector, n)
+	}
+	if err := RowNormsSquaredInto(norms, x); err != nil {
+		return err
+	}
+	symmetricTiles(x, norms, dst.Data, workers)
+	for i := 0; i < n; i++ {
+		dst.Data[i*n+i] = 0
+	}
+	mirrorLower(dst, workers)
+	return nil
+}
+
+// symmetricTiles computes the upper triangle (including the diagonal) of
+// the pairwise dot products (norms nil) or squared distances (norms given)
+// of x's rows into the row-major n×n buffer out. Workers claim row strips
+// of pairTile rows; within a strip every tile right of the diagonal runs
+// the rectangular kernel and diagonal tiles compute their own lower half
+// redundantly (a ≤1/tiles fraction of the work) to keep the kernel uniform.
+func symmetricTiles(x *Matrix, norms Vector, out []float64, workers int) {
+	strips := (x.Rows + pairTile - 1) / pairTile
+	if w := stripWorkers(strips, workers); w > 1 {
+		forEachStrip(strips, w, func(s int) { symmetricStrip(x, norms, out, s) })
+		return
+	}
+	for s := 0; s < strips; s++ {
+		symmetricStrip(x, norms, out, s)
+	}
+}
+
+func symmetricStrip(x *Matrix, norms Vector, out []float64, s int) {
+	n := x.Rows
+	i0 := s * pairTile
+	i1 := min(n, i0+pairTile)
+	for j0 := i0; j0 < n; j0 += pairTile {
+		j1 := min(n, j0+pairTile)
+		pairTileRect(x, x, norms, norms, i0, i1, j0, j1, out[i0*n+j0:], n)
+	}
+}
+
+// mirrorLower copies the strict upper triangle of the symmetric matrix dst
+// into its lower triangle, partitioned by destination row so each entry is
+// written by exactly one worker.
+func mirrorLower(dst *Matrix, workers int) {
+	strips := (dst.Rows + pairTile - 1) / pairTile
+	if w := stripWorkers(strips, workers); w > 1 {
+		forEachStrip(strips, w, func(s int) { mirrorStrip(dst, s) })
+		return
+	}
+	for s := 0; s < strips; s++ {
+		mirrorStrip(dst, s)
+	}
+}
+
+func mirrorStrip(dst *Matrix, s int) {
+	n := dst.Rows
+	r0 := s * pairTile
+	r1 := min(n, r0+pairTile)
+	for r := r0; r < r1; r++ {
+		row := dst.Data[r*n : (r+1)*n]
+		for i := 0; i < r; i++ {
+			row[i] = dst.Data[i*n+r]
+		}
+	}
+}
+
+// PairwiseSquaredCondensed writes the squared Euclidean distances between
+// the rows of x into dst in condensed upper-triangular layout: row i's
+// distances to j ∈ (i, n) occupy a contiguous run starting at
+// i·(2n−i−1)/2, the layout the clustering engine agglomerates over. dst
+// must have length n·(n−1)/2; norms is caller scratch of length n (nil
+// allocates). Up to `workers` goroutines (≤ 0 means GOMAXPROCS) each own
+// whole row strips, so the result is bit-identical for any worker count,
+// and the serial path performs no allocations.
+func PairwiseSquaredCondensed(dst []float64, x *Matrix, norms Vector, workers int) error {
+	n := x.Rows
+	if len(dst) != n*(n-1)/2 {
+		return fmt.Errorf("%w: condensed buffer %d for %d rows (want %d)", ErrDimensionMismatch, len(dst), n, n*(n-1)/2)
+	}
+	if norms == nil {
+		norms = make(Vector, n)
+	}
+	if err := RowNormsSquaredInto(norms, x); err != nil {
+		return err
+	}
+	strips := (n + pairTile - 1) / pairTile
+	if w := stripWorkers(strips, workers); w > 1 {
+		forEachStrip(strips, w, func(s int) { condensedStrip(dst, x, norms, s) })
+		return nil
+	}
+	for s := 0; s < strips; s++ {
+		condensedStrip(dst, x, norms, s)
+	}
+	return nil
+}
+
+// condensedStrip fills the condensed rows of one pairTile strip.
+func condensedStrip(dst []float64, x *Matrix, norms Vector, s int) {
+	n, d := x.Rows, x.Cols
+	rowStart := func(i int) int { return i * (2*n - i - 1) / 2 }
+	i0 := s * pairTile
+	i1 := min(n, i0+pairTile)
+	// Diagonal tile: only j > i survives, so the 4×4 interior does not
+	// apply cleanly; the scalar kernel covers the triangle.
+	for i := i0; i < i1; i++ {
+		a := x.Data[i*d : (i+1)*d]
+		base := rowStart(i) - i - 1
+		for j := i + 1; j < i1; j++ {
+			v := norms[i] + norms[j] - 2*dotPair(a, x.Data[j*d:(j+1)*d])
+			if v < 0 {
+				v = 0
+			}
+			dst[base+j] = v
+		}
+	}
+	// Tiles right of the diagonal: full rectangles on the 4×4 kernel,
+	// written row by row into the condensed runs.
+	var tile [pairTile * pairTile]float64
+	for j0 := i1; j0 < n; j0 += pairTile {
+		j1 := min(n, j0+pairTile)
+		pairTileRect(x, x, norms, norms, i0, i1, j0, j1, tile[:], pairTile)
+		for i := i0; i < i1; i++ {
+			base := rowStart(i) - i - 1
+			trow := tile[(i-i0)*pairTile:]
+			for j := j0; j < j1; j++ {
+				dst[base+j] = trow[j-j0]
+			}
+		}
+	}
+}
+
+// CrossSquaredInto writes the squared Euclidean distances between every row
+// of x and every row of y into dst (x.Rows × y.Rows) using up to `workers`
+// goroutines (≤ 0 means GOMAXPROCS). xnorms and ynorms must hold the
+// squared row norms of x and y as produced by RowNormsSquaredInto; pass
+// nil to have either computed here (allocating). Taking the norms as
+// inputs lets iterative callers — the k-means assignment step, where x
+// never changes but the centroids do — reuse point norms across
+// iterations and restarts without the kernel rewriting shared buffers.
+// Bit-identical for any worker count; with caller-provided norms the
+// serial path performs no allocations.
+func CrossSquaredInto(dst *Matrix, x, y *Matrix, xnorms, ynorms Vector, workers int) error {
+	if x.Cols != y.Cols {
+		return fmt.Errorf("%w: cross distances between %d-col and %d-col rows", ErrDimensionMismatch, x.Cols, y.Cols)
+	}
+	if dst.Rows != x.Rows || dst.Cols != y.Rows {
+		return fmt.Errorf("%w: cross distances %dx%d into %dx%d", ErrDimensionMismatch, x.Rows, y.Rows, dst.Rows, dst.Cols)
+	}
+	if xnorms == nil {
+		xnorms = make(Vector, x.Rows)
+		if err := RowNormsSquaredInto(xnorms, x); err != nil {
+			return err
+		}
+	}
+	if ynorms == nil {
+		ynorms = make(Vector, y.Rows)
+		if err := RowNormsSquaredInto(ynorms, y); err != nil {
+			return err
+		}
+	}
+	if len(xnorms) != x.Rows || len(ynorms) != y.Rows {
+		return fmt.Errorf("%w: %d/%d norms for %dx%d cross distances", ErrDimensionMismatch, len(xnorms), len(ynorms), x.Rows, y.Rows)
+	}
+	strips := (x.Rows + pairTile - 1) / pairTile
+	if w := stripWorkers(strips, workers); w > 1 {
+		forEachStrip(strips, w, func(s int) { crossStrip(dst, x, y, xnorms, ynorms, s) })
+		return nil
+	}
+	for s := 0; s < strips; s++ {
+		crossStrip(dst, x, y, xnorms, ynorms, s)
+	}
+	return nil
+}
+
+// crossStrip fills one pairTile strip of the cross-distance matrix.
+func crossStrip(dst *Matrix, x, y *Matrix, xnorms, ynorms Vector, s int) {
+	m := y.Rows
+	i0 := s * pairTile
+	i1 := min(x.Rows, i0+pairTile)
+	for j0 := 0; j0 < m; j0 += pairTile {
+		j1 := min(m, j0+pairTile)
+		pairTileRect(x, y, xnorms, ynorms, i0, i1, j0, j1, dst.Data[i0*m+j0:], m)
+	}
+}
+
+// AssignedSquaredDistance returns the squared Euclidean distance between
+// row i of x and row j of y via the Gram trick, using precomputed row
+// norms (RowNormsSquaredInto). The dot product runs the kernels' shared
+// accumulation scheme, so the value is bit-identical to the corresponding
+// CrossSquaredInto entry — including the exact zero for bit-identical
+// rows — without computing any of the other pairs. This is the
+// one-pair-per-point form the cluster-scatter statistic wants.
+func AssignedSquaredDistance(x, y *Matrix, xnorms, ynorms Vector, i, j int) (float64, error) {
+	if x.Cols != y.Cols {
+		return 0, fmt.Errorf("%w: assigned distance between %d-col and %d-col rows", ErrDimensionMismatch, x.Cols, y.Cols)
+	}
+	if i < 0 || i >= x.Rows || j < 0 || j >= y.Rows {
+		return 0, fmt.Errorf("%w: assigned distance (%d,%d) of %dx%d", ErrDimensionMismatch, i, j, x.Rows, y.Rows)
+	}
+	if len(xnorms) != x.Rows || len(ynorms) != y.Rows {
+		return 0, fmt.Errorf("%w: %d/%d norms for %dx%d assigned distance", ErrDimensionMismatch, len(xnorms), len(ynorms), x.Rows, y.Rows)
+	}
+	d := x.Cols
+	v := xnorms[i] + ynorms[j] - 2*dotPair(x.Data[i*d:(i+1)*d], y.Data[j*d:(j+1)*d])
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// SquaredDistancesSqrtInPlace replaces every entry of d with its square
+// root, splitting the buffer across up to `workers` goroutines (≤ 0 means
+// GOMAXPROCS). Element-wise, so bit-identical for any worker count.
+func SquaredDistancesSqrtInPlace(d []float64, workers int) {
+	const chunk = 1 << 14
+	strips := (len(d) + chunk - 1) / chunk
+	if w := stripWorkers(strips, workers); w > 1 {
+		forEachStrip(strips, w, func(s int) { sqrtStrip(d, s*chunk, min(len(d), s*chunk+chunk)) })
+		return
+	}
+	sqrtStrip(d, 0, len(d))
+}
+
+func sqrtStrip(d []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d[i] = math.Sqrt(d[i])
+	}
+}

@@ -36,6 +36,56 @@ func NewMatrixFromRows(rows []Vector) (*Matrix, error) {
 	return m, nil
 }
 
+// RowViews returns all rows of m as vectors aliasing the matrix storage —
+// the compatibility bridge between the flat row-major data path and the
+// []Vector APIs. Mutating a returned vector mutates the matrix.
+func (m *Matrix) RowViews() []Vector {
+	out := make([]Vector, m.Rows)
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+// RowsMatrix returns a matrix whose rows are the given equal-length
+// vectors. When the rows already lie contiguously in one row-major buffer —
+// as the row views of a Matrix do — the returned matrix aliases their
+// storage without copying, which is how the blocked distance kernels pick
+// up a pipeline.Dataset's flat backing for free; otherwise the rows are
+// packed into a fresh buffer. Callers must treat an aliased result as
+// read-only unless they own the backing rows.
+func RowsMatrix(rows []Vector) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, ErrEmpty
+	}
+	cols := len(rows[0])
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrDimensionMismatch, i, len(r), cols)
+		}
+	}
+	if contiguousRows(rows, cols) {
+		return &Matrix{Rows: len(rows), Cols: cols, Data: rows[0][:len(rows)*cols]}, nil
+	}
+	return NewMatrixFromRows(rows)
+}
+
+// contiguousRows reports whether the rows occupy one row-major buffer:
+// every row must be followed immediately by the next one in memory, which
+// the capacity of a mid-matrix row view exposes without unsafe.
+func contiguousRows(rows []Vector, cols int) bool {
+	if cols == 0 {
+		return false
+	}
+	for i := 0; i+1 < len(rows); i++ {
+		r := rows[i]
+		if cap(r) <= cols || &r[:cols+1][cols] != &rows[i+1][0] {
+			return false
+		}
+	}
+	return cap(rows[0]) >= len(rows)*cols
+}
+
 // At returns the element at row i, column j.
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
@@ -127,23 +177,62 @@ func (m *Matrix) MulInto(dst, other *Matrix) error {
 	if dst.Rows != m.Rows || dst.Cols != other.Cols {
 		return fmt.Errorf("%w: product %dx%d into %dx%d", ErrDimensionMismatch, m.Rows, other.Cols, dst.Rows, dst.Cols)
 	}
-	for i := range dst.Data {
-		dst.Data[i] = 0
+	mulRows(dst, m, other, 0, m.Rows)
+	return nil
+}
+
+// mulRows is the shared micro-kernel of MulInto and ParallelMulInto: it
+// computes output rows [lo, hi) of dst = m · other. The interior runs four
+// output rows at a time with a fused inner loop, so each row of `other` is
+// loaded once per four accumulator rows instead of once per row — the
+// register-tiled upgrade over the plain axpy kernel. Every output entry
+// still accumulates over k in ascending order, so the parallel scheduler
+// (which hands out 16-row blocks, a multiple of the 4-row unroll) produces
+// bit-identical results for any worker count.
+func mulRows(dst, m, other *Matrix, lo, hi int) {
+	kDim, n := m.Cols, other.Cols
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		out0 := dst.Data[(i+0)*n : (i+1)*n]
+		out1 := dst.Data[(i+1)*n : (i+2)*n]
+		out2 := dst.Data[(i+2)*n : (i+3)*n]
+		out3 := dst.Data[(i+3)*n : (i+4)*n]
+		for j := range out0 {
+			out0[j], out1[j], out2[j], out3[j] = 0, 0, 0, 0
+		}
+		for k := 0; k < kDim; k++ {
+			a0 := m.Data[(i+0)*kDim+k]
+			a1 := m.Data[(i+1)*kDim+k]
+			a2 := m.Data[(i+2)*kDim+k]
+			a3 := m.Data[(i+3)*kDim+k]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			row := other.Data[k*n : (k+1)*n]
+			for j, x := range row {
+				out0[j] += a0 * x
+				out1[j] += a1 * x
+				out2[j] += a2 * x
+				out3[j] += a3 * x
+			}
+		}
 	}
-	for i := 0; i < m.Rows; i++ {
-		for k := 0; k < m.Cols; k++ {
-			a := m.At(i, k)
+	for ; i < hi; i++ {
+		out := dst.Data[i*n : (i+1)*n]
+		for j := range out {
+			out[j] = 0
+		}
+		for k := 0; k < kDim; k++ {
+			a := m.Data[i*kDim+k]
 			if a == 0 {
 				continue
 			}
-			out := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			row := other.Data[k*other.Cols : (k+1)*other.Cols]
+			row := other.Data[k*n : (k+1)*n]
 			for j, x := range row {
 				out[j] += a * x
 			}
 		}
 	}
-	return nil
 }
 
 // SolveSPD solves the linear system A·x = b for a symmetric positive

@@ -18,7 +18,9 @@ import (
 
 // parallelBlockRows is the number of output rows per work unit. Blocks keep
 // the atomic-counter contention negligible while still load-balancing
-// uneven rows.
+// uneven rows. It must stay a multiple of the 4-row unroll of mulRows so
+// the parallel schedule groups exactly the rows the serial kernel groups —
+// the bit-identity contract depends on it.
 const parallelBlockRows = 16
 
 // parallelMinWork is the approximate flop count below which the goroutine
@@ -82,22 +84,7 @@ func (m *Matrix) ParallelMulInto(dst, other *Matrix, workers int) error {
 		return fmt.Errorf("%w: product %dx%d into %dx%d", ErrDimensionMismatch, m.Rows, other.Cols, dst.Rows, dst.Cols)
 	}
 	parallelRowBlocks(m.Rows, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j := range out {
-				out[j] = 0
-			}
-			for k := 0; k < m.Cols; k++ {
-				a := m.At(i, k)
-				if a == 0 {
-					continue
-				}
-				row := other.Data[k*other.Cols : (k+1)*other.Cols]
-				for j, x := range row {
-					out[j] += a * x
-				}
-			}
-		}
+		mulRows(dst, m, other, lo, hi)
 	})
 	return nil
 }

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -23,6 +24,30 @@ func ZScoreNormalize(v Vector) Vector {
 		out[i] = (x - m) / s
 	}
 	return out
+}
+
+// ZScoreNormalizeInto writes the z-score normalisation of v into dst (which
+// must have the same length), the allocation-free form used when the
+// destination is a row of a dataset's flat matrix backing. The same
+// zero-variance convention as ZScoreNormalize applies.
+func ZScoreNormalizeInto(dst, v Vector) error {
+	if len(dst) != len(v) {
+		return fmt.Errorf("%w: normalize %d into %d", ErrDimensionMismatch, len(v), len(dst))
+	}
+	if len(v) == 0 {
+		return nil
+	}
+	m, s := v.Mean(), v.Std()
+	if s == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	for i, x := range v {
+		dst[i] = (x - m) / s
+	}
+	return nil
 }
 
 // MinMaxNormalize returns a copy of v linearly rescaled to [0, 1]
@@ -82,6 +107,59 @@ func Quantile(v Vector, q float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// SelectKth partially reorders v in place so that v[k] holds the k-th
+// smallest element (0-based) — everything before it is ≤ v[k], everything
+// after it is ≥ v[k] — and returns that element. It is the expected-O(n)
+// quickselect used for the median of the condensed pairwise-distance
+// buffer, where a full sort of N(N−1)/2 entries would dominate the kernel
+// itself. It panics if k is out of range.
+func SelectKth(v []float64, k int) float64 {
+	if k < 0 || k >= len(v) {
+		panic(fmt.Sprintf("linalg: SelectKth(%d) on %d elements", k, len(v)))
+	}
+	lo, hi := 0, len(v)-1
+	for lo < hi {
+		// Median-of-three pivot guards the common sorted/reversed inputs.
+		mid := lo + (hi-lo)/2
+		if v[mid] < v[lo] {
+			v[mid], v[lo] = v[lo], v[mid]
+		}
+		if v[hi] < v[lo] {
+			v[hi], v[lo] = v[lo], v[hi]
+		}
+		if v[hi] < v[mid] {
+			v[hi], v[mid] = v[mid], v[hi]
+		}
+		pivot := v[mid]
+		// Hoare partition.
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if v[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if v[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			v[i], v[j] = v[j], v[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return v[k]
 }
 
 // CDF computes the empirical cumulative distribution of the values in v at

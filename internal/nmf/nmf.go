@@ -86,19 +86,24 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 	if opts.Rank < 1 || opts.Rank > n || opts.Rank > m {
 		return nil, fmt.Errorf("%w: rank %d for a %dx%d matrix", ErrBadRank, opts.Rank, n, m)
 	}
-	v := linalg.NewMatrix(n, m)
-	var norm float64
 	for i, row := range rows {
 		if len(row) != m {
 			return nil, fmt.Errorf("nmf: row %d has %d columns, want %d", i, len(row), m)
 		}
-		for j, x := range row {
-			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
-				return nil, fmt.Errorf("%w: row %d column %d is %g", ErrNegative, i, j, x)
-			}
-			v.Set(i, j, x)
-			norm += x * x
+	}
+	// When the rows alias one contiguous buffer — a dataset's flat raw
+	// matrix — the factorisation reads it in place; loose rows are packed
+	// once. V is never written, so aliasing is safe.
+	v, err := linalg.RowsMatrix(rows)
+	if err != nil {
+		return nil, err
+	}
+	var norm float64
+	for idx, x := range v.Data {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("%w: row %d column %d is %g", ErrNegative, idx/m, idx%m, x)
 		}
+		norm += x * x
 	}
 	norm = math.Sqrt(norm)
 

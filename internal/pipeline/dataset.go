@@ -25,6 +25,13 @@ import (
 )
 
 // Dataset is the vectorised form of a traffic trace: one row per tower.
+//
+// The traffic itself lives in two contiguous row-major matrices —
+// RawMatrix and NormalizedMatrix — and Raw/Normalized are per-row views
+// aliasing their storage, kept for API compatibility. Contiguity is what
+// feeds the blocked distance kernels of internal/linalg without packing:
+// linalg.RowsMatrix recognises the row views and aliases the flat buffer.
+// Mutating a row through either form mutates the matrix.
 type Dataset struct {
 	// TowerIDs[i] is the base-station ID of row i.
 	TowerIDs []int
@@ -32,11 +39,19 @@ type Dataset struct {
 	// if unknown).
 	Locations []geo.Point
 	// Raw[i] is the aggregated (unnormalised) traffic vector of row i in
-	// bytes per slot.
+	// bytes per slot — a view into RawMatrix when the dataset came out of
+	// the vectorizer.
 	Raw []linalg.Vector
 	// Normalized[i] is the z-score normalised traffic vector of row i; this
-	// is the input to the clustering stage.
+	// is the input to the clustering stage. A view into NormalizedMatrix
+	// when the dataset came out of the vectorizer.
 	Normalized []linalg.Vector
+	// RawMatrix and NormalizedMatrix are the contiguous flat backings of
+	// Raw and Normalized. They are nil for datasets assembled row by row
+	// (Subset, hand-built literals); consumers must fall back to the
+	// []Vector forms then.
+	RawMatrix        *linalg.Matrix
+	NormalizedMatrix *linalg.Matrix
 	// Start is the first instant covered by slot 0.
 	Start time.Time
 	// SlotMinutes is the aggregation granularity.
@@ -112,6 +127,11 @@ func (d *Dataset) Validate() error {
 			return fmt.Errorf("pipeline: row %d contains non-finite values", i)
 		}
 	}
+	for _, m := range []*linalg.Matrix{d.RawMatrix, d.NormalizedMatrix} {
+		if m != nil && (m.Rows != n || m.Cols != slots) {
+			return fmt.Errorf("%w: flat backing %dx%d for %d towers × %d slots", ErrBadShape, m.Rows, m.Cols, n, slots)
+		}
+	}
 	return nil
 }
 
@@ -144,7 +164,9 @@ func (d *Dataset) AggregateRaw(idxs []int) (linalg.Vector, error) {
 }
 
 // Subset returns a new dataset containing only the given rows (sharing the
-// underlying vectors).
+// underlying vectors). The subset carries no flat matrix backing of its
+// own — its rows alias the parent's storage but are not, in general,
+// adjacent — so kernel consumers pack it on demand.
 func (d *Dataset) Subset(idxs []int) (*Dataset, error) {
 	out := &Dataset{
 		Start:       d.Start,

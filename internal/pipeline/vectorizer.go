@@ -3,7 +3,6 @@ package pipeline
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/geo"
@@ -100,7 +99,8 @@ type SeriesInput struct {
 // VectorizeSeries builds a dataset directly from pre-aggregated series.
 // Each series must cover opts.Days days at opts.SlotMinutes granularity;
 // the vectorizer trims them to whole weeks and z-score normalises, sharing
-// the normalisation code path with VectorizeRecords.
+// the normalisation code path with VectorizeRecords. The series bytes are
+// copied exactly once — straight into the dataset's flat matrix backing.
 func VectorizeSeries(series []SeriesInput, opts VectorizerOptions) (*Dataset, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -116,54 +116,28 @@ func VectorizeSeries(series []SeriesInput, opts VectorizerOptions) (*Dataset, er
 	towerIDs := make([]int, len(series))
 	raw := make([]linalg.Vector, len(series))
 	locByID := make(map[int]geo.Point, len(series))
-
-	var wg sync.WaitGroup
-	work := make(chan int)
-	errs := make([]error, len(series))
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range work {
-				s := series[idx]
-				if len(s.Bytes) != fullSlots {
-					errs[idx] = fmt.Errorf("pipeline: series for tower %d has %d slots, want %d", s.TowerID, len(s.Bytes), fullSlots)
-					continue
-				}
-				vec := make(linalg.Vector, slots)
-				copy(vec, s.Bytes[:slots])
-				raw[idx] = vec
-			}
-		}()
-	}
-	for i := range series {
-		towerIDs[i] = series[i].TowerID
-		locByID[series[i].TowerID] = series[i].Location
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for i, s := range series {
+		if len(s.Bytes) != fullSlots {
+			return nil, fmt.Errorf("pipeline: series for tower %d has %d slots, want %d", s.TowerID, len(s.Bytes), fullSlots)
 		}
+		towerIDs[i] = s.TowerID
+		locByID[s.TowerID] = s.Location
+		raw[i] = linalg.Vector(s.Bytes[:slots])
 	}
 	return assemble(towerIDs, raw, locByID, opts, days)
 }
 
-// assemble runs phase 2 (normalisation and filtering) and builds the
-// Dataset.
+// assemble runs phase 2 (filtering, flat-matrix packing and normalisation)
+// and builds the Dataset: the kept raw rows are written into one
+// contiguous RawMatrix, each row is z-score normalised directly into the
+// matching NormalizedMatrix row, and Raw/Normalized become views of the
+// two flat buffers. The input rows are only read, never retained.
 func assemble(towerIDs []int, raw []linalg.Vector, locByID map[int]geo.Point, opts VectorizerOptions, days int) (*Dataset, error) {
-	d := &Dataset{
-		Start:       opts.Start,
-		SlotMinutes: opts.SlotMinutes,
-		Days:        days,
-	}
-	for i, id := range towerIDs {
-		vec := raw[i]
+	keep := make([]int, 0, len(towerIDs))
+	for i := range towerIDs {
 		if opts.MinActiveSlots > 0 {
 			active := 0
-			for _, v := range vec {
+			for _, v := range raw[i] {
 				if v > 0 {
 					active++
 				}
@@ -172,14 +146,38 @@ func assemble(towerIDs []int, raw []linalg.Vector, locByID map[int]geo.Point, op
 				continue
 			}
 		}
-		d.TowerIDs = append(d.TowerIDs, id)
-		d.Locations = append(d.Locations, locByID[id])
-		d.Raw = append(d.Raw, vec)
-		d.Normalized = append(d.Normalized, linalg.ZScoreNormalize(vec))
+		keep = append(keep, i)
 	}
-	if d.NumTowers() == 0 {
+	if len(keep) == 0 {
 		return nil, ErrEmptyDataset
 	}
+	slots := days * (1440 / opts.SlotMinutes)
+	d := &Dataset{
+		TowerIDs:         make([]int, len(keep)),
+		Locations:        make([]geo.Point, len(keep)),
+		RawMatrix:        linalg.NewMatrix(len(keep), slots),
+		NormalizedMatrix: linalg.NewMatrix(len(keep), slots),
+		Start:            opts.Start,
+		SlotMinutes:      opts.SlotMinutes,
+		Days:             days,
+	}
+	for r, idx := range keep {
+		// copy() would silently truncate or zero-pad a short row into the
+		// matrix; the pre-flat path surfaced such bugs through Validate, so
+		// keep the guard explicit.
+		if len(raw[idx]) != slots {
+			return nil, fmt.Errorf("%w: row for tower %d has %d slots, want %d", ErrBadShape, towerIDs[idx], len(raw[idx]), slots)
+		}
+		d.TowerIDs[r] = towerIDs[idx]
+		d.Locations[r] = locByID[towerIDs[idx]]
+		rawRow := d.RawMatrix.Row(r)
+		copy(rawRow, raw[idx])
+		if err := linalg.ZScoreNormalizeInto(d.NormalizedMatrix.Row(r), rawRow); err != nil {
+			return nil, err
+		}
+	}
+	d.Raw = d.RawMatrix.RowViews()
+	d.Normalized = d.NormalizedMatrix.RowViews()
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
