@@ -141,15 +141,24 @@ func BenchmarkPipeline_BuildDataset(b *testing.B) {
 }
 
 // BenchmarkPipeline_FullAnalysis measures the complete model: clustering,
-// metric tuner, labelling, time- and frequency-domain analysis.
+// metric tuner, labelling, time- and frequency-domain analysis — once per
+// modeling precision. The float32 sub-run exercises the narrowed fast path
+// end to end (same decisions, see the core precision tests).
 func BenchmarkPipeline_FullAnalysis(b *testing.B) {
 	env := sharedEnv(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.Analyze(env.Dataset, env.City.POIs, core.Options{ForceK: 5}); err != nil {
-			b.Fatal(err)
-		}
+	for _, c := range []struct {
+		name string
+		prec core.Precision
+	}{{"float64", core.Float64}, {"float32", core.Float32}} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(env.Dataset, env.City.POIs, core.Options{ForceK: 5, Precision: c.prec}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -747,6 +756,31 @@ func BenchmarkCluster_Distances(b *testing.B) {
 					b.Fatal(err)
 				}
 				linalg.SquaredDistancesSqrtInPlace(cond, c.workers)
+			}
+			reportPairRate(b, n)
+		})
+	}
+
+	// The same condensed kernel at float32: half the memory traffic and
+	// twice the SIMD lanes through the 8-wide AVX2 float32 micro-kernels.
+	x32 := linalg.NewMat[float32](x.Rows, x.Cols)
+	for i, v := range x.Data {
+		x32.Data[i] = float32(v)
+	}
+	cond32 := make([]float32, n*(n-1)/2)
+	norms32 := make(linalg.Vector32, n)
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"blocked32/serial", 1}, {"blocked32/allcores", 0}} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for it := 0; it < b.N; it++ {
+				if err := linalg.PairwiseSquaredCondensed(cond32, x32, norms32, c.workers); err != nil {
+					b.Fatal(err)
+				}
+				linalg.SquaredDistancesSqrtInPlace(cond32, c.workers)
 			}
 			reportPairRate(b, n)
 		})

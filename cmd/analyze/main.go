@@ -28,7 +28,17 @@
 //	analyze -synthetic -towers 600 -days 28
 //	analyze -synthetic -stream -towers 400 -days 28
 //	analyze -synthetic -workers 4 -seed 7 -nmf-rank 5
+//	analyze -synthetic -precision float32
 //	analyze -synthetic -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The package ships a default.pgo profile-guided-optimisation profile
+// collected from a paper-scale synthetic run at both precisions, so plain
+// `go build ./cmd/analyze` compiles the hot modeling kernels with PGO.
+// Regenerate it after large perf changes:
+//
+//	go run ./cmd/analyze -synthetic -cpuprofile f64.pprof
+//	go run ./cmd/analyze -synthetic -precision float32 -cpuprofile f32.pprof
+//	go tool pprof -proto f64.pprof f32.pprof > cmd/analyze/default.pgo
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/linalg"
 	"repro/internal/pipeline"
 	"repro/internal/poi"
 	"repro/internal/report"
@@ -67,10 +78,21 @@ func main() {
 		workers   = flag.Int("workers", 0, "bound the parallelism of the modeling stage (0 = all cores); results are identical for any value")
 		nmfRank   = flag.Int("nmf-rank", core.NMFRankAuto, "NMF decomposition rank (-1 = one basis per cluster, 0 = skip the NMF stage)")
 		ingestW   = flag.Int("ingest-workers", 0, "parallelism of the CSV ingestion stage (0 = all cores, 1 = the serial zero-allocation scanner); the record stream is identical for any value")
+		precision = flag.String("precision", "float64", "modeling precision: float64 (the bit-reproducible reference) or float32 (the fast path; same decisions, scores differ in the last digits)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
+
+	var prec core.Precision
+	switch *precision {
+	case "float64", "f64", "64":
+		prec = core.Float64
+	case "float32", "f32", "32":
+		prec = core.Float32
+	default:
+		log.Fatalf("unknown -precision %q (want float64 or float32)", *precision)
+	}
 
 	var cpuFile *os.File
 	if *cpuProf != "" {
@@ -84,7 +106,7 @@ func main() {
 		cpuFile = f
 	}
 
-	runErr := run(*traceDir, *synthetic, *stream, *towers, *days, *seed, *clusters, *window, *workers, *nmfRank, *ingestW)
+	runErr := run(*traceDir, *synthetic, *stream, *towers, *days, *seed, *clusters, *window, *workers, *nmfRank, *ingestW, prec)
 
 	// Flush the profiles even when the run failed: a profile of the work
 	// done up to the error is exactly what a perf investigation wants.
@@ -112,14 +134,16 @@ func main() {
 	}
 }
 
-func run(traceDir string, synthetic, stream bool, towers, days int, seed int64, forceK, dedupWindow, workers, nmfRank, ingestWorkers int) error {
+func run(traceDir string, synthetic, stream bool, towers, days int, seed int64, forceK, dedupWindow, workers, nmfRank, ingestWorkers int, prec core.Precision) error {
 	opts := core.Options{
 		ForceK:      forceK,
 		CleanWindow: dedupWindow,
 		Workers:     workers,
 		Seed:        seed,
 		NMFRank:     nmfRank,
+		Precision:   prec,
 	}
+	log.Printf("modeling precision %s, distance kernels: %s", prec, linalg.KernelDescription())
 	var (
 		res *core.Result
 		err error

@@ -2,7 +2,8 @@
 // machine-readable JSON document, so CI can archive the performance
 // trajectory of the pipeline (ingestion records/s, FFT ns/op, distance
 // kernel pairs/s, full-analysis latency, allocations) across PRs without
-// scraping benchstat text.
+// scraping benchstat text. cmd/benchcmp diffs two such documents and gates
+// CI on regressions.
 //
 // Every benchmark line of the form
 //
@@ -15,41 +16,19 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 1x ./... | tee bench.txt
-//	go run ./cmd/benchjson -in bench.txt -out BENCH_5.json \
+//	go run ./cmd/benchjson -in bench.txt -out BENCH_6.json \
 //	    -select 'Ingest_|DSP_FFT|Cluster_Distances|Pipeline_FullAnalysis'
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"os"
 	"regexp"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
-
-// Entry is one benchmark result.
-type Entry struct {
-	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
-	Name string `json:"name"`
-	// Iterations is the b.N the reported values were averaged over.
-	Iterations int64 `json:"iterations"`
-	// Metrics maps a unit (ns/op, MB/s, records/s, allocs/op, ...) to its
-	// reported value.
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Document is the archived JSON shape.
-type Document struct {
-	// Source names the input the benchmarks were parsed from.
-	Source string `json:"source"`
-	// Benchmarks holds every selected benchmark in input order.
-	Benchmarks []Entry `json:"benchmarks"`
-}
 
 func main() {
 	log.SetFlags(0)
@@ -80,7 +59,7 @@ func main() {
 		src = f
 		sourceName = *in
 	}
-	doc, err := parse(src, sourceName, sel)
+	doc, err := benchfmt.Parse(src, sourceName, sel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,44 +80,4 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d benchmarks to %s", len(doc.Benchmarks), *out)
-}
-
-// gomaxprocsSuffix strips the trailing -N the testing package appends to
-// benchmark names.
-var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
-
-// parse scans benchmark lines out of r. The format is fixed by the testing
-// package: name, iteration count, then value/unit pairs separated by
-// whitespace.
-func parse(r io.Reader, source string, sel *regexp.Regexp) (*Document, error) {
-	doc := &Document{Source: source}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
-		if sel != nil && !sel.MatchString(name) {
-			continue
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue // a log line that happens to start with Benchmark
-		}
-		entry := Entry{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
-		for i := 2; i+1 < len(fields); i += 2 {
-			value, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
-			}
-			entry.Metrics[fields[i+1]] = value
-		}
-		doc.Benchmarks = append(doc.Benchmarks, entry)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return doc, nil
 }

@@ -30,6 +30,17 @@
 // cmd/experiments and by the benchmarks in bench_test.go at the repository
 // root.
 //
+// The modeling stage runs at one of two numeric tiers, selected by
+// core.Options.Precision: Float64 (the default) is the bit-reproducible
+// reference, while Float32 runs the linalg distance/matrix kernels —
+// generic over float32 | float64 via linalg.Float, with dedicated 8-wide
+// AVX2+FMA float32 assembly on amd64 — at half the memory traffic.
+// Decisions (merges, labels, cluster counts, NMF bases) are identical
+// across tiers on seeded datasets because agglomeration orderings,
+// convergence checks and cross-point statistics always reduce in
+// float64; scores differ in the last digits. See README.md
+// "Numeric tiers".
+//
 // See README.md for a quickstart, the package map and guidance on the
 // streaming vs. slice ingestion APIs.
 package repro

@@ -1,0 +1,100 @@
+// Package benchfmt parses `go test -bench` output into the JSON document
+// shape the repository archives across PRs (BENCH_N.json): one entry per
+// benchmark with its name, iteration count and a metric map keyed by unit.
+// cmd/benchjson emits the documents; cmd/benchcmp diffs a fresh run against
+// a committed baseline and gates CI on regressions.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the b.N the reported values were averaged over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps a unit (ns/op, MB/s, records/s, allocs/op, ...) to its
+	// reported value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the archived JSON shape.
+type Document struct {
+	// Source names the input the benchmarks were parsed from.
+	Source string `json:"source"`
+	// Benchmarks holds every selected benchmark in input order.
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Lookup returns the entry named name, or nil.
+func (d *Document) Lookup(name string) *Entry {
+	for i := range d.Benchmarks {
+		if d.Benchmarks[i].Name == name {
+			return &d.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// ReadFile loads an archived document.
+func ReadFile(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// gomaxprocsSuffix strips the trailing -N the testing package appends to
+// benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse scans benchmark lines out of r, keeping only names matching sel
+// (nil keeps all). The format is fixed by the testing package: name,
+// iteration count, then value/unit pairs separated by whitespace;
+// non-benchmark lines are ignored so a full `go test` transcript parses.
+func Parse(r io.Reader, source string, sel *regexp.Regexp) (*Document, error) {
+	doc := &Document{Source: source}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		if sel != nil && !sel.MatchString(name) {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a log line that happens to start with Benchmark
+		}
+		entry := Entry{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			entry.Metrics[fields[i+1]] = value
+		}
+		doc.Benchmarks = append(doc.Benchmarks, entry)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}

@@ -115,6 +115,63 @@ func HierarchicalWorkers(points []linalg.Vector, linkage Linkage, workers int) (
 	return relabelMerges(n, linkage, slotMerges), nil
 }
 
+// HierarchicalMat builds the dendrogram straight from a flat row-major
+// matrix at either modeling precision. The distance matrix is computed by
+// the element-type's blocked kernel; the agglomeration itself always runs
+// in float64 — for float32 inputs the condensed squared distances are
+// widened (exactly) before the square root, so the NN-chain and
+// Lance–Williams updates see full-precision arithmetic on once-rounded
+// inputs and the merge DECISIONS track the float64 path. With a float64
+// matrix the result is bit-identical to HierarchicalWorkers on the
+// matrix's row views.
+func HierarchicalMat[F linalg.Float](x *linalg.Mat[F], linkage Linkage, workers int) (*Dendrogram, error) {
+	n := x.Rows
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	switch linkage {
+	case AverageLinkage, SingleLinkage, CompleteLinkage:
+	default:
+		return nil, fmt.Errorf("cluster: unknown linkage %v", linkage)
+	}
+	if n == 1 {
+		return &Dendrogram{N: 1, Linkage: linkage, Merges: nil}, nil
+	}
+	c := newCondensed(n)
+	if err := condensedInto(c.d, x, workers); err != nil {
+		return nil, err
+	}
+	slotMerges, err := nnChain(c, linkage)
+	if err != nil {
+		return nil, err
+	}
+	return relabelMerges(n, linkage, slotMerges), nil
+}
+
+// condensedInto fills the float64 condensed buffer with the Euclidean
+// distances between x's rows, running the blocked kernel at x's own
+// element type.
+func condensedInto[F linalg.Float](dst []float64, x *linalg.Mat[F], workers int) error {
+	switch xx := any(x).(type) {
+	case *linalg.Matrix:
+		norms := make(linalg.Vector, xx.Rows)
+		if err := linalg.PairwiseSquaredCondensed(dst, xx, norms, workers); err != nil {
+			return err
+		}
+	case *linalg.Matrix32:
+		buf := make(linalg.Vector32, len(dst))
+		norms := make(linalg.Vector32, xx.Rows)
+		if err := linalg.PairwiseSquaredCondensed(buf, xx, norms, workers); err != nil {
+			return err
+		}
+		for i, v := range buf {
+			dst[i] = float64(v)
+		}
+	}
+	linalg.SquaredDistancesSqrtInPlace(dst, workers)
+	return nil
+}
+
 // condensed is an upper-triangular N×N distance matrix stored as the
 // N(N-1)/2 entries above the diagonal, row-major: row i holds the
 // distances to j ∈ (i, N) in a contiguous run.

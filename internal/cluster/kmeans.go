@@ -40,7 +40,9 @@ func (o KMeansOptions) withDefaults() KMeansOptions {
 	return o
 }
 
-// KMeansResult is the outcome of a k-means run.
+// KMeansResult is the outcome of a k-means run. Centroids and Inertia are
+// reported in float64 at every modeling precision; a float32 run widens
+// its centroids once at the end.
 type KMeansResult struct {
 	Assignment *Assignment
 	Centroids  []linalg.Vector
@@ -64,13 +66,9 @@ type KMeansResult struct {
 // index order with a strict inertia comparison, exactly as a serial loop
 // would.
 func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
-	opts = opts.withDefaults()
 	n := len(points)
 	if n == 0 {
 		return nil, ErrNoPoints
-	}
-	if opts.K < 1 || opts.K > n {
-		return nil, fmt.Errorf("%w: k=%d with %d points", ErrBadK, opts.K, n)
 	}
 	dim := len(points[0])
 	for i, p := range points {
@@ -78,15 +76,33 @@ func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 			return nil, fmt.Errorf("%w: point %d has %d dims, want %d", ErrShapeRagged, i, len(p), dim)
 		}
 	}
-
-	// The points matrix and its norms are shared read-only by every
-	// restart: aliased for free when the points are views of a dataset's
-	// flat backing, packed once otherwise.
+	// The points matrix is shared read-only by every restart: aliased for
+	// free when the points are views of a dataset's flat backing, packed
+	// once otherwise.
 	x, err := linalg.RowsMatrix(points)
 	if err != nil {
 		return nil, err
 	}
-	xnorms := make(linalg.Vector, n)
+	return KMeansMat(x, opts)
+}
+
+// KMeansMat is KMeans on a flat row-major matrix at either modeling
+// precision. A float32 matrix runs the whole Lloyd loop — distances,
+// argmin, centroid updates — in float32 (halving the memory traffic of
+// the assignment step), with the k-means++ sampling totals, the inertia
+// reduction and the reported centroids kept in float64. With a float64
+// matrix the result is bit-identical to KMeans on the matrix's row views.
+func KMeansMat[F linalg.Float](x *linalg.Mat[F], opts KMeansOptions) (*KMeansResult, error) {
+	opts = opts.withDefaults()
+	n := x.Rows
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	if opts.K < 1 || opts.K > n {
+		return nil, fmt.Errorf("%w: k=%d with %d points", ErrBadK, opts.K, n)
+	}
+
+	xnorms := make(linalg.Vec[F], n)
 	if err := linalg.RowNormsSquaredInto(xnorms, x); err != nil {
 		return nil, err
 	}
@@ -99,7 +115,7 @@ func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 	errs := make([]error, opts.Restarts)
 	if workers == 1 || opts.Restarts == 1 {
 		for r := range results {
-			results[r], errs[r] = kmeansOnce(points, x, xnorms, opts, restartRNG(r), workers)
+			results[r], errs[r] = kmeansOnce(x, xnorms, opts, restartRNG(r), workers)
 		}
 	} else {
 		// Concurrent restarts, bounded by the worker budget: at most
@@ -119,7 +135,7 @@ func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 			go func(r int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				results[r], errs[r] = kmeansOnce(points, x, xnorms, opts, restartRNG(r), inner)
+				results[r], errs[r] = kmeansOnce(x, xnorms, opts, restartRNG(r), inner)
 			}(r)
 		}
 		wg.Wait()
@@ -144,21 +160,21 @@ func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 // buffer is allocated once and reused by every iteration, so the warmed
 // update loop runs at zero allocations — pinned by
 // TestKMeansZeroAllocsPerIteration.
-type kmeansScratch struct {
-	centroids *linalg.Matrix // K × dim, the current centroids
-	cnorms    linalg.Vector  // squared centroid norms
-	dists     *linalg.Matrix // n × K point-to-centroid squared distances
-	sums      *linalg.Matrix // K × dim update-step accumulator
+type kmeansScratch[F linalg.Float] struct {
+	centroids *linalg.Mat[F] // K × dim, the current centroids
+	cnorms    linalg.Vec[F]  // squared centroid norms
+	dists     *linalg.Mat[F] // n × K point-to-centroid squared distances
+	sums      *linalg.Mat[F] // K × dim update-step accumulator
 	counts    []int
 	labels    []int
 }
 
-func newKMeansScratch(n, k, dim int) *kmeansScratch {
-	return &kmeansScratch{
-		centroids: linalg.NewMatrix(k, dim),
-		cnorms:    make(linalg.Vector, k),
-		dists:     linalg.NewMatrix(n, k),
-		sums:      linalg.NewMatrix(k, dim),
+func newKMeansScratch[F linalg.Float](n, k, dim int) *kmeansScratch[F] {
+	return &kmeansScratch[F]{
+		centroids: linalg.NewMat[F](k, dim),
+		cnorms:    make(linalg.Vec[F], k),
+		dists:     linalg.NewMat[F](n, k),
+		sums:      linalg.NewMat[F](k, dim),
 		counts:    make([]int, k),
 		labels:    make([]int, n),
 	}
@@ -168,13 +184,13 @@ func newKMeansScratch(n, k, dim int) *kmeansScratch {
 // phases (k-means++ initialisation and the empty-cluster reseeding of the
 // update step), so the draw sequence — and with it the result — is
 // independent of the worker count.
-func kmeansOnce(points []linalg.Vector, x *linalg.Matrix, xnorms linalg.Vector, opts KMeansOptions, rng *rand.Rand, workers int) (*KMeansResult, error) {
+func kmeansOnce[F linalg.Float](x *linalg.Mat[F], xnorms linalg.Vec[F], opts KMeansOptions, rng *rand.Rand, workers int) (*KMeansResult, error) {
 	n, dim := x.Rows, x.Cols
-	init, err := kmeansPlusPlusInit(points, opts.K, rng)
+	init, err := kmeansPlusPlusInit(x, opts.K, rng)
 	if err != nil {
 		return nil, err
 	}
-	sc := newKMeansScratch(n, opts.K, dim)
+	sc := newKMeansScratch[F](n, opts.K, dim)
 	for c, v := range init {
 		copy(sc.centroids.Row(c), v)
 	}
@@ -213,10 +229,10 @@ func kmeansOnce(points []linalg.Vector, x *linalg.Matrix, xnorms linalg.Vector, 
 			row := sc.centroids.Row(c)
 			if sc.counts[c] == 0 {
 				// Re-seed an empty cluster at a random point.
-				copy(row, points[rng.Intn(n)])
+				copy(row, x.Row(rng.Intn(n)))
 				continue
 			}
-			inv := 1 / float64(sc.counts[c])
+			inv := F(1 / float64(sc.counts[c]))
 			sum := sc.sums.Row(c)
 			for j := range row {
 				row[j] = sum[j] * inv
@@ -237,14 +253,33 @@ func kmeansOnce(points []linalg.Vector, x *linalg.Matrix, xnorms linalg.Vector, 
 	}
 	var inertia float64
 	for i := 0; i < n; i++ {
-		inertia += sc.dists.At(i, sc.labels[i])
+		inertia += float64(sc.dists.At(i, sc.labels[i]))
 	}
 	return &KMeansResult{
 		Assignment: &Assignment{Labels: sc.labels, K: opts.K},
-		Centroids:  sc.centroids.RowViews(),
+		Centroids:  widenRows(sc.centroids),
 		Inertia:    inertia,
 		Iterations: iterations,
 	}, nil
+}
+
+// widenRows returns the rows of m as float64 vectors: aliasing views for a
+// float64 matrix (the historical KMeans contract — callers may keep
+// mutating through them), widened copies for a float32 one.
+func widenRows[F linalg.Float](m *linalg.Mat[F]) []linalg.Vector {
+	if m64, ok := any(m).(*linalg.Matrix); ok {
+		return m64.RowViews()
+	}
+	out := make([]linalg.Vector, m.Rows)
+	for i := range out {
+		src := m.Row(i)
+		row := make(linalg.Vector, m.Cols)
+		for j, x := range src {
+			row[j] = float64(x)
+		}
+		out[i] = row
+	}
+	return out
 }
 
 // chunkPoints splits [0, n) into at most `workers` contiguous chunks and
@@ -280,7 +315,7 @@ func chunkPoints(n, workers int, fn func(lo, hi int) error) error {
 // point to every current centroid via the blocked cross kernel. The point
 // norms are fixed for the whole run and shared read-only across restarts;
 // only the centroid norms are refreshed.
-func pointCentroidDistances(x *linalg.Matrix, xnorms linalg.Vector, sc *kmeansScratch, workers int) error {
+func pointCentroidDistances[F linalg.Float](x *linalg.Mat[F], xnorms linalg.Vec[F], sc *kmeansScratch[F], workers int) error {
 	if err := linalg.RowNormsSquaredInto(sc.cnorms, sc.centroids); err != nil {
 		return err
 	}
@@ -291,7 +326,7 @@ func pointCentroidDistances(x *linalg.Matrix, xnorms linalg.Vector, sc *kmeansSc
 // lowest centroid index, as in a serial scan) and reports whether any
 // label changed. The serial path stays closure-free so a warmed Lloyd
 // iteration performs no allocations.
-func assignNearest(x *linalg.Matrix, xnorms linalg.Vector, sc *kmeansScratch, workers int) (bool, error) {
+func assignNearest[F linalg.Float](x *linalg.Mat[F], xnorms linalg.Vec[F], sc *kmeansScratch[F], workers int) (bool, error) {
 	if err := pointCentroidDistances(x, xnorms, sc, workers); err != nil {
 		return false, err
 	}
@@ -311,11 +346,11 @@ func assignNearest(x *linalg.Matrix, xnorms linalg.Vector, sc *kmeansScratch, wo
 // argminRange assigns points [lo, hi) to their nearest centroid by
 // scanning the distance rows in ascending centroid order (ties to the
 // lowest index) and reports whether any label changed.
-func argminRange(sc *kmeansScratch, lo, hi int) bool {
+func argminRange[F linalg.Float](sc *kmeansScratch[F], lo, hi int) bool {
 	changed := false
 	for i := lo; i < hi; i++ {
 		row := sc.dists.Row(i)
-		best, bestDist := 0, math.Inf(1)
+		best, bestDist := 0, F(math.Inf(1))
 		for c, d := range row {
 			if d < bestDist {
 				best, bestDist = c, d
@@ -331,17 +366,21 @@ func argminRange(sc *kmeansScratch, lo, hi int) bool {
 
 // kmeansPlusPlusInit picks initial centroids with the k-means++ scheme:
 // each next centroid is drawn with probability proportional to its squared
-// distance from the nearest centroid chosen so far.
-func kmeansPlusPlusInit(points []linalg.Vector, k int, rng *rand.Rand) ([]linalg.Vector, error) {
-	n := len(points)
-	centroids := make([]linalg.Vector, 0, k)
-	centroids = append(centroids, points[rng.Intn(n)].Clone())
+// distance from the nearest centroid chosen so far. Per-point squared
+// distances are accumulated at the matrix's own precision; the sampling
+// total and the cumulative scan run in float64, so the float32 path draws
+// from (essentially) the same distribution instead of a coarsely
+// quantised one.
+func kmeansPlusPlusInit[F linalg.Float](x *linalg.Mat[F], k int, rng *rand.Rand) ([]linalg.Vec[F], error) {
+	n := x.Rows
+	centroids := make([]linalg.Vec[F], 0, k)
+	centroids = append(centroids, x.RowCopy(rng.Intn(n)))
 	distSq := make([]float64, n)
 	for len(centroids) < k {
 		var total float64
 		latest := centroids[len(centroids)-1]
-		for i, p := range points {
-			d, err := linalg.SquaredDistance(p, latest)
+		for i := 0; i < n; i++ {
+			d, err := linalg.SquaredDistance(x.Row(i), latest)
 			if err != nil {
 				return nil, err
 			}
@@ -352,7 +391,7 @@ func kmeansPlusPlusInit(points []linalg.Vector, k int, rng *rand.Rand) ([]linalg
 		}
 		if total == 0 {
 			// All remaining points coincide with existing centroids.
-			centroids = append(centroids, points[rng.Intn(n)].Clone())
+			centroids = append(centroids, x.RowCopy(rng.Intn(n)))
 			continue
 		}
 		target := rng.Float64() * total
@@ -365,7 +404,7 @@ func kmeansPlusPlusInit(points []linalg.Vector, k int, rng *rand.Rand) ([]linalg
 				break
 			}
 		}
-		centroids = append(centroids, points[chosen].Clone())
+		centroids = append(centroids, x.RowCopy(chosen))
 	}
 	return centroids, nil
 }

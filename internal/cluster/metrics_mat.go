@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Flat-matrix validity indices, generic over the modeling precision.
+//
+// These are the Mat-based counterparts of Centroids/DaviesBouldin/
+// Silhouette/DBICurve/OptimalK: the distance kernels run at the matrix's
+// own element type (the float32 instantiation halves the memory traffic
+// that dominates the metric-tuner sweep), while every statistic derived
+// from the distances — scatter sums, index ratios, curve minima — is
+// reduced in float64 regardless. With a float64 matrix each function is
+// bit-identical to its []Vector counterpart on the matrix's row views.
+
+// CentroidsMat returns the K×dim matrix of cluster centroids of the
+// assignment. Empty clusters get a zero row. The per-cluster sums
+// accumulate serially in point order at the matrix's own precision.
+func CentroidsMat[F linalg.Float](x *linalg.Mat[F], a *Assignment) (*linalg.Mat[F], error) {
+	if x.Rows == 0 {
+		return nil, ErrNoPoints
+	}
+	if len(a.Labels) != x.Rows {
+		return nil, fmt.Errorf("cluster: %d labels for %d points", len(a.Labels), x.Rows)
+	}
+	out := linalg.NewMat[F](a.K, x.Cols)
+	counts := make([]int, a.K)
+	for i := 0; i < x.Rows; i++ {
+		l := a.Labels[i]
+		if l < 0 || l >= a.K {
+			return nil, fmt.Errorf("cluster: label %d out of range [0,%d)", l, a.K)
+		}
+		if err := out.Row(l).AddInPlace(x.Row(i)); err != nil {
+			return nil, err
+		}
+		counts[l]++
+	}
+	for l, c := range counts {
+		if c > 0 {
+			out.Row(l).ScaleInPlace(F(1 / float64(c)))
+		}
+	}
+	return out, nil
+}
+
+// DaviesBouldinMat computes the Davies–Bouldin index of the clustering
+// over a flat matrix at either modeling precision, with up to `workers`
+// goroutines in the blocked distance kernels (≤ 0 means GOMAXPROCS). The
+// semantics match DaviesBouldinWorkers: clusters with no members are
+// skipped, coincident centroids score +Inf, and the index is undefined
+// for fewer than two non-empty clusters.
+func DaviesBouldinMat[F linalg.Float](x *linalg.Mat[F], a *Assignment, workers int) (float64, error) {
+	cm, err := CentroidsMat(x, a)
+	if err != nil {
+		return 0, err
+	}
+	scatter, counts, err := clusterScatterMat(x, a, cm)
+	if err != nil {
+		return 0, err
+	}
+	// Keep only non-empty clusters.
+	var idx []int
+	for i, c := range counts {
+		if c > 0 {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) < 2 {
+		return 0, errors.New("cluster: Davies-Bouldin needs at least two non-empty clusters")
+	}
+	// Centroid separations M_ij via the blocked symmetric kernel.
+	sep := linalg.NewMat[F](a.K, a.K)
+	if err := linalg.PairwiseSquaredInto(sep, cm, nil, workers); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, i := range idx {
+		worst := math.Inf(-1)
+		for _, j := range idx {
+			if i == j {
+				continue
+			}
+			m := math.Sqrt(float64(sep.At(i, j)))
+			if m == 0 {
+				// Coincident centroids: the ratio is unbounded; treat as a
+				// very bad separation rather than dividing by zero.
+				worst = math.Inf(1)
+				continue
+			}
+			if r := (scatter[i] + scatter[j]) / m; r > worst {
+				worst = r
+			}
+		}
+		sum += worst
+	}
+	return sum / float64(len(idx)), nil
+}
+
+// clusterScatterMat returns S_i (mean member-to-centroid distance) and
+// member counts per cluster, one Gram-trick dot per point, the scatter
+// sums reduced serially in point order in float64.
+func clusterScatterMat[F linalg.Float](x *linalg.Mat[F], a *Assignment, cm *linalg.Mat[F]) ([]float64, []int, error) {
+	xnorms := make(linalg.Vec[F], x.Rows)
+	cnorms := make(linalg.Vec[F], cm.Rows)
+	if err := linalg.RowNormsSquaredInto(xnorms, x); err != nil {
+		return nil, nil, err
+	}
+	if err := linalg.RowNormsSquaredInto(cnorms, cm); err != nil {
+		return nil, nil, err
+	}
+	scatter := make([]float64, a.K)
+	counts := make([]int, a.K)
+	for i := 0; i < x.Rows; i++ {
+		l := a.Labels[i]
+		sq, err := linalg.AssignedSquaredDistance(x, cm, xnorms, cnorms, i, l)
+		if err != nil {
+			return nil, nil, err
+		}
+		scatter[l] += math.Sqrt(sq)
+		counts[l]++
+	}
+	for i := range scatter {
+		if counts[i] > 0 {
+			scatter[i] /= float64(counts[i])
+		}
+	}
+	return scatter, counts, nil
+}
+
+// SilhouetteMat computes the mean silhouette coefficient over a flat
+// matrix at either modeling precision, with up to `workers` goroutines in
+// the blocked pairwise kernel (≤ 0 means GOMAXPROCS). Semantics match
+// SilhouetteWorkers, including the O(N²) transient distance matrix.
+func SilhouetteMat[F linalg.Float](x *linalg.Mat[F], a *Assignment, workers int) (float64, error) {
+	n := x.Rows
+	if n == 0 {
+		return 0, ErrNoPoints
+	}
+	if len(a.Labels) != n {
+		return 0, fmt.Errorf("cluster: %d labels for %d points", len(a.Labels), n)
+	}
+	if a.K < 2 {
+		return 0, errors.New("cluster: silhouette needs at least two clusters")
+	}
+	pair := linalg.NewMat[F](n, n)
+	if err := linalg.PairwiseSquaredInto(pair, x, nil, workers); err != nil {
+		return 0, err
+	}
+	linalg.SquaredDistancesSqrtInPlace(pair.Data, workers)
+	sizes := a.Sizes()
+	sumByCluster := make([]float64, a.K)
+	var total float64
+	for i := 0; i < n; i++ {
+		li := a.Labels[i]
+		if sizes[li] <= 1 {
+			continue // silhouette of a singleton is defined as 0
+		}
+		// Mean distance to own cluster (a) and to the nearest other
+		// cluster (b).
+		for c := range sumByCluster {
+			sumByCluster[c] = 0
+		}
+		row := pair.Row(i)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			sumByCluster[a.Labels[j]] += float64(row[j])
+		}
+		own := sumByCluster[li] / float64(sizes[li]-1)
+		other := math.Inf(1)
+		for c := 0; c < a.K; c++ {
+			if c == li || sizes[c] == 0 {
+				continue
+			}
+			if v := sumByCluster[c] / float64(sizes[c]); v < other {
+				other = v
+			}
+		}
+		if math.IsInf(other, 1) {
+			continue
+		}
+		max := math.Max(own, other)
+		if max > 0 {
+			total += (other - own) / max
+		}
+	}
+	return total / float64(n), nil
+}
+
+// DBICurveMat evaluates the Davies–Bouldin index for every cluster count
+// in [minK, maxK] over a flat matrix — the metric-tuner sweep at either
+// modeling precision.
+func DBICurveMat[F linalg.Float](x *linalg.Mat[F], dendro *Dendrogram, minK, maxK, workers int) ([]DBICurvePoint, error) {
+	if minK < 2 {
+		return nil, fmt.Errorf("%w: minK=%d (need at least 2)", ErrBadK, minK)
+	}
+	if maxK < minK || maxK > dendro.N {
+		return nil, fmt.Errorf("%w: maxK=%d with minK=%d and %d points", ErrBadK, maxK, minK, dendro.N)
+	}
+	out := make([]DBICurvePoint, 0, maxK-minK+1)
+	for k := minK; k <= maxK; k++ {
+		assign, err := dendro.CutK(k)
+		if err != nil {
+			return nil, err
+		}
+		dbi, err := DaviesBouldinMat(x, assign, workers)
+		if err != nil {
+			return nil, err
+		}
+		threshold, err := dendro.ThresholdForK(k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DBICurvePoint{K: k, Threshold: threshold, DBI: dbi})
+	}
+	return out, nil
+}
+
+// OptimalKMat returns the cluster count minimising the Davies–Bouldin
+// index over [minK, maxK] on a flat matrix, together with the full curve.
+func OptimalKMat[F linalg.Float](x *linalg.Mat[F], dendro *Dendrogram, minK, maxK, workers int) (int, []DBICurvePoint, error) {
+	curve, err := DBICurveMat(x, dendro, minK, maxK, workers)
+	if err != nil {
+		return 0, nil, err
+	}
+	best := curve[0]
+	for _, p := range curve[1:] {
+		if p.DBI < best.DBI {
+			best = p
+		}
+	}
+	return best.K, curve, nil
+}

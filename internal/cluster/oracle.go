@@ -231,7 +231,13 @@ func kmeansOracle(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, er
 
 func kmeansOnceOracle(points []linalg.Vector, opts KMeansOptions, rng *rand.Rand) (*KMeansResult, error) {
 	n := len(points)
-	centroids, err := kmeansPlusPlusInit(points, opts.K, rng)
+	x, err := linalg.RowsMatrix(points)
+	if err != nil {
+		return nil, err
+	}
+	// The shared k-means++ init consumes the RNG identically to the
+	// production engine; row copies of x are exactly the input points.
+	centroids, err := kmeansPlusPlusInit(x, opts.K, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -31,6 +31,37 @@ import (
 // factorisation rank (one basis pattern per traffic pattern).
 const NMFRankAuto = -1
 
+// Precision selects the numeric tier of the modeling stage — the element
+// type of the distance, k-means and NMF kernels.
+type Precision int
+
+const (
+	// Float64 is the default full-precision tier. Results are
+	// bit-identical run to run and across worker counts.
+	Float64 Precision = iota
+	// Float32 is the opt-in fast tier: the bandwidth-bound kernels
+	// (condensed distances, k-means assignment, NMF updates, validity
+	// indices) run on float32 narrowings of the traffic matrices, halving
+	// their memory traffic. The agglomeration logic, index statistics and
+	// all reported values stay float64, so modeling DECISIONS — merges,
+	// cluster counts, labels — track the Float64 tier; only low-order
+	// digits of reported distances/errors move. The FFT stage always runs
+	// in float64. Still deterministic across worker counts.
+	Float32
+)
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	default:
+		return fmt.Sprintf("precision(%d)", int(p))
+	}
+}
+
 // Options configure the end-to-end analysis. The zero value is usable and
 // matches the paper's configuration where applicable.
 type Options struct {
@@ -77,6 +108,9 @@ type Options struct {
 	// KMeansRestarts enables the k-means baseline at the selected cluster
 	// count with this many restarts. 0 (the zero value) skips it.
 	KMeansRestarts int
+	// Precision selects the numeric tier of the modeling kernels
+	// (default Float64; see Precision).
+	Precision Precision
 }
 
 func (o Options) withDefaults() Options {
@@ -173,13 +207,35 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 	if ds.Days%7 != 0 {
 		return nil, fmt.Errorf("core: dataset covers %d days; whole weeks are required for frequency analysis", ds.Days)
 	}
+	switch opts.Precision {
+	case Float64:
+	case Float32:
+		// Narrow the traffic matrices once; every float32 kernel below
+		// reads these backings.
+		if err := ds.EnsureFloat32(); err != nil {
+			return nil, fmt.Errorf("core: float32 backings: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown precision %v", opts.Precision)
+	}
+	f32 := opts.Precision == Float32
 
 	clock := timedomain.Clock{Start: ds.Start, SlotMinutes: ds.SlotMinutes}
 
 	// Pattern identifier: hierarchical clustering of normalised vectors
 	// (condensed NN-chain engine, distance matrix parallelised across
-	// opts.Workers goroutines).
-	dendro, err := cluster.HierarchicalWorkers(ds.Normalized, opts.Linkage, opts.Workers)
+	// opts.Workers goroutines). The float32 tier computes the condensed
+	// distances on the narrowed backing; the agglomeration is float64
+	// either way.
+	var (
+		dendro *cluster.Dendrogram
+		err    error
+	)
+	if f32 {
+		dendro, err = cluster.HierarchicalMat(ds.NormalizedMatrix32, opts.Linkage, opts.Workers)
+	} else {
+		dendro, err = cluster.HierarchicalWorkers(ds.Normalized, opts.Linkage, opts.Workers)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
 	}
@@ -204,13 +260,21 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 		}
 		if minK >= 2 && maxK >= minK && ds.NumTowers() > maxK {
 			// Still compute the curve for reporting when feasible.
-			curve, err = cluster.DBICurveWorkers(ds.Normalized, dendro, minK, maxK, opts.Workers)
+			if f32 {
+				curve, err = cluster.DBICurveMat(ds.NormalizedMatrix32, dendro, minK, maxK, opts.Workers)
+			} else {
+				curve, err = cluster.DBICurveWorkers(ds.Normalized, dendro, minK, maxK, opts.Workers)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("core: DBI curve: %w", err)
 			}
 		}
 	} else {
-		k, curve, err = cluster.OptimalKWorkers(ds.Normalized, dendro, minK, maxK, opts.Workers)
+		if f32 {
+			k, curve, err = cluster.OptimalKMat(ds.NormalizedMatrix32, dendro, minK, maxK, opts.Workers)
+		} else {
+			k, curve, err = cluster.OptimalKWorkers(ds.Normalized, dendro, minK, maxK, opts.Workers)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: metric tuner: %w", err)
 		}
@@ -237,23 +301,33 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 				rank = ds.NumSlots()
 			}
 		}
-		nmfRes, err = nmf.Factorize(ds.Raw, nmf.Options{
+		nmfOpts := nmf.Options{
 			Rank:    rank,
 			Seed:    opts.Seed,
 			Workers: opts.Workers,
-		})
+		}
+		if f32 {
+			nmfRes, err = nmf.FactorizeMat(ds.RawMatrix32, nmfOpts)
+		} else {
+			nmfRes, err = nmf.Factorize(ds.Raw, nmfOpts)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: NMF decomposition: %w", err)
 		}
 		dominantBasis = nmfRes.DominantBasis()
 	}
 	if opts.KMeansRestarts > 0 {
-		kmRes, err = cluster.KMeans(ds.Normalized, cluster.KMeansOptions{
+		kmOpts := cluster.KMeansOptions{
 			K:        k,
 			Seed:     opts.Seed,
 			Restarts: opts.KMeansRestarts,
 			Workers:  opts.Workers,
-		})
+		}
+		if f32 {
+			kmRes, err = cluster.KMeansMat(ds.NormalizedMatrix32, kmOpts)
+		} else {
+			kmRes, err = cluster.KMeans(ds.Normalized, kmOpts)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: k-means baseline: %w", err)
 		}

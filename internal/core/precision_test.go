@@ -1,0 +1,116 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestPrecisionString covers the enum's debug formatting, including the
+// out-of-range fallback.
+func TestPrecisionString(t *testing.T) {
+	cases := []struct {
+		p    Precision
+		want string
+	}{
+		{Float64, "float64"},
+		{Float32, "float32"},
+		{Precision(42), "precision(42)"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("Precision(%d).String() = %q, want %q", int(c.p), got, c.want)
+		}
+	}
+}
+
+// TestAnalyzeRejectsUnknownPrecision: an out-of-range Precision is a
+// configuration error, not a silent fall-through to float64.
+func TestAnalyzeRejectsUnknownPrecision(t *testing.T) {
+	city, ds := goldenCity(t)
+	opts := goldenOptions()
+	opts.Precision = Precision(42)
+	if _, err := Analyze(ds, city.POIs, opts); err == nil {
+		t.Fatal("Analyze accepted an unknown precision")
+	}
+}
+
+// TestFloat32DecisionsMatchFloat64 is the float32 fast path's acceptance
+// test: on the golden seeded city the narrowed pipeline must make the
+// identical *decisions* — cluster count, memberships, land-use labels, NMF
+// dominant bases, k-means partition — as the float64 reference. Scores
+// (DBI values, inertia, reconstruction error) may differ in the last few
+// digits; everything discrete must not.
+func TestFloat32DecisionsMatchFloat64(t *testing.T) {
+	city, ds := goldenCity(t)
+
+	ref, err := Analyze(ds, city.POIs, goldenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := goldenOptions()
+	opts.Precision = Float32
+	res, err := Analyze(ds, city.POIs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, want := snapshotModel(res), snapshotModel(ref)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("float32 decisions diverged from float64:\n  float32: %+v\n  float64: %+v", got, want)
+	}
+	if res.KMeans.Iterations != ref.KMeans.Iterations {
+		t.Errorf("float32 k-means took %d iterations, float64 %d", res.KMeans.Iterations, ref.KMeans.Iterations)
+	}
+	// The DBI curves should agree closely (the curve minima already agreed
+	// exactly via OptimalK above).
+	if len(res.DBICurve) != len(ref.DBICurve) {
+		t.Fatalf("DBI curve has %d points at float32, %d at float64", len(res.DBICurve), len(ref.DBICurve))
+	}
+	for i, p := range res.DBICurve {
+		q := ref.DBICurve[i]
+		if p.K != q.K {
+			t.Fatalf("DBI curve point %d is K=%d at float32, K=%d at float64", i, p.K, q.K)
+		}
+		if diff := p.DBI - q.DBI; diff > 1e-3 || diff < -1e-3 {
+			t.Errorf("DBI(K=%d) = %v at float32, %v at float64", p.K, p.DBI, q.DBI)
+		}
+	}
+}
+
+// TestFloat32BitIdenticalAcrossWorkers: the float32 path must be as
+// deterministic as the float64 one — same seed ⇒ bit-identical results for
+// every Workers value.
+func TestFloat32BitIdenticalAcrossWorkers(t *testing.T) {
+	city, ds := goldenCity(t)
+	opts := goldenOptions()
+	opts.Precision = Float32
+	opts.Workers = 1
+	serial, err := Analyze(ds, city.POIs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), 0} {
+		opts.Workers = workers
+		par, err := Analyze(ds, city.POIs, opts)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(par.Assignment, serial.Assignment) {
+			t.Errorf("workers %d: cluster assignment differs from serial run", workers)
+		}
+		if !reflect.DeepEqual(par.Dendrogram, serial.Dendrogram) {
+			t.Errorf("workers %d: dendrogram differs from serial run", workers)
+		}
+		if !reflect.DeepEqual(par.DBICurve, serial.DBICurve) {
+			t.Errorf("workers %d: DBI curve differs from serial run", workers)
+		}
+		if !reflect.DeepEqual(par.NMF.W.Data, serial.NMF.W.Data) || !reflect.DeepEqual(par.NMF.H.Data, serial.NMF.H.Data) {
+			t.Errorf("workers %d: NMF factors differ from serial run", workers)
+		}
+		if !reflect.DeepEqual(par.KMeans, serial.KMeans) {
+			t.Errorf("workers %d: k-means baseline differs from serial run", workers)
+		}
+	}
+}

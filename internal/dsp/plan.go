@@ -9,9 +9,10 @@ import (
 // Plan is a reusable FFT engine for signals of one fixed length. It
 // precomputes twiddle factors once and owns all scratch buffers, so a warmed
 // plan performs zero allocations per transform. The transform kernel is an
-// iterative self-sorting (Stockham) mixed-radix FFT with specialised radix-2
-// and radix-4 butterflies for power-of-two lengths, a generic butterfly for
-// small odd prime factors, and Bluestein's chirp-z algorithm whenever the
+// iterative self-sorting (Stockham) mixed-radix FFT with specialised radix-2,
+// radix-3 and radix-4 butterflies (each with an unrolled first-stage form for
+// the unit-stride pass), a generic butterfly for the remaining small odd
+// prime factors, and Bluestein's chirp-z algorithm whenever the
 // length has a prime factor larger than maxStockhamRadix — so no length ever
 // falls back to the O(N²) direct transform. Real input goes through an RFFT
 // path that packs the signal into a half-length complex transform.
@@ -290,7 +291,7 @@ func newCplan(n int) *cplan {
 			}
 		}
 		c.stages = append(c.stages, st)
-		if r != 2 && r != 4 {
+		if r != 2 && r != 3 && r != 4 {
 			if c.radix == nil {
 				c.radix = make(map[int][]complex128)
 			}
@@ -346,6 +347,8 @@ func (c *cplan) forward(dst, src []complex128) {
 		switch st.r {
 		case 2:
 			stageRadix2(b, a, st)
+		case 3:
+			stageRadix3(b, a, st)
 		case 4:
 			stageRadix4(b, a, st)
 		default:
@@ -358,6 +361,18 @@ func (c *cplan) forward(dst, src []complex128) {
 // stageRadix2 performs y[q+s(2p+j)] = (a0 ± a1)·ω^{pj} for j in {0,1}.
 func stageRadix2(dst, src []complex128, st *stage) {
 	m, s := st.m, st.s
+	if s == 1 {
+		// First-stage form (s==1 only ever happens on the first stage): the
+		// inner stride loop collapses to a single iteration, so skip the
+		// loop setup and the stride multiplies. Same operations, same
+		// rounding — just less bookkeeping per butterfly.
+		for p := 0; p < m; p++ {
+			a0, a1 := src[p], src[p+m]
+			dst[2*p] = a0 + a1
+			dst[2*p+1] = (a0 - a1) * st.tw[p]
+		}
+		return
+	}
 	for p := 0; p < m; p++ {
 		w := st.tw[p]
 		i0 := s * p
@@ -372,9 +387,72 @@ func stageRadix2(dst, src []complex128, st *stage) {
 	}
 }
 
+// sqrt3Half is sin(π/3), the imaginary magnitude of the primitive cube
+// roots of unity used by the radix-3 butterfly.
+const sqrt3Half = 0.8660254037844386
+
+// stageRadix3 is the specialised radix-3 butterfly. With ω = e^{-2πi/3} =
+// -1/2 - i·√3/2 the three outputs share one symmetric intermediate pair:
+//
+//	y0 = a0 + (a1+a2)
+//	y1 = (a0 - (a1+a2)/2 - i·√3/2·(a1-a2)) · ω^p
+//	y2 = (a0 - (a1+a2)/2 + i·√3/2·(a1-a2)) · ω^{2p}
+//
+// — 4 complex adds and one real scaling instead of the 9 complex multiplies
+// and 6 adds of the generic table-driven butterfly.
+func stageRadix3(dst, src []complex128, st *stage) {
+	m, s := st.m, st.s
+	if s == 1 {
+		for p := 0; p < m; p++ {
+			a0, a1, a2 := src[p], src[p+m], src[p+2*m]
+			t1 := a1 + a2
+			t2 := a0 - t1*0.5
+			d := a1 - a2
+			u := complex(imag(d)*sqrt3Half, -real(d)*sqrt3Half) // -i·√3/2·d
+			dst[3*p] = a0 + t1
+			dst[3*p+1] = (t2 + u) * st.tw[2*p]
+			dst[3*p+2] = (t2 - u) * st.tw[2*p+1]
+		}
+		return
+	}
+	for p := 0; p < m; p++ {
+		w1 := st.tw[2*p]
+		w2 := st.tw[2*p+1]
+		i0 := s * p
+		o0 := s * 3 * p
+		for q := 0; q < s; q++ {
+			a0 := src[i0+q]
+			a1 := src[i0+s*m+q]
+			a2 := src[i0+2*s*m+q]
+			t1 := a1 + a2
+			t2 := a0 - t1*0.5
+			d := a1 - a2
+			u := complex(imag(d)*sqrt3Half, -real(d)*sqrt3Half)
+			dst[o0+q] = a0 + t1
+			dst[o0+s+q] = (t2 + u) * w1
+			dst[o0+2*s+q] = (t2 - u) * w2
+		}
+	}
+}
+
 // stageRadix4 is the radix-4 butterfly (forward twiddle ω_4 = -i).
 func stageRadix4(dst, src []complex128, st *stage) {
 	m, s := st.m, st.s
+	if s == 1 {
+		// First-stage fast path: single-iteration stride loop unrolled away.
+		for p := 0; p < m; p++ {
+			a0, a1, a2, a3 := src[p], src[p+m], src[p+2*m], src[p+3*m]
+			t0, t1 := a0+a2, a1+a3
+			t2 := a0 - a2
+			d := a1 - a3
+			t3 := complex(imag(d), -real(d)) // -i·(a1-a3)
+			dst[4*p] = t0 + t1
+			dst[4*p+1] = (t2 + t3) * st.tw[3*p]
+			dst[4*p+2] = (t0 - t1) * st.tw[3*p+1]
+			dst[4*p+3] = (t2 - t3) * st.tw[3*p+2]
+		}
+		return
+	}
 	for p := 0; p < m; p++ {
 		w1 := st.tw[3*p]
 		w2 := st.tw[3*p+1]

@@ -367,6 +367,16 @@ func BenchmarkDSP_FFTPaperLength(b *testing.B) { benchPlanFFT(b, 4032) }
 // BenchmarkDSP_FFTPrime measures a prime length through Bluestein.
 func BenchmarkDSP_FFTPrime(b *testing.B) { benchPlanFFT(b, 4099) }
 
+// BenchmarkDSP_FFTRadix3Heavy measures 3^8 = 6561, a pure chain of the
+// specialised radix-3 butterfly (the s==1 form on the first stage).
+func BenchmarkDSP_FFTRadix3Heavy(b *testing.B) { benchPlanFFT(b, 6561) }
+
+// BenchmarkDSP_FFTWeekOfHours measures the paper's week-of-hours slot count
+// 168 = 4·2·3·7 — the length the modeling pipeline actually transforms —
+// whose RFFT half plan 84 = 4·3·7 opens with the unit-stride radix-4 stage
+// and runs the radix-3 butterfly on the second.
+func BenchmarkDSP_FFTWeekOfHours(b *testing.B) { benchPlanFFT(b, 168) }
+
 // BenchmarkDSP_BatchSpectra measures the worker-pool fan-out over a
 // tower-sized batch of paper-length vectors.
 func BenchmarkDSP_BatchSpectra(b *testing.B) {

@@ -1,0 +1,23 @@
+package linalg
+
+// useAsmF32 routes the float32 distance kernels through the AVX2+FMA
+// assembly micro-kernels. Like useAsm it is a variable so the property
+// tests can force the portable path and cross-check the implementations.
+var useAsmF32 = hasAVX2FMA
+
+// dotVecAsm32 returns the dot product of the n-element float32 vectors at
+// a and b using two 8-wide FMA accumulators (lane m sums k ≡ m mod 16),
+// folded by pairing the accumulators and then halving 8→4→2→1 lanes, with
+// an ascending scalar-FMA tail. dot1x4Asm32 uses the identical per-pair
+// sequence, so a row's norm and its cross dot products cancel exactly in
+// the Gram trick.
+//
+//go:noescape
+func dotVecAsm32(a, b *float32, n int) float32
+
+// dot1x4Asm32 computes the dot products of the n-element float32 vector at
+// a against four rows starting at b with a stride of ldb elements, writing
+// them to out. The accumulation scheme is bit-identical to dotVecAsm32's.
+//
+//go:noescape
+func dot1x4Asm32(a, b *float32, ldb, n int, out *[4]float32)

@@ -1,0 +1,150 @@
+#include "textflag.h"
+
+// The float32 AVX2+FMA micro-kernels, mirroring dot_amd64.s at twice the
+// lane width: two 8-wide FMA accumulators over k (acc0: k≡0..7 mod 16,
+// acc1: k≡8..15 mod 16), folded as acc0+acc1 and then lane-halved
+// 8→4→2→1 (upper 128 onto lower, upper 64 onto lower, odd lane onto
+// even), with an ascending scalar-FMA tail for n mod 16 leftovers. Both
+// kernels share the one scheme, so bit-identical rows produce exactly the
+// same dot product as either row's norm — the Gram trick's exact-zero
+// property.
+
+// func dotVecAsm32(a, b *float32, n int) float32
+TEXT ·dotVecAsm32(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+	CMPQ DX, $0
+	JE   fold
+
+loop16:
+	VMOVUPS (SI)(AX*4), Y2
+	VFMADD231PS (DI)(AX*4), Y2, Y0
+	VMOVUPS 32(SI)(AX*4), Y3
+	VFMADD231PS 32(DI)(AX*4), Y3, Y1
+	ADDQ $16, AX
+	CMPQ AX, DX
+	JL   loop16
+
+fold:
+	VADDPS Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VPERMILPD $1, X0, X1
+	VADDPS X1, X0, X0
+	VMOVSHDUP X0, X1
+	VADDSS X1, X0, X0
+
+	CMPQ AX, CX
+	JGE  done
+
+tail:
+	VMOVSS (SI)(AX*4), X2
+	VFMADD231SS (DI)(AX*4), X2, X0
+	INCQ AX
+	CMPQ AX, CX
+	JL   tail
+
+done:
+	VMOVSS X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func dot1x4Asm32(a, b *float32, ldb, n int, out *[4]float32)
+TEXT ·dot1x4Asm32(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ ldb+16(FP), DX
+	SHLQ $2, DX              // stride in bytes
+	MOVQ n+24(FP), CX
+	MOVQ out+32(FP), BX
+	LEAQ (DI)(DX*1), R8      // row 1
+	LEAQ (R8)(DX*1), R9      // row 2
+	LEAQ (R9)(DX*1), R10     // row 3
+	VXORPS Y0, Y0, Y0        // acc0 of rows 0..3
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4        // acc1 of rows 0..3
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	XORQ AX, AX
+	MOVQ CX, R11
+	ANDQ $-16, R11
+	CMPQ R11, $0
+	JE   fold4
+
+loop16x4:
+	VMOVUPS (SI)(AX*4), Y8
+	VFMADD231PS (DI)(AX*4), Y8, Y0
+	VFMADD231PS (R8)(AX*4), Y8, Y1
+	VFMADD231PS (R9)(AX*4), Y8, Y2
+	VFMADD231PS (R10)(AX*4), Y8, Y3
+	VMOVUPS 32(SI)(AX*4), Y9
+	VFMADD231PS 32(DI)(AX*4), Y9, Y4
+	VFMADD231PS 32(R8)(AX*4), Y9, Y5
+	VFMADD231PS 32(R9)(AX*4), Y9, Y6
+	VFMADD231PS 32(R10)(AX*4), Y9, Y7
+	ADDQ $16, AX
+	CMPQ AX, R11
+	JL   loop16x4
+
+fold4:
+	VADDPS Y4, Y0, Y0
+	VEXTRACTF128 $1, Y0, X10
+	VADDPS X10, X0, X0
+	VPERMILPD $1, X0, X10
+	VADDPS X10, X0, X0
+	VMOVSHDUP X0, X10
+	VADDSS X10, X0, X0
+
+	VADDPS Y5, Y1, Y1
+	VEXTRACTF128 $1, Y1, X10
+	VADDPS X10, X1, X1
+	VPERMILPD $1, X1, X10
+	VADDPS X10, X1, X1
+	VMOVSHDUP X1, X10
+	VADDSS X10, X1, X1
+
+	VADDPS Y6, Y2, Y2
+	VEXTRACTF128 $1, Y2, X10
+	VADDPS X10, X2, X2
+	VPERMILPD $1, X2, X10
+	VADDPS X10, X2, X2
+	VMOVSHDUP X2, X10
+	VADDSS X10, X2, X2
+
+	VADDPS Y7, Y3, Y3
+	VEXTRACTF128 $1, Y3, X10
+	VADDPS X10, X3, X3
+	VPERMILPD $1, X3, X10
+	VADDPS X10, X3, X3
+	VMOVSHDUP X3, X10
+	VADDSS X10, X3, X3
+
+	CMPQ AX, CX
+	JGE  store4
+
+tail4:
+	VMOVSS (SI)(AX*4), X8
+	VFMADD231SS (DI)(AX*4), X8, X0
+	VFMADD231SS (R8)(AX*4), X8, X1
+	VFMADD231SS (R9)(AX*4), X8, X2
+	VFMADD231SS (R10)(AX*4), X8, X3
+	INCQ AX
+	CMPQ AX, CX
+	JL   tail4
+
+store4:
+	VMOVSS X0, (BX)
+	VMOVSS X1, 4(BX)
+	VMOVSS X2, 8(BX)
+	VMOVSS X3, 12(BX)
+	VZEROUPPER
+	RET

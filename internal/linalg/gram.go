@@ -20,23 +20,28 @@ import (
 // trick: ‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b, clamped at zero (the subtraction can
 // go infinitesimally negative under rounding).
 //
-// On amd64 with AVX2+FMA the dot products run in the assembly micro-kernels
-// of dot_amd64.s (a 1×4 FMA kernel against four b rows at a time and its
-// single-pair twin), roughly 4× the scalar flop rate; everywhere else the
-// portable register-tiled Go kernels below apply.
+// Every kernel is generic over Float. On amd64 with AVX2+FMA the dot
+// products run in assembly micro-kernels — dot_amd64.s for float64 (4-lane
+// VFMADD231PD) and dot32_amd64.s for float32 (8-lane VFMADD231PS), selected
+// by an element-type switch inside the generic bodies — roughly 4× the
+// scalar flop rate, with the float32 kernels moving half the bytes per
+// element on top. Everywhere else the portable register-tiled Go kernels
+// below apply, instantiated per element type.
 //
 // Determinism contract: every output entry is computed by exactly one
 // worker, and every entry — whichever kernel variant produces it —
-// accumulates its dot product over k in one fixed scheme per build (the
-// two-accumulator FMA fold of the assembly kernels, or a single ascending
-// accumulator in the portable ones). Results are therefore bit-identical
-// for ANY worker count, the property the deterministic modeling engine is
-// built on. Relative to the per-pair subtract-square form the Gram trick
-// shifts low-order bits (one rounding of the norms and the recombination
-// replaces d roundings of (a−b)²); the cluster and freqdomain oracles pin
-// the agreement to ≤1e-9 relative error, and two rows with bit-identical
-// contents still get an exactly-zero distance because their norms and
-// their cross dot product run the identical operation sequence.
+// accumulates its dot product over k in one fixed scheme per build and
+// element type (the two-accumulator FMA fold of the assembly kernels, or a
+// single ascending accumulator in the portable ones). Results are therefore
+// bit-identical for ANY worker count, the property the deterministic
+// modeling engine is built on. Relative to the per-pair subtract-square
+// form the Gram trick shifts low-order bits (one rounding of the norms and
+// the recombination replaces d roundings of (a−b)²); the cluster and
+// freqdomain oracles pin the agreement to ≤1e-9 relative error for float64
+// and the float32 property tests to ≤1e-4 against the float64 oracle, and
+// two rows with bit-identical contents still get an exactly-zero distance
+// because their norms and their cross dot product run the identical
+// operation sequence.
 //
 // All kernels write into caller-provided storage and allocate nothing on
 // the serial (workers == 1) path, so warmed callers run at 0 allocs/op.
@@ -82,11 +87,11 @@ func forEachStrip(strips, workers int, fn func(s int)) {
 // rows into acc. Each accumulator receives its products in ascending-k
 // order, matching dotRows exactly, so the same (i,j) pair produces the same
 // bits whichever kernel computes it.
-func dot4x4(a0, a1, a2, a3, b0, b1, b2, b3 []float64, acc *[16]float64) {
-	var s00, s01, s02, s03 float64
-	var s10, s11, s12, s13 float64
-	var s20, s21, s22, s23 float64
-	var s30, s31, s32, s33 float64
+func dot4x4[F Float](a0, a1, a2, a3, b0, b1, b2, b3 []F, acc *[16]F) {
+	var s00, s01, s02, s03 F
+	var s10, s11, s12, s13 F
+	var s20, s21, s22, s23 F
+	var s30, s31, s32, s33 F
 	n := len(a0)
 	a1, a2, a3 = a1[:n], a2[:n], a3[:n]
 	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
@@ -117,7 +122,7 @@ func dot4x4(a0, a1, a2, a3, b0, b1, b2, b3 []float64, acc *[16]float64) {
 }
 
 // dot4x1 accumulates four x rows against one y row (the j edge of a tile).
-func dot4x1(a0, a1, a2, a3, b []float64) (s0, s1, s2, s3 float64) {
+func dot4x1[F Float](a0, a1, a2, a3, b []F) (s0, s1, s2, s3 F) {
 	n := len(a0)
 	a1, a2, a3, b = a1[:n], a2[:n], a3[:n], b[:n]
 	for k, x0 := range a0 {
@@ -131,9 +136,9 @@ func dot4x1(a0, a1, a2, a3, b []float64) (s0, s1, s2, s3 float64) {
 }
 
 // dotRows is the scalar edge kernel: a single ascending-k accumulator.
-func dotRows(a, b []float64) float64 {
+func dotRows[F Float](a, b []F) F {
 	b = b[:len(a)]
-	var s float64
+	var s F
 	for k, x := range a {
 		s += x * b[k]
 	}
@@ -141,12 +146,20 @@ func dotRows(a, b []float64) float64 {
 }
 
 // dotPair is the path-dispatching single-pair kernel: the AVX2+FMA vector
-// dot where available, the portable scalar one otherwise. Row norms and
-// tile edges go through it so every dot in a run shares one accumulation
-// scheme — the exact-zero guarantee of the Gram trick depends on that.
-func dotPair(a, b []float64) float64 {
-	if useAsm && len(a) > 0 {
-		return dotVecAsm(&a[0], &b[0], len(a))
+// dot of the matching element width where available, the portable scalar
+// one otherwise. Row norms and tile edges go through it so every dot in a
+// run shares one accumulation scheme — the exact-zero guarantee of the
+// Gram trick depends on that.
+func dotPair[F Float](a, b []F) F {
+	switch av := any(a).(type) {
+	case []float64:
+		if useAsm && len(av) > 0 {
+			return F(dotVecAsm(&av[0], &any(b).([]float64)[0], len(av)))
+		}
+	case []float32:
+		if useAsmF32 && len(av) > 0 {
+			return F(dotVecAsm32(&av[0], &any(b).([]float32)[0], len(av)))
+		}
 	}
 	return dotRows(a, b)
 }
@@ -154,10 +167,10 @@ func dotPair(a, b []float64) float64 {
 // pairTileRect fills out[(i-i0)*stride + (j-j0)] for i in [i0,i1), j in
 // [j0,j1) with either the raw dot product of x row i and y row j (norms nil)
 // or the clamped squared distance xn[i] + yn[j] − 2·dot (norms given).
-func pairTileRect(x, y *Matrix, xn, yn Vector, i0, i1, j0, j1 int, out []float64, stride int) {
+func pairTileRect[F Float](x, y *Mat[F], xn, yn Vec[F], i0, i1, j0, j1 int, out []F, stride int) {
 	d := x.Cols
 	xd, yd := x.Data, y.Data
-	emit := func(i, j int, dot float64) {
+	emit := func(i, j int, dot F) {
 		v := dot
 		if xn != nil {
 			v = xn[i] + yn[j] - 2*dot
@@ -167,25 +180,51 @@ func pairTileRect(x, y *Matrix, xn, yn Vector, i0, i1, j0, j1 int, out []float64
 		}
 		out[(i-i0)*stride+(j-j0)] = v
 	}
-	if useAsm && d > 0 {
-		var quad [4]float64
-		for i := i0; i < i1; i++ {
-			a := xd[i*d : (i+1)*d]
-			j := j0
-			for ; j+4 <= j1; j += 4 {
-				dot1x4Asm(&a[0], &yd[j*d], d, d, &quad)
-				emit(i, j+0, quad[0])
-				emit(i, j+1, quad[1])
-				emit(i, j+2, quad[2])
-				emit(i, j+3, quad[3])
+	if d > 0 {
+		switch xdv := any(xd).(type) {
+		case []float64:
+			if useAsm {
+				ydv := any(yd).([]float64)
+				var quad [4]float64
+				for i := i0; i < i1; i++ {
+					a := xdv[i*d : (i+1)*d]
+					j := j0
+					for ; j+4 <= j1; j += 4 {
+						dot1x4Asm(&a[0], &ydv[j*d], d, d, &quad)
+						emit(i, j+0, F(quad[0]))
+						emit(i, j+1, F(quad[1]))
+						emit(i, j+2, F(quad[2]))
+						emit(i, j+3, F(quad[3]))
+					}
+					for ; j < j1; j++ {
+						emit(i, j, F(dotVecAsm(&a[0], &ydv[j*d], d)))
+					}
+				}
+				return
 			}
-			for ; j < j1; j++ {
-				emit(i, j, dotVecAsm(&a[0], &yd[j*d], d))
+		case []float32:
+			if useAsmF32 {
+				ydv := any(yd).([]float32)
+				var quad [4]float32
+				for i := i0; i < i1; i++ {
+					a := xdv[i*d : (i+1)*d]
+					j := j0
+					for ; j+4 <= j1; j += 4 {
+						dot1x4Asm32(&a[0], &ydv[j*d], d, d, &quad)
+						emit(i, j+0, F(quad[0]))
+						emit(i, j+1, F(quad[1]))
+						emit(i, j+2, F(quad[2]))
+						emit(i, j+3, F(quad[3]))
+					}
+					for ; j < j1; j++ {
+						emit(i, j, F(dotVecAsm32(&a[0], &ydv[j*d], d)))
+					}
+				}
+				return
 			}
 		}
-		return
 	}
-	var acc [16]float64
+	var acc [16]F
 	i := i0
 	for ; i+4 <= i1; i += 4 {
 		a0 := xd[(i+0)*d : (i+1)*d]
@@ -222,7 +261,7 @@ func pairTileRect(x, y *Matrix, xn, yn Vector, i0, i1, j0, j1 int, out []float64
 // of x, accumulated in the same ascending order as the tile kernels so that
 // identical rows yield exactly-zero Gram-trick distances. dst must have
 // length x.Rows.
-func RowNormsSquaredInto(dst Vector, x *Matrix) error {
+func RowNormsSquaredInto[F Float](dst Vec[F], x *Mat[F]) error {
 	if len(dst) != x.Rows {
 		return fmt.Errorf("%w: %d norms for %d rows", ErrDimensionMismatch, len(dst), x.Rows)
 	}
@@ -239,7 +278,7 @@ func RowNormsSquaredInto(dst Vector, x *Matrix) error {
 // is computed — symmetry halves the flops — and mirrored into the lower
 // one. dst must not share storage with m. The result is bit-identical for
 // any worker count.
-func (m *Matrix) GramInto(dst *Matrix, workers int) error {
+func (m *Mat[F]) GramInto(dst *Mat[F], workers int) error {
 	n := m.Rows
 	if dst.Rows != n || dst.Cols != n {
 		return fmt.Errorf("%w: gram of %dx%d into %dx%d", ErrDimensionMismatch, n, m.Cols, dst.Rows, dst.Cols)
@@ -255,13 +294,13 @@ func (m *Matrix) GramInto(dst *Matrix, workers int) error {
 // length x.Rows (nil allocates); on return it holds the squared row norms.
 // The diagonal is exactly zero and the result is bit-identical for any
 // worker count.
-func PairwiseSquaredInto(dst *Matrix, x *Matrix, norms Vector, workers int) error {
+func PairwiseSquaredInto[F Float](dst *Mat[F], x *Mat[F], norms Vec[F], workers int) error {
 	n := x.Rows
 	if dst.Rows != n || dst.Cols != n {
 		return fmt.Errorf("%w: pairwise of %d rows into %dx%d", ErrDimensionMismatch, n, dst.Rows, dst.Cols)
 	}
 	if norms == nil {
-		norms = make(Vector, n)
+		norms = make(Vec[F], n)
 	}
 	if err := RowNormsSquaredInto(norms, x); err != nil {
 		return err
@@ -280,7 +319,7 @@ func PairwiseSquaredInto(dst *Matrix, x *Matrix, norms Vector, workers int) erro
 // of pairTile rows; within a strip every tile right of the diagonal runs
 // the rectangular kernel and diagonal tiles compute their own lower half
 // redundantly (a ≤1/tiles fraction of the work) to keep the kernel uniform.
-func symmetricTiles(x *Matrix, norms Vector, out []float64, workers int) {
+func symmetricTiles[F Float](x *Mat[F], norms Vec[F], out []F, workers int) {
 	strips := (x.Rows + pairTile - 1) / pairTile
 	if w := stripWorkers(strips, workers); w > 1 {
 		forEachStrip(strips, w, func(s int) { symmetricStrip(x, norms, out, s) })
@@ -291,7 +330,7 @@ func symmetricTiles(x *Matrix, norms Vector, out []float64, workers int) {
 	}
 }
 
-func symmetricStrip(x *Matrix, norms Vector, out []float64, s int) {
+func symmetricStrip[F Float](x *Mat[F], norms Vec[F], out []F, s int) {
 	n := x.Rows
 	i0 := s * pairTile
 	i1 := min(n, i0+pairTile)
@@ -304,7 +343,7 @@ func symmetricStrip(x *Matrix, norms Vector, out []float64, s int) {
 // mirrorLower copies the strict upper triangle of the symmetric matrix dst
 // into its lower triangle, partitioned by destination row so each entry is
 // written by exactly one worker.
-func mirrorLower(dst *Matrix, workers int) {
+func mirrorLower[F Float](dst *Mat[F], workers int) {
 	strips := (dst.Rows + pairTile - 1) / pairTile
 	if w := stripWorkers(strips, workers); w > 1 {
 		forEachStrip(strips, w, func(s int) { mirrorStrip(dst, s) })
@@ -315,7 +354,7 @@ func mirrorLower(dst *Matrix, workers int) {
 	}
 }
 
-func mirrorStrip(dst *Matrix, s int) {
+func mirrorStrip[F Float](dst *Mat[F], s int) {
 	n := dst.Rows
 	r0 := s * pairTile
 	r1 := min(n, r0+pairTile)
@@ -335,13 +374,13 @@ func mirrorStrip(dst *Matrix, s int) {
 // allocates). Up to `workers` goroutines (≤ 0 means GOMAXPROCS) each own
 // whole row strips, so the result is bit-identical for any worker count,
 // and the serial path performs no allocations.
-func PairwiseSquaredCondensed(dst []float64, x *Matrix, norms Vector, workers int) error {
+func PairwiseSquaredCondensed[F Float](dst []F, x *Mat[F], norms Vec[F], workers int) error {
 	n := x.Rows
 	if len(dst) != n*(n-1)/2 {
 		return fmt.Errorf("%w: condensed buffer %d for %d rows (want %d)", ErrDimensionMismatch, len(dst), n, n*(n-1)/2)
 	}
 	if norms == nil {
-		norms = make(Vector, n)
+		norms = make(Vec[F], n)
 	}
 	if err := RowNormsSquaredInto(norms, x); err != nil {
 		return err
@@ -358,7 +397,7 @@ func PairwiseSquaredCondensed(dst []float64, x *Matrix, norms Vector, workers in
 }
 
 // condensedStrip fills the condensed rows of one pairTile strip.
-func condensedStrip(dst []float64, x *Matrix, norms Vector, s int) {
+func condensedStrip[F Float](dst []F, x *Mat[F], norms Vec[F], s int) {
 	n, d := x.Rows, x.Cols
 	rowStart := func(i int) int { return i * (2*n - i - 1) / 2 }
 	i0 := s * pairTile
@@ -378,7 +417,7 @@ func condensedStrip(dst []float64, x *Matrix, norms Vector, s int) {
 	}
 	// Tiles right of the diagonal: full rectangles on the 4×4 kernel,
 	// written row by row into the condensed runs.
-	var tile [pairTile * pairTile]float64
+	var tile [pairTile * pairTile]F
 	for j0 := i1; j0 < n; j0 += pairTile {
 		j1 := min(n, j0+pairTile)
 		pairTileRect(x, x, norms, norms, i0, i1, j0, j1, tile[:], pairTile)
@@ -402,7 +441,7 @@ func condensedStrip(dst []float64, x *Matrix, norms Vector, s int) {
 // iterations and restarts without the kernel rewriting shared buffers.
 // Bit-identical for any worker count; with caller-provided norms the
 // serial path performs no allocations.
-func CrossSquaredInto(dst *Matrix, x, y *Matrix, xnorms, ynorms Vector, workers int) error {
+func CrossSquaredInto[F Float](dst *Mat[F], x, y *Mat[F], xnorms, ynorms Vec[F], workers int) error {
 	if x.Cols != y.Cols {
 		return fmt.Errorf("%w: cross distances between %d-col and %d-col rows", ErrDimensionMismatch, x.Cols, y.Cols)
 	}
@@ -410,13 +449,13 @@ func CrossSquaredInto(dst *Matrix, x, y *Matrix, xnorms, ynorms Vector, workers 
 		return fmt.Errorf("%w: cross distances %dx%d into %dx%d", ErrDimensionMismatch, x.Rows, y.Rows, dst.Rows, dst.Cols)
 	}
 	if xnorms == nil {
-		xnorms = make(Vector, x.Rows)
+		xnorms = make(Vec[F], x.Rows)
 		if err := RowNormsSquaredInto(xnorms, x); err != nil {
 			return err
 		}
 	}
 	if ynorms == nil {
-		ynorms = make(Vector, y.Rows)
+		ynorms = make(Vec[F], y.Rows)
 		if err := RowNormsSquaredInto(ynorms, y); err != nil {
 			return err
 		}
@@ -436,7 +475,7 @@ func CrossSquaredInto(dst *Matrix, x, y *Matrix, xnorms, ynorms Vector, workers 
 }
 
 // crossStrip fills one pairTile strip of the cross-distance matrix.
-func crossStrip(dst *Matrix, x, y *Matrix, xnorms, ynorms Vector, s int) {
+func crossStrip[F Float](dst *Mat[F], x, y *Mat[F], xnorms, ynorms Vec[F], s int) {
 	m := y.Rows
 	i0 := s * pairTile
 	i1 := min(x.Rows, i0+pairTile)
@@ -453,7 +492,7 @@ func crossStrip(dst *Matrix, x, y *Matrix, xnorms, ynorms Vector, s int) {
 // CrossSquaredInto entry — including the exact zero for bit-identical
 // rows — without computing any of the other pairs. This is the
 // one-pair-per-point form the cluster-scatter statistic wants.
-func AssignedSquaredDistance(x, y *Matrix, xnorms, ynorms Vector, i, j int) (float64, error) {
+func AssignedSquaredDistance[F Float](x, y *Mat[F], xnorms, ynorms Vec[F], i, j int) (float64, error) {
 	if x.Cols != y.Cols {
 		return 0, fmt.Errorf("%w: assigned distance between %d-col and %d-col rows", ErrDimensionMismatch, x.Cols, y.Cols)
 	}
@@ -468,13 +507,13 @@ func AssignedSquaredDistance(x, y *Matrix, xnorms, ynorms Vector, i, j int) (flo
 	if v < 0 {
 		v = 0
 	}
-	return v, nil
+	return float64(v), nil
 }
 
 // SquaredDistancesSqrtInPlace replaces every entry of d with its square
 // root, splitting the buffer across up to `workers` goroutines (≤ 0 means
 // GOMAXPROCS). Element-wise, so bit-identical for any worker count.
-func SquaredDistancesSqrtInPlace(d []float64, workers int) {
+func SquaredDistancesSqrtInPlace[F Float](d []F, workers int) {
 	const chunk = 1 << 14
 	strips := (len(d) + chunk - 1) / chunk
 	if w := stripWorkers(strips, workers); w > 1 {
@@ -484,8 +523,8 @@ func SquaredDistancesSqrtInPlace(d []float64, workers int) {
 	sqrtStrip(d, 0, len(d))
 }
 
-func sqrtStrip(d []float64, lo, hi int) {
+func sqrtStrip[F Float](d []F, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		d[i] = math.Sqrt(d[i])
+		d[i] = F(math.Sqrt(float64(d[i])))
 	}
 }

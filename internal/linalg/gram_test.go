@@ -420,7 +420,7 @@ func TestRowsMatrixAliasesContiguousRows(t *testing.T) {
 		t.Error("non-adjacent views must be packed")
 	}
 
-	if _, err := RowsMatrix(nil); !errors.Is(err, ErrEmpty) {
+	if _, err := RowsMatrix[float64](nil); !errors.Is(err, ErrEmpty) {
 		t.Errorf("empty rows: %v", err)
 	}
 	if _, err := RowsMatrix([]Vector{{1, 2}, {1}}); !errors.Is(err, ErrDimensionMismatch) {

@@ -1,0 +1,16 @@
+package linalg
+
+// KernelDescription reports which dot-product kernels this build/machine
+// selected, for run headers and reproducibility logs: benchmark numbers
+// and low-order result bits are only comparable between runs that used the
+// same kernels.
+func KernelDescription() string {
+	switch {
+	case useAsm && useAsmF32:
+		return "AVX2+FMA (float64 + float32 assembly kernels)"
+	case useAsm:
+		return "AVX2+FMA (float64 assembly kernels)"
+	default:
+		return "portable Go kernels"
+	}
+}

@@ -5,28 +5,42 @@ import (
 	"math"
 )
 
-// Matrix is a dense row-major matrix of float64 values.
-type Matrix struct {
+// Mat is a dense row-major matrix of F values.
+type Mat[F Float] struct {
 	Rows, Cols int
-	Data       []float64 // len == Rows*Cols, row-major
+	Data       []F // len == Rows*Cols, row-major
 }
 
-// NewMatrix returns a zero matrix with the given dimensions.
-func NewMatrix(rows, cols int) *Matrix {
+// Matrix is the float64 matrix used throughout the full-precision
+// modeling path. It is an alias for Mat[float64], so existing struct
+// literals, field accesses and method calls keep working unchanged.
+type Matrix = Mat[float64]
+
+// Matrix32 is the float32 matrix of the reduced-precision fast path.
+type Matrix32 = Mat[float32]
+
+// NewMat returns a zero matrix of the given element type and dimensions.
+func NewMat[F Float](rows, cols int) *Mat[F] {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("linalg: negative matrix dimensions %dx%d", rows, cols))
 	}
-	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+	return &Mat[F]{Rows: rows, Cols: cols, Data: make([]F, rows*cols)}
 }
+
+// NewMatrix returns a zero float64 matrix with the given dimensions.
+func NewMatrix(rows, cols int) *Matrix { return NewMat[float64](rows, cols) }
+
+// NewMatrix32 returns a zero float32 matrix with the given dimensions.
+func NewMatrix32(rows, cols int) *Matrix32 { return NewMat[float32](rows, cols) }
 
 // NewMatrixFromRows builds a matrix whose rows are copies of the given
 // vectors. All rows must have equal length.
-func NewMatrixFromRows(rows []Vector) (*Matrix, error) {
+func NewMatrixFromRows[F Float](rows []Vec[F]) (*Mat[F], error) {
 	if len(rows) == 0 {
 		return nil, ErrEmpty
 	}
 	cols := len(rows[0])
-	m := NewMatrix(len(rows), cols)
+	m := NewMat[F](len(rows), cols)
 	for i, r := range rows {
 		if len(r) != cols {
 			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrDimensionMismatch, i, len(r), cols)
@@ -39,8 +53,8 @@ func NewMatrixFromRows(rows []Vector) (*Matrix, error) {
 // RowViews returns all rows of m as vectors aliasing the matrix storage —
 // the compatibility bridge between the flat row-major data path and the
 // []Vector APIs. Mutating a returned vector mutates the matrix.
-func (m *Matrix) RowViews() []Vector {
-	out := make([]Vector, m.Rows)
+func (m *Mat[F]) RowViews() []Vec[F] {
+	out := make([]Vec[F], m.Rows)
 	for i := range out {
 		out[i] = m.Row(i)
 	}
@@ -49,12 +63,12 @@ func (m *Matrix) RowViews() []Vector {
 
 // RowsMatrix returns a matrix whose rows are the given equal-length
 // vectors. When the rows already lie contiguously in one row-major buffer —
-// as the row views of a Matrix do — the returned matrix aliases their
+// as the row views of a Mat do — the returned matrix aliases their
 // storage without copying, which is how the blocked distance kernels pick
 // up a pipeline.Dataset's flat backing for free; otherwise the rows are
 // packed into a fresh buffer. Callers must treat an aliased result as
 // read-only unless they own the backing rows.
-func RowsMatrix(rows []Vector) (*Matrix, error) {
+func RowsMatrix[F Float](rows []Vec[F]) (*Mat[F], error) {
 	if len(rows) == 0 {
 		return nil, ErrEmpty
 	}
@@ -65,7 +79,7 @@ func RowsMatrix(rows []Vector) (*Matrix, error) {
 		}
 	}
 	if contiguousRows(rows, cols) {
-		return &Matrix{Rows: len(rows), Cols: cols, Data: rows[0][:len(rows)*cols]}, nil
+		return &Mat[F]{Rows: len(rows), Cols: cols, Data: rows[0][:len(rows)*cols]}, nil
 	}
 	return NewMatrixFromRows(rows)
 }
@@ -73,7 +87,7 @@ func RowsMatrix(rows []Vector) (*Matrix, error) {
 // contiguousRows reports whether the rows occupy one row-major buffer:
 // every row must be followed immediately by the next one in memory, which
 // the capacity of a mid-matrix row view exposes without unsafe.
-func contiguousRows(rows []Vector, cols int) bool {
+func contiguousRows[F Float](rows []Vec[F], cols int) bool {
 	if cols == 0 {
 		return false
 	}
@@ -87,21 +101,21 @@ func contiguousRows(rows []Vector, cols int) bool {
 }
 
 // At returns the element at row i, column j.
-func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+func (m *Mat[F]) At(i, j int) F { return m.Data[i*m.Cols+j] }
 
 // Set stores x at row i, column j.
-func (m *Matrix) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+func (m *Mat[F]) Set(i, j int, x F) { m.Data[i*m.Cols+j] = x }
 
-// Row returns row i as a Vector that aliases the matrix storage.
+// Row returns row i as a vector that aliases the matrix storage.
 // Mutating the returned slice mutates the matrix.
-func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+func (m *Mat[F]) Row(i int) Vec[F] { return Vec[F](m.Data[i*m.Cols : (i+1)*m.Cols]) }
 
 // RowCopy returns a copy of row i.
-func (m *Matrix) RowCopy(i int) Vector { return m.Row(i).Clone() }
+func (m *Mat[F]) RowCopy(i int) Vec[F] { return m.Row(i).Clone() }
 
 // Col returns a copy of column j.
-func (m *Matrix) Col(j int) Vector {
-	out := make(Vector, m.Rows)
+func (m *Mat[F]) Col(j int) Vec[F] {
+	out := make(Vec[F], m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		out[i] = m.At(i, j)
 	}
@@ -109,21 +123,21 @@ func (m *Matrix) Col(j int) Vector {
 }
 
 // Clone returns a deep copy of m.
-func (m *Matrix) Clone() *Matrix {
-	out := NewMatrix(m.Rows, m.Cols)
+func (m *Mat[F]) Clone() *Mat[F] {
+	out := NewMat[F](m.Rows, m.Cols)
 	copy(out.Data, m.Data)
 	return out
 }
 
 // MulVec returns m · v.
-func (m *Matrix) MulVec(v Vector) (Vector, error) {
+func (m *Mat[F]) MulVec(v Vec[F]) (Vec[F], error) {
 	if m.Cols != len(v) {
 		return nil, fmt.Errorf("%w: matrix %dx%d times vector %d", ErrDimensionMismatch, m.Rows, m.Cols, len(v))
 	}
-	out := make(Vector, m.Rows)
+	out := make(Vec[F], m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var s float64
+		var s F
 		for j, x := range row {
 			s += x * v[j]
 		}
@@ -132,9 +146,28 @@ func (m *Matrix) MulVec(v Vector) (Vector, error) {
 	return out, nil
 }
 
+// DotInto fills dst[i] with the dot product of row i of x and v — the
+// matrix-vector product on the distance engine's shared dot kernel, so
+// each entry uses the same accumulation scheme (assembly FMA fold or
+// portable ascending scan) as the Gram-trick kernels. dst must have
+// length x.Rows and v length x.Cols.
+func DotInto[F Float](dst Vec[F], x *Mat[F], v Vec[F]) error {
+	if len(dst) != x.Rows {
+		return fmt.Errorf("%w: %d outputs for %d rows", ErrDimensionMismatch, len(dst), x.Rows)
+	}
+	if len(v) != x.Cols {
+		return fmt.Errorf("%w: matrix %dx%d times vector %d", ErrDimensionMismatch, x.Rows, x.Cols, len(v))
+	}
+	d := x.Cols
+	for i := 0; i < x.Rows; i++ {
+		dst[i] = dotPair(x.Data[i*d:(i+1)*d], []F(v))
+	}
+	return nil
+}
+
 // Transpose returns mᵀ.
-func (m *Matrix) Transpose() *Matrix {
-	out := NewMatrix(m.Cols, m.Rows)
+func (m *Mat[F]) Transpose() *Mat[F] {
+	out := NewMat[F](m.Cols, m.Rows)
 	_ = m.TransposeInto(out) // shapes match by construction
 	return out
 }
@@ -142,7 +175,7 @@ func (m *Matrix) Transpose() *Matrix {
 // TransposeInto writes mᵀ into dst, which must be Cols×Rows and must not
 // share storage with m. It allows iterative algorithms to reuse one
 // transpose buffer across iterations.
-func (m *Matrix) TransposeInto(dst *Matrix) error {
+func (m *Mat[F]) TransposeInto(dst *Mat[F]) error {
 	if dst.Rows != m.Cols || dst.Cols != m.Rows {
 		return fmt.Errorf("%w: transpose of %dx%d into %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, dst.Rows, dst.Cols)
 	}
@@ -156,11 +189,11 @@ func (m *Matrix) TransposeInto(dst *Matrix) error {
 }
 
 // Mul returns m · other.
-func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+func (m *Mat[F]) Mul(other *Mat[F]) (*Mat[F], error) {
 	if m.Cols != other.Rows {
 		return nil, fmt.Errorf("%w: %dx%d times %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, other.Rows, other.Cols)
 	}
-	out := NewMatrix(m.Rows, other.Cols)
+	out := NewMat[F](m.Rows, other.Cols)
 	if err := m.MulInto(out, other); err != nil {
 		return nil, err
 	}
@@ -170,7 +203,7 @@ func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
 // MulInto writes m · other into dst, which must be Rows×other.Cols and must
 // not share storage with m or other. Reusing dst across calls avoids the
 // per-iteration allocations of Mul in iterative algorithms.
-func (m *Matrix) MulInto(dst, other *Matrix) error {
+func (m *Mat[F]) MulInto(dst, other *Mat[F]) error {
 	if m.Cols != other.Rows {
 		return fmt.Errorf("%w: %dx%d times %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, other.Rows, other.Cols)
 	}
@@ -189,7 +222,7 @@ func (m *Matrix) MulInto(dst, other *Matrix) error {
 // still accumulates over k in ascending order, so the parallel scheduler
 // (which hands out 16-row blocks, a multiple of the 4-row unroll) produces
 // bit-identical results for any worker count.
-func mulRows(dst, m, other *Matrix, lo, hi int) {
+func mulRows[F Float](dst, m, other *Mat[F], lo, hi int) {
 	kDim, n := m.Cols, other.Cols
 	i := lo
 	for ; i+4 <= hi; i += 4 {
@@ -238,7 +271,7 @@ func mulRows(dst, m, other *Matrix, lo, hi int) {
 // SolveSPD solves the linear system A·x = b for a symmetric positive
 // definite A using Cholesky decomposition. It is used by the QP solver for
 // small equality-constrained subproblems. A is not modified.
-func SolveSPD(a *Matrix, b Vector) (Vector, error) {
+func SolveSPD[F Float](a *Mat[F], b Vec[F]) (Vec[F], error) {
 	n := a.Rows
 	if a.Cols != n {
 		return nil, fmt.Errorf("%w: SolveSPD requires square matrix, got %dx%d", ErrDimensionMismatch, a.Rows, a.Cols)
@@ -247,7 +280,7 @@ func SolveSPD(a *Matrix, b Vector) (Vector, error) {
 		return nil, fmt.Errorf("%w: SolveSPD rhs %d vs %d", ErrDimensionMismatch, len(b), n)
 	}
 	// Cholesky factorisation A = L·Lᵀ.
-	l := NewMatrix(n, n)
+	l := NewMat[F](n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			sum := a.At(i, j)
@@ -258,14 +291,14 @@ func SolveSPD(a *Matrix, b Vector) (Vector, error) {
 				if sum <= 0 {
 					return nil, fmt.Errorf("linalg: matrix is not positive definite (pivot %g at %d)", sum, i)
 				}
-				l.Set(i, j, math.Sqrt(sum))
+				l.Set(i, j, F(math.Sqrt(float64(sum))))
 			} else {
 				l.Set(i, j, sum/l.At(j, j))
 			}
 		}
 	}
 	// Forward substitution L·y = b.
-	y := make(Vector, n)
+	y := make(Vec[F], n)
 	for i := 0; i < n; i++ {
 		sum := b[i]
 		for k := 0; k < i; k++ {
@@ -274,7 +307,7 @@ func SolveSPD(a *Matrix, b Vector) (Vector, error) {
 		y[i] = sum / l.At(i, i)
 	}
 	// Backward substitution Lᵀ·x = y.
-	x := make(Vector, n)
+	x := make(Vec[F], n)
 	for i := n - 1; i >= 0; i-- {
 		sum := y[i]
 		for k := i + 1; k < n; k++ {

@@ -19,7 +19,7 @@ func TestNewMatrixFromRows(t *testing.T) {
 	if m.At(1, 2) != 6 {
 		t.Errorf("At(1,2) = %g, want 6", m.At(1, 2))
 	}
-	if _, err := NewMatrixFromRows(nil); !errors.Is(err, ErrEmpty) {
+	if _, err := NewMatrixFromRows[float64](nil); !errors.Is(err, ErrEmpty) {
 		t.Errorf("empty rows: got %v, want ErrEmpty", err)
 	}
 	if _, err := NewMatrixFromRows([]Vector{{1}, {1, 2}}); !errors.Is(err, ErrDimensionMismatch) {

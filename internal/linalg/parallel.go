@@ -72,7 +72,7 @@ func parallelRowBlocks(rows, workers int, fn func(lo, hi int)) {
 // not share storage with m or other. The result is bit-identical to
 // MulInto for any worker count: output rows are partitioned into blocks and
 // each row is accumulated in the same k-then-j order as the serial kernel.
-func (m *Matrix) ParallelMulInto(dst, other *Matrix, workers int) error {
+func (m *Mat[F]) ParallelMulInto(dst, other *Mat[F], workers int) error {
 	workers = ResolveWorkers(workers)
 	if workers == 1 || m.Rows*m.Cols*other.Cols < parallelMinWork {
 		return m.MulInto(dst, other)
@@ -93,7 +93,7 @@ func (m *Matrix) ParallelMulInto(dst, other *Matrix, workers int) error {
 // (≤ 0 means GOMAXPROCS). dst must be Cols×Rows and must not share storage
 // with m. Each destination element is written exactly once, so the result
 // is bit-identical to TransposeInto for any worker count.
-func (m *Matrix) ParallelTransposeInto(dst *Matrix, workers int) error {
+func (m *Mat[F]) ParallelTransposeInto(dst *Mat[F], workers int) error {
 	workers = ResolveWorkers(workers)
 	if workers == 1 || m.Rows*m.Cols < parallelMinWork {
 		return m.TransposeInto(dst)

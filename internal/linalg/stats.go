@@ -11,26 +11,20 @@ import (
 // vectorizer). If the standard deviation of v is zero — a tower with
 // constant traffic — the returned vector is all zeros, which places it at
 // the origin of the feature space rather than producing NaNs.
-func ZScoreNormalize(v Vector) Vector {
-	out := make(Vector, len(v))
-	if len(v) == 0 {
-		return out
-	}
-	m, s := v.Mean(), v.Std()
-	if s == 0 {
-		return out
-	}
-	for i, x := range v {
-		out[i] = (x - m) / s
-	}
+func ZScoreNormalize[F Float](v Vec[F]) Vec[F] {
+	out := make(Vec[F], len(v))
+	_ = ZScoreNormalizeInto(out, v) // lengths match by construction
 	return out
 }
 
 // ZScoreNormalizeInto writes the z-score normalisation of v into dst (which
 // must have the same length), the allocation-free form used when the
-// destination is a row of a dataset's flat matrix backing. The same
-// zero-variance convention as ZScoreNormalize applies.
-func ZScoreNormalizeInto(dst, v Vector) error {
+// destination is a row of a dataset's flat matrix backing. The deviation
+// and quotient are formed in float64 and only the final value narrows, so
+// float32 rows differ from their float64 counterparts by at most a handful
+// of roundings. The same zero-variance convention as ZScoreNormalize
+// applies.
+func ZScoreNormalizeInto[F Float](dst, v Vec[F]) error {
 	if len(dst) != len(v) {
 		return fmt.Errorf("%w: normalize %d into %d", ErrDimensionMismatch, len(v), len(dst))
 	}
@@ -45,7 +39,7 @@ func ZScoreNormalizeInto(dst, v Vector) error {
 		return nil
 	}
 	for i, x := range v {
-		dst[i] = (x - m) / s
+		dst[i] = F((float64(x) - m) / s)
 	}
 	return nil
 }

@@ -26,7 +26,7 @@ func TestZScoreNormalizeConstant(t *testing.T) {
 			t.Errorf("z[%d] = %g, want 0 for constant input", i, x)
 		}
 	}
-	if len(ZScoreNormalize(nil)) != 0 {
+	if len(ZScoreNormalize[float64](nil)) != 0 {
 		t.Error("z-score of empty vector should be empty")
 	}
 }

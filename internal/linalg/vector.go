@@ -6,6 +6,15 @@
 // distance computations dominate runtime, so the hot paths (Dot, Sub,
 // SquaredDistance) avoid bounds-check-unfriendly patterns and never
 // allocate.
+//
+// Every vector, matrix and kernel type is generic over the Float
+// constraint (float32 | float64). The float64 instantiations — exposed
+// under the historical names Vector and Matrix — are the default modeling
+// precision and are bit-identical to the pre-generic implementation: the
+// generic bodies are exact transliterations, same operation order, same
+// accumulation scheme. The float32 instantiations (Vector32, Matrix32)
+// halve the memory traffic of the bandwidth-bound distance and NMF
+// kernels; they are the opt-in fast path selected by core.Options.
 package linalg
 
 import (
@@ -14,10 +23,25 @@ import (
 	"math"
 )
 
-// Vector is a dense vector of float64 values. The zero value is an empty
-// vector. Vectors are plain slices so callers may index and append freely;
+// Float is the element-type constraint of the generic kernels: every
+// primitive in this package is instantiated for float64 (the default
+// modeling precision) and float32 (the bandwidth-halving fast path).
+type Float interface {
+	float32 | float64
+}
+
+// Vec is a dense vector of F values. The zero value is an empty vector.
+// Vectors are plain slices so callers may index and append freely;
 // functions in this package never retain their arguments.
-type Vector []float64
+type Vec[F Float] []F
+
+// Vector is the float64 vector used throughout the full-precision
+// modeling path. It is an alias for Vec[float64], so existing callers and
+// conversions keep working unchanged.
+type Vector = Vec[float64]
+
+// Vector32 is the float32 vector of the reduced-precision fast path.
+type Vector32 = Vec[float32]
 
 // Common errors returned by vector and matrix operations.
 var (
@@ -28,27 +52,27 @@ var (
 	ErrEmpty = errors.New("linalg: empty input")
 )
 
-// NewVector returns a zero vector of length n.
+// NewVector returns a zero float64 vector of length n.
 func NewVector(n int) Vector {
 	return make(Vector, n)
 }
 
 // Clone returns a deep copy of v.
-func (v Vector) Clone() Vector {
-	out := make(Vector, len(v))
+func (v Vec[F]) Clone() Vec[F] {
+	out := make(Vec[F], len(v))
 	copy(out, v)
 	return out
 }
 
 // Len returns the number of elements in v.
-func (v Vector) Len() int { return len(v) }
+func (v Vec[F]) Len() int { return len(v) }
 
 // Add returns v + w element-wise.
-func (v Vector) Add(w Vector) (Vector, error) {
+func (v Vec[F]) Add(w Vec[F]) (Vec[F], error) {
 	if len(v) != len(w) {
 		return nil, fmt.Errorf("%w: add %d vs %d", ErrDimensionMismatch, len(v), len(w))
 	}
-	out := make(Vector, len(v))
+	out := make(Vec[F], len(v))
 	for i := range v {
 		out[i] = v[i] + w[i]
 	}
@@ -56,7 +80,7 @@ func (v Vector) Add(w Vector) (Vector, error) {
 }
 
 // AddInPlace adds w into v element-wise, modifying v.
-func (v Vector) AddInPlace(w Vector) error {
+func (v Vec[F]) AddInPlace(w Vec[F]) error {
 	if len(v) != len(w) {
 		return fmt.Errorf("%w: add-in-place %d vs %d", ErrDimensionMismatch, len(v), len(w))
 	}
@@ -67,11 +91,11 @@ func (v Vector) AddInPlace(w Vector) error {
 }
 
 // Sub returns v - w element-wise.
-func (v Vector) Sub(w Vector) (Vector, error) {
+func (v Vec[F]) Sub(w Vec[F]) (Vec[F], error) {
 	if len(v) != len(w) {
 		return nil, fmt.Errorf("%w: sub %d vs %d", ErrDimensionMismatch, len(v), len(w))
 	}
-	out := make(Vector, len(v))
+	out := make(Vec[F], len(v))
 	for i := range v {
 		out[i] = v[i] - w[i]
 	}
@@ -79,8 +103,8 @@ func (v Vector) Sub(w Vector) (Vector, error) {
 }
 
 // Scale returns v multiplied by the scalar a.
-func (v Vector) Scale(a float64) Vector {
-	out := make(Vector, len(v))
+func (v Vec[F]) Scale(a F) Vec[F] {
+	out := make(Vec[F], len(v))
 	for i := range v {
 		out[i] = a * v[i]
 	}
@@ -88,64 +112,82 @@ func (v Vector) Scale(a float64) Vector {
 }
 
 // ScaleInPlace multiplies every element of v by a.
-func (v Vector) ScaleInPlace(a float64) {
+func (v Vec[F]) ScaleInPlace(a F) {
 	for i := range v {
 		v[i] *= a
 	}
 }
 
-// Dot returns the inner product of v and w.
-func (v Vector) Dot(w Vector) (float64, error) {
+// Dot returns the inner product of v and w, accumulated at the vector's
+// own precision.
+func (v Vec[F]) Dot(w Vec[F]) (F, error) {
 	if len(v) != len(w) {
 		return 0, fmt.Errorf("%w: dot %d vs %d", ErrDimensionMismatch, len(v), len(w))
 	}
-	var s float64
+	var s F
 	for i := range v {
 		s += v[i] * w[i]
 	}
 	return s, nil
 }
 
-// Norm returns the Euclidean (L2) norm of v.
-func (v Vector) Norm() float64 {
-	var s float64
+// Axpy adds a·x into y element-wise (y ← y + a·x), the classic BLAS
+// building block. It modifies y and allocates nothing.
+func Axpy[F Float](a F, x, y Vec[F]) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("%w: axpy %d vs %d", ErrDimensionMismatch, len(x), len(y))
+	}
+	if a == 0 {
+		return nil
+	}
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+	return nil
+}
+
+// Norm returns the Euclidean (L2) norm of v. The squared sum accumulates
+// at the vector's own precision; the square root is taken in float64.
+func (v Vec[F]) Norm() float64 {
+	var s F
 	for _, x := range v {
 		s += x * x
 	}
-	return math.Sqrt(s)
+	return math.Sqrt(float64(s))
 }
 
 // Norm1 returns the L1 norm of v.
-func (v Vector) Norm1() float64 {
+func (v Vec[F]) Norm1() float64 {
 	var s float64
 	for _, x := range v {
-		s += math.Abs(x)
+		s += math.Abs(float64(x))
 	}
 	return s
 }
 
 // NormInf returns the L∞ norm (maximum absolute value) of v.
-func (v Vector) NormInf() float64 {
+func (v Vec[F]) NormInf() float64 {
 	var m float64
 	for _, x := range v {
-		if a := math.Abs(x); a > m {
+		if a := math.Abs(float64(x)); a > m {
 			m = a
 		}
 	}
 	return m
 }
 
-// Sum returns the sum of all elements of v.
-func (v Vector) Sum() float64 {
-	var s float64
+// Sum returns the sum of all elements of v, accumulated at the vector's
+// own precision.
+func (v Vec[F]) Sum() float64 {
+	var s F
 	for _, x := range v {
 		s += x
 	}
-	return s
+	return float64(s)
 }
 
 // Mean returns the arithmetic mean of v. It returns 0 for an empty vector.
-func (v Vector) Mean() float64 {
+func (v Vec[F]) Mean() float64 {
 	if len(v) == 0 {
 		return 0
 	}
@@ -153,26 +195,28 @@ func (v Vector) Mean() float64 {
 }
 
 // Variance returns the population variance of v (dividing by n, not n-1).
-// It returns 0 for vectors with fewer than one element.
-func (v Vector) Variance() float64 {
+// It returns 0 for vectors with fewer than one element. Deviations are
+// widened to float64 before squaring, so the statistic keeps full
+// precision for float32 vectors too.
+func (v Vec[F]) Variance() float64 {
 	if len(v) == 0 {
 		return 0
 	}
 	m := v.Mean()
 	var s float64
 	for _, x := range v {
-		d := x - m
+		d := float64(x) - m
 		s += d * d
 	}
 	return s / float64(len(v))
 }
 
 // Std returns the population standard deviation of v.
-func (v Vector) Std() float64 { return math.Sqrt(v.Variance()) }
+func (v Vec[F]) Std() float64 { return math.Sqrt(v.Variance()) }
 
 // Min returns the minimum element of v and its index. It returns
 // (0, -1) for an empty vector.
-func (v Vector) Min() (float64, int) {
+func (v Vec[F]) Min() (F, int) {
 	if len(v) == 0 {
 		return 0, -1
 	}
@@ -187,7 +231,7 @@ func (v Vector) Min() (float64, int) {
 
 // Max returns the maximum element of v and its index. It returns
 // (0, -1) for an empty vector.
-func (v Vector) Max() (float64, int) {
+func (v Vec[F]) Max() (F, int) {
 	if len(v) == 0 {
 		return 0, -1
 	}
@@ -201,7 +245,7 @@ func (v Vector) Max() (float64, int) {
 }
 
 // Distance returns the Euclidean distance between v and w.
-func Distance(v, w Vector) (float64, error) {
+func Distance[F Float](v, w Vec[F]) (float64, error) {
 	d, err := SquaredDistance(v, w)
 	if err != nil {
 		return 0, err
@@ -209,23 +253,24 @@ func Distance(v, w Vector) (float64, error) {
 	return math.Sqrt(d), nil
 }
 
-// SquaredDistance returns the squared Euclidean distance between v and w.
-// It is the hot path of the clustering stage and does not allocate.
-func SquaredDistance(v, w Vector) (float64, error) {
+// SquaredDistance returns the squared Euclidean distance between v and w,
+// accumulated at the vectors' own precision. It is the hot path of the
+// per-pair clustering fallback and does not allocate.
+func SquaredDistance[F Float](v, w Vec[F]) (float64, error) {
 	if len(v) != len(w) {
 		return 0, fmt.Errorf("%w: distance %d vs %d", ErrDimensionMismatch, len(v), len(w))
 	}
-	var s float64
+	var s F
 	for i := range v {
 		d := v[i] - w[i]
 		s += d * d
 	}
-	return s, nil
+	return float64(s), nil
 }
 
 // Pearson returns the Pearson correlation coefficient between v and w.
 // It returns 0 if either vector has zero variance.
-func Pearson(v, w Vector) (float64, error) {
+func Pearson[F Float](v, w Vec[F]) (float64, error) {
 	if len(v) != len(w) {
 		return 0, fmt.Errorf("%w: pearson %d vs %d", ErrDimensionMismatch, len(v), len(w))
 	}
@@ -235,7 +280,7 @@ func Pearson(v, w Vector) (float64, error) {
 	mv, mw := v.Mean(), w.Mean()
 	var num, dv, dw float64
 	for i := range v {
-		a, b := v[i]-mv, w[i]-mw
+		a, b := float64(v[i])-mv, float64(w[i])-mw
 		num += a * b
 		dv += a * a
 		dw += b * b
@@ -248,12 +293,12 @@ func Pearson(v, w Vector) (float64, error) {
 
 // Centroid returns the element-wise mean of the given vectors. All vectors
 // must have the same length.
-func Centroid(vs []Vector) (Vector, error) {
+func Centroid[F Float](vs []Vec[F]) (Vec[F], error) {
 	if len(vs) == 0 {
 		return nil, ErrEmpty
 	}
 	n := len(vs[0])
-	out := make(Vector, n)
+	out := make(Vec[F], n)
 	for _, v := range vs {
 		if len(v) != n {
 			return nil, fmt.Errorf("%w: centroid %d vs %d", ErrDimensionMismatch, len(v), n)
@@ -262,14 +307,14 @@ func Centroid(vs []Vector) (Vector, error) {
 			out[i] += x
 		}
 	}
-	out.ScaleInPlace(1 / float64(len(vs)))
+	out.ScaleInPlace(F(1 / float64(len(vs))))
 	return out, nil
 }
 
 // IsFinite reports whether every element of v is finite (not NaN or ±Inf).
-func (v Vector) IsFinite() bool {
+func (v Vec[F]) IsFinite() bool {
 	for _, x := range v {
-		if math.IsNaN(x) || math.IsInf(x, 0) {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
 			return false
 		}
 	}

@@ -172,8 +172,8 @@ func TestCentroid(t *testing.T) {
 	if c[0] != 3 || c[1] != 4 {
 		t.Errorf("Centroid = %v, want [3 4]", c)
 	}
-	if _, err := Centroid(nil); !errors.Is(err, ErrEmpty) {
-		t.Errorf("Centroid(nil): got %v, want ErrEmpty", err)
+	if _, err := Centroid[float64](nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Centroid[float64](nil): got %v, want ErrEmpty", err)
 	}
 	if _, err := Centroid([]Vector{{1}, {1, 2}}); !errors.Is(err, ErrDimensionMismatch) {
 		t.Errorf("Centroid ragged: got %v, want ErrDimensionMismatch", err)

@@ -98,44 +98,73 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return FactorizeMat(v, opts)
+}
+
+// FactorizeMat computes V ≈ W·H for a non-negative flat matrix at either
+// modeling precision. The multiplicative updates — every matrix product
+// and the element-wise ratio steps — run at the matrix's own element
+// type; the float32 instantiation halves the memory traffic of the
+// W·H-shaped products that dominate a factorisation at the paper's
+// scale. The reconstruction-error reduction accumulates in float64 at
+// both precisions, so the convergence decision sequence tracks the
+// float64 path, and the reported W/H are widened to float64 once at the
+// end. With a float64 matrix the result is bit-identical to Factorize on
+// the matrix's row views.
+func FactorizeMat[F linalg.Float](v *linalg.Mat[F], opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n, m := v.Rows, v.Cols
+	if n == 0 || m == 0 {
+		return nil, ErrEmpty
+	}
+	if opts.Rank < 1 || opts.Rank > n || opts.Rank > m {
+		return nil, fmt.Errorf("%w: rank %d for a %dx%d matrix", ErrBadRank, opts.Rank, n, m)
+	}
 	var norm float64
 	for idx, x := range v.Data {
-		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
-			return nil, fmt.Errorf("%w: row %d column %d is %g", ErrNegative, idx/m, idx%m, x)
+		xf := float64(x)
+		if x < 0 || math.IsNaN(xf) || math.IsInf(xf, 0) {
+			return nil, fmt.Errorf("%w: row %d column %d is %g", ErrNegative, idx/m, idx%m, xf)
 		}
-		norm += x * x
+		norm += xf * xf
 	}
 	norm = math.Sqrt(norm)
 
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 	r := opts.Rank
-	w := linalg.NewMatrix(n, r)
-	h := linalg.NewMatrix(r, m)
+	w := linalg.NewMat[F](n, r)
+	h := linalg.NewMat[F](r, m)
 	// Initialise with small positive random values scaled to the data.
+	// The draws happen in float64 and narrow afterwards, so both
+	// precisions consume the RNG identically and start from (up to one
+	// rounding) the same point.
 	scale := norm / float64(r) / math.Sqrt(float64(n*m))
 	if scale <= 0 {
 		scale = 1
 	}
 	for i := range w.Data {
-		w.Data[i] = rng.Float64()*scale + epsilon
+		w.Data[i] = F(rng.Float64()*scale + epsilon)
 	}
 	for i := range h.Data {
-		h.Data[i] = rng.Float64()*scale + epsilon
+		h.Data[i] = F(rng.Float64()*scale + epsilon)
 	}
 
 	// Scratch matrices for the multiplicative updates, allocated once and
 	// reused across iterations (the updates would otherwise reallocate
 	// every W·H-shaped product each round).
 	var (
-		wt   = linalg.NewMatrix(r, n)
-		wtv  = linalg.NewMatrix(r, m)
-		wtw  = linalg.NewMatrix(r, r)
-		wtwh = linalg.NewMatrix(r, m)
-		ht   = linalg.NewMatrix(m, r)
-		vht  = linalg.NewMatrix(n, r)
-		wh   = linalg.NewMatrix(n, m)
-		whht = linalg.NewMatrix(n, r)
+		wt   = linalg.NewMat[F](r, n)
+		wtv  = linalg.NewMat[F](r, m)
+		wtw  = linalg.NewMat[F](r, r)
+		wtwh = linalg.NewMat[F](r, m)
+		ht   = linalg.NewMat[F](m, r)
+		vht  = linalg.NewMat[F](n, r)
+		wh   = linalg.NewMat[F](n, m)
+		whht = linalg.NewMat[F](n, r)
 	)
+	// The update-rule damping term. 1e-12 is an ordinary normal float32
+	// (min normal ≈ 1.2e-38), so the narrowing keeps its value.
+	eps := F(epsilon)
 	workers := linalg.ResolveWorkers(opts.Workers)
 	prevErr := math.Inf(1)
 	iterations := 0
@@ -154,7 +183,7 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 			return nil, err
 		}
 		for i := range h.Data {
-			h.Data[i] *= wtv.Data[i] / (wtwh.Data[i] + epsilon)
+			h.Data[i] *= wtv.Data[i] / (wtwh.Data[i] + eps)
 		}
 		// W ← W ∘ (V Hᵀ) / (W H Hᵀ)
 		if err := h.ParallelTransposeInto(ht, workers); err != nil {
@@ -170,7 +199,7 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 			return nil, err
 		}
 		for i := range w.Data {
-			w.Data[i] *= vht.Data[i] / (whht.Data[i] + epsilon)
+			w.Data[i] *= vht.Data[i] / (whht.Data[i] + eps)
 		}
 		// Convergence check on the reconstruction error.
 		cur := frobeniusError(v, w, h, wh, workers)
@@ -187,19 +216,33 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 	if norm > 0 {
 		rel = finalErr / norm
 	}
-	return &Result{W: w, H: h, FrobeniusError: finalErr, RelativeError: rel, Iterations: iterations}, nil
+	return &Result{W: widen(w), H: widen(h), FrobeniusError: finalErr, RelativeError: rel, Iterations: iterations}, nil
+}
+
+// widen returns m as a float64 matrix: m itself when it already is one
+// (keeping Factorize's zero-copy contract), a widened copy otherwise.
+func widen[F linalg.Float](m *linalg.Mat[F]) *linalg.Matrix {
+	if m64, ok := any(m).(*linalg.Matrix); ok {
+		return m64
+	}
+	out := linalg.NewMatrix(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = float64(x)
+	}
+	return out
 }
 
 // frobeniusError computes ‖V − W·H‖_F, using wh as the product scratch. The
-// residual reduction stays serial (fixed summation order) so the error — and
-// therefore the convergence decision — is identical for any worker count.
-func frobeniusError(v, w, h, wh *linalg.Matrix, workers int) float64 {
+// residual reduction stays serial (fixed summation order) and accumulates
+// in float64 at either precision, so the error — and therefore the
+// convergence decision — is identical for any worker count.
+func frobeniusError[F linalg.Float](v, w, h, wh *linalg.Mat[F], workers int) float64 {
 	if err := w.ParallelMulInto(wh, h, workers); err != nil {
 		return math.Inf(1)
 	}
 	var s float64
 	for i := range v.Data {
-		d := v.Data[i] - wh.Data[i]
+		d := float64(v.Data[i] - wh.Data[i])
 		s += d * d
 	}
 	return math.Sqrt(s)

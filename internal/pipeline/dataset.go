@@ -52,6 +52,13 @@ type Dataset struct {
 	// []Vector forms then.
 	RawMatrix        *linalg.Matrix
 	NormalizedMatrix *linalg.Matrix
+	// RawMatrix32 and NormalizedMatrix32 are float32 narrowings of the two
+	// flat backings, the inputs of the reduced-precision modeling fast
+	// path. They are nil until EnsureFloat32 builds them; the float64
+	// matrices stay authoritative and the narrowed copies are never
+	// widened back.
+	RawMatrix32        *linalg.Matrix32
+	NormalizedMatrix32 *linalg.Matrix32
 	// Start is the first instant covered by slot 0.
 	Start time.Time
 	// SlotMinutes is the aggregation granularity.
@@ -130,6 +137,57 @@ func (d *Dataset) Validate() error {
 	for _, m := range []*linalg.Matrix{d.RawMatrix, d.NormalizedMatrix} {
 		if m != nil && (m.Rows != n || m.Cols != slots) {
 			return fmt.Errorf("%w: flat backing %dx%d for %d towers × %d slots", ErrBadShape, m.Rows, m.Cols, n, slots)
+		}
+	}
+	for _, m := range []*linalg.Matrix32{d.RawMatrix32, d.NormalizedMatrix32} {
+		if m != nil && (m.Rows != n || m.Cols != slots) {
+			return fmt.Errorf("%w: float32 backing %dx%d for %d towers × %d slots", ErrBadShape, m.Rows, m.Cols, n, slots)
+		}
+	}
+	return nil
+}
+
+// EnsureFloat32 builds the float32 flat backings by narrowing the rows of
+// the dataset — from the contiguous float64 matrices when present, from
+// the per-row views otherwise. It is idempotent: existing float32
+// backings are kept. The narrowing is the single precision loss of the
+// float32 modeling path; every kernel downstream works on these bits.
+func (d *Dataset) EnsureFloat32() error {
+	n, slots := d.NumTowers(), d.NumSlots()
+	if n == 0 || slots == 0 {
+		return ErrEmptyDataset
+	}
+	narrow := func(m *linalg.Matrix, rows []linalg.Vector) (*linalg.Matrix32, error) {
+		out := linalg.NewMatrix32(n, slots)
+		if m != nil {
+			if m.Rows != n || m.Cols != slots {
+				return nil, fmt.Errorf("%w: flat backing %dx%d for %d towers × %d slots", ErrBadShape, m.Rows, m.Cols, n, slots)
+			}
+			for i, x := range m.Data {
+				out.Data[i] = float32(x)
+			}
+			return out, nil
+		}
+		for i, row := range rows {
+			if len(row) != slots {
+				return nil, fmt.Errorf("%w: row %d has %d slots, want %d", ErrBadShape, i, len(row), slots)
+			}
+			dst := out.Row(i)
+			for j, x := range row {
+				dst[j] = float32(x)
+			}
+		}
+		return out, nil
+	}
+	var err error
+	if d.RawMatrix32 == nil {
+		if d.RawMatrix32, err = narrow(d.RawMatrix, d.Raw); err != nil {
+			return err
+		}
+	}
+	if d.NormalizedMatrix32 == nil {
+		if d.NormalizedMatrix32, err = narrow(d.NormalizedMatrix, d.Normalized); err != nil {
+			return err
 		}
 	}
 	return nil
