@@ -21,10 +21,19 @@
 // -nmf-rank sizes the NMF decomposition (default: one basis pattern per
 // identified cluster; 0 disables the stage).
 //
+// The run is fault-tolerant end-to-end: -timeout bounds the whole run
+// through context cancellation (every worker pool drains before the
+// process exits), and -max-bad-rows sets the ingestion error budget —
+// -1 skips and counts malformed rows, 0 fails on the first with its line
+// and byte offset, N > 0 tolerates at most N. Failures exit with distinct
+// codes (3 timeout, 4 budget exceeded, 5 I/O error, 1 anything else) and
+// a structured skip-stats footer breaks down every dropped row by cause.
+//
 // Examples:
 //
 //	analyze -trace ./trace
 //	analyze -trace ./trace -ingest-workers 4
+//	analyze -trace ./trace -timeout 30m -max-bad-rows 1000
 //	analyze -synthetic -towers 600 -days 28
 //	analyze -synthetic -stream -towers 400 -days 28
 //	analyze -synthetic -workers 4 -seed 7 -nmf-rank 5
@@ -43,8 +52,11 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"os"
 	"path/filepath"
@@ -61,6 +73,36 @@ import (
 	"repro/internal/trace"
 	"repro/internal/urban"
 )
+
+// Distinct exit codes let a supervising script tell the failure classes
+// apart without parsing stderr: a run that overran its -timeout wants a
+// bigger machine or a smaller trace, a blown error budget wants a look at
+// the input data, and an I/O failure wants a look at the disk.
+const (
+	exitFailure = 1 // generic failure (bad flags, modeling error)
+	exitTimeout = 3 // the -timeout deadline expired mid-run
+	exitBudget  = 4 // the -max-bad-rows ingestion budget was exceeded
+	exitIO      = 5 // reading the trace failed (I/O error, not bad data)
+)
+
+// exitCode classifies a run error into one of the exit codes above. Order
+// matters: fail-fast and budget errors are wrapped in positioned
+// *trace.PosError values, so the data-quality classes are tested before
+// the positioned-I/O class.
+func exitCode(err error) int {
+	var posErr *trace.PosError
+	var pathErr *fs.PathError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return exitTimeout
+	case errors.Is(err, trace.ErrBudgetExceeded) || errors.Is(err, trace.ErrRowRejected):
+		return exitBudget
+	case errors.As(err, &posErr) || errors.As(err, &pathErr):
+		return exitIO
+	default:
+		return exitFailure
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -81,6 +123,8 @@ func main() {
 		precision = flag.String("precision", "float64", "modeling precision: float64 (the bit-reproducible reference) or float32 (the fast path; same decisions, scores differ in the last digits)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+		timeout   = flag.Duration("timeout", 0, "abort the whole run (ingestion and modeling) after this long, exiting with code 3 (0 = no limit)")
+		maxBad    = flag.Int("max-bad-rows", -1, "ingestion error budget: -1 skips and counts any number of malformed rows, 0 fails on the first one, N > 0 aborts with exit code 4 once more than N rows are skipped")
 	)
 	flag.Parse()
 
@@ -106,7 +150,15 @@ func main() {
 		cpuFile = f
 	}
 
-	runErr := run(*traceDir, *synthetic, *stream, *towers, *days, *seed, *clusters, *window, *workers, *nmfRank, *ingestW, prec)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	policy := ingestPolicy(*maxBad)
+
+	runErr := run(ctx, *traceDir, *synthetic, *stream, *towers, *days, *seed, *clusters, *window, *workers, *nmfRank, *ingestW, prec, policy)
 
 	// Flush the profiles even when the run failed: a profile of the work
 	// done up to the error is exactly what a perf investigation wants.
@@ -130,11 +182,31 @@ func main() {
 		}
 	}
 	if runErr != nil {
-		log.Fatal(runErr)
+		log.Print(runErr)
+		os.Exit(exitCode(runErr))
 	}
 }
 
-func run(traceDir string, synthetic, stream bool, towers, days int, seed int64, forceK, dedupWindow, workers, nmfRank, ingestWorkers int, prec core.Precision) error {
+// ingestPolicy maps the -max-bad-rows flag onto a trace.ErrorPolicy. Every
+// mode retries transient read errors a few times before giving up: a file
+// served over a flaky mount should not kill an hours-long run.
+func ingestPolicy(maxBad int) trace.ErrorPolicy {
+	p := trace.ErrorPolicy{
+		Retry: trace.RetryPolicy{MaxAttempts: 4, Backoff: 50 * time.Millisecond},
+	}
+	switch {
+	case maxBad == 0:
+		p.Mode = trace.PolicyFailFast
+	case maxBad > 0:
+		p.Mode = trace.PolicyBudget
+		p.Budget = trace.Budget{MaxRows: maxBad}
+	default:
+		p.Mode = trace.PolicySkip
+	}
+	return p
+}
+
+func run(ctx context.Context, traceDir string, synthetic, stream bool, towers, days int, seed int64, forceK, dedupWindow, workers, nmfRank, ingestWorkers int, prec core.Precision, policy trace.ErrorPolicy) error {
 	opts := core.Options{
 		ForceK:      forceK,
 		CleanWindow: dedupWindow,
@@ -150,9 +222,9 @@ func run(traceDir string, synthetic, stream bool, towers, days int, seed int64, 
 	)
 	switch {
 	case synthetic:
-		res, err = runSynthetic(towers, days, seed, stream, opts)
+		res, err = runSynthetic(ctx, towers, days, seed, stream, opts)
 	case traceDir != "":
-		res, err = runTrace(traceDir, opts, ingestWorkers)
+		res, err = runTrace(ctx, traceDir, opts, ingestWorkers, policy)
 	default:
 		return fmt.Errorf("either -trace or -synthetic is required")
 	}
@@ -166,7 +238,7 @@ func run(traceDir string, synthetic, stream bool, towers, days int, seed int64, 
 // runSynthetic analyses an in-memory city: by default through the
 // pre-aggregated series fast path, or with stream=true by emitting the
 // CDR log record by record through the streaming cleaner and vectorizer.
-func runSynthetic(towers, days int, seed int64, stream bool, opts core.Options) (*core.Result, error) {
+func runSynthetic(ctx context.Context, towers, days int, seed int64, stream bool, opts core.Options) (*core.Result, error) {
 	cfg := synth.DefaultConfig()
 	cfg.Towers = towers
 	cfg.Days = days
@@ -180,7 +252,7 @@ func runSynthetic(towers, days int, seed int64, stream bool, opts core.Options) 
 		if err != nil {
 			return nil, fmt.Errorf("building dataset: %w", err)
 		}
-		return core.Analyze(ds, city.POIs, opts)
+		return core.AnalyzeContext(ctx, ds, city.POIs, opts)
 	}
 	series, err := city.GenerateSeries()
 	if err != nil {
@@ -188,7 +260,7 @@ func runSynthetic(towers, days int, seed int64, stream bool, opts core.Options) 
 	}
 	src := city.LogSource(series, synth.LogOptions{})
 	defer src.Close()
-	res, stats, err := core.AnalyzeSource(src, city.TowerInfos(), city.POIs, pipeline.VectorizerOptions{
+	res, stats, err := core.AnalyzeSourceContext(ctx, src, city.TowerInfos(), city.POIs, pipeline.VectorizerOptions{
 		Start:       cfg.Start,
 		Days:        cfg.Days,
 		SlotMinutes: cfg.SlotMinutes,
@@ -206,14 +278,14 @@ func runSynthetic(towers, days int, seed int64, stream bool, opts core.Options) 
 // the full record slice is never held in memory. ingestWorkers sets the
 // parallelism of the CSV parse itself; the record stream is identical
 // for any value.
-func runTrace(dir string, opts core.Options, ingestWorkers int) (*core.Result, error) {
+func runTrace(ctx context.Context, dir string, opts core.Options, ingestWorkers int, policy trace.ErrorPolicy) (*core.Result, error) {
 	towers, pois, err := loadMetadata(dir)
 	if err != nil {
 		return nil, err
 	}
 
 	logsPath := filepath.Join(dir, "logs.csv")
-	start, days, err := scanWindow(logsPath, ingestWorkers)
+	start, days, err := scanWindow(ctx, logsPath, ingestWorkers, policy)
 	if err != nil {
 		return nil, err
 	}
@@ -224,23 +296,84 @@ func runTrace(dir string, opts core.Options, ingestWorkers int) (*core.Result, e
 		return nil, fmt.Errorf("opening logs.csv: %w", err)
 	}
 	defer logsFile.Close()
-	src, err := trace.NewIngestSource(bufio.NewReaderSize(logsFile, 1<<20), ingestWorkers)
+	src, err := trace.NewIngestSourceContext(ctx, bufio.NewReaderSize(logsFile, 1<<20), ingestWorkers, policy)
 	if err != nil {
 		return nil, err
 	}
 	defer src.Close()
-	res, stats, err := core.AnalyzeSource(src, towers, pois, pipeline.VectorizerOptions{
+	audit := newTowerAudit(src, towers)
+	res, stats, err := core.AnalyzeSourceContext(ctx, audit, towers, pois, pipeline.VectorizerOptions{
 		Start: start,
 		Days:  days,
 	}, opts)
+	skip := src.Stats()
+	skip.UnknownTowers = audit.unknown
 	if err != nil {
+		// The footer matters most on the failure path: when the error
+		// budget aborts a run, the per-category counts say what the input
+		// was full of.
+		log.Printf("ingestion skip stats: %s", skip)
 		return nil, fmt.Errorf("analysing %s: %w", dir, err)
 	}
-	log.Printf("streamed %d records (%d malformed rows skipped)", stats.Input, src.Skipped())
+	log.Printf("streamed %d records (%d rows skipped)", stats.Input, skip.SkippedRows())
 	logCleanStats(stats)
 	ds := res.Dataset
 	log.Printf("vectorised %d towers × %d slots (%d days)", ds.NumTowers(), ds.NumSlots(), ds.Days)
+	printSkipStats(skip)
 	return res, nil
+}
+
+// towerAudit forwards a record stream unchanged while counting records
+// whose tower has no entry in the metadata file. Such towers still get a
+// dataset row (the vectorizer keeps every tower it sees), so this is an
+// audit counter, not a filter; it feeds the UnknownTowers line of the
+// skip-stats footer.
+type towerAudit struct {
+	src     trace.BatchSource
+	known   map[int]bool
+	unknown int64
+}
+
+func newTowerAudit(src trace.Source, towers []trace.TowerInfo) *towerAudit {
+	known := make(map[int]bool, len(towers))
+	for _, t := range towers {
+		known[t.TowerID] = true
+	}
+	return &towerAudit{src: trace.Batched(src), known: known}
+}
+
+func (a *towerAudit) Next() (trace.Record, error) {
+	var buf [1]trace.Record
+	for {
+		n, err := a.NextBatch(buf[:])
+		if n == 1 {
+			return buf[0], err
+		}
+		if err != nil {
+			return trace.Record{}, err
+		}
+	}
+}
+
+func (a *towerAudit) NextBatch(dst []trace.Record) (int, error) {
+	n, err := a.src.NextBatch(dst)
+	for _, r := range dst[:n] {
+		if !a.known[r.TowerID] {
+			a.unknown++
+		}
+	}
+	return n, err
+}
+
+// printSkipStats renders the ingestion drop accounting as the run footer.
+func printSkipStats(s trace.SkipStats) {
+	t := &report.Table{Title: "Ingestion skip stats", Headers: []string{"cause", "rows"}}
+	t.AddRow("malformed CSV rows", s.MalformedRows)
+	t.AddRow("bad timestamps", s.BadTimestamps)
+	t.AddRow("bad fields", s.BadFields)
+	t.AddRow("records from towers without metadata", s.UnknownTowers)
+	t.AddRow("transient reads retried", s.IORetries)
+	fmt.Println(t.String())
 }
 
 // loadMetadata reads the small per-city files: tower metadata and the POI
@@ -274,13 +407,13 @@ func loadMetadata(dir string) ([]trace.TowerInfo, []poi.POI, error) {
 // records, returning the midnight-aligned start and the number of days
 // covered. This first pass holds no records beyond one pooled batch:
 // only the running min and max survive it.
-func scanWindow(path string, ingestWorkers int) (time.Time, int, error) {
+func scanWindow(ctx context.Context, path string, ingestWorkers int, policy trace.ErrorPolicy) (time.Time, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return time.Time{}, 0, fmt.Errorf("opening logs.csv: %w", err)
 	}
 	defer f.Close()
-	src, err := trace.NewIngestSource(bufio.NewReaderSize(f, 1<<20), ingestWorkers)
+	src, err := trace.NewIngestSourceContext(ctx, bufio.NewReaderSize(f, 1<<20), ingestWorkers, policy)
 	if err != nil {
 		return time.Time{}, 0, err
 	}

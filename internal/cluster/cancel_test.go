@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// TestPreCancelledContext pins the cheapest invariant: an already-cancelled
+// context aborts every ctx-aware entry point before any real work starts.
+func TestPreCancelledContext(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
+	rng := rand.New(rand.NewSource(7))
+	points := randomPoints(rng, 64, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := HierarchicalWorkersCtx(ctx, points, AverageLinkage, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("HierarchicalWorkersCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := KMeansCtx(ctx, points, KMeansOptions{K: 4, Workers: 4, Restarts: 4}); !errors.Is(err, context.Canceled) {
+		t.Errorf("KMeansCtx: err = %v, want context.Canceled", err)
+	}
+	dendro, err := Hierarchical(points, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DBICurveCtx(ctx, points, dendro, 2, 8, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("DBICurveCtx: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := OptimalKCtx(ctx, points, dendro, 2, 8, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimalKCtx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestHierarchicalCancellationProperty cancels mid-flight at randomized
+// points — most trials land inside condensedDistances, the dominant
+// O(N²·D) phase — and asserts the two-sided contract: the call either
+// completes with a dendrogram bit-identical to the uncancelled baseline,
+// or returns context.Canceled with no partial result, and in both cases
+// the worker pool unwinds promptly without leaking goroutines.
+func TestHierarchicalCancellationProperty(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
+	rng := rand.New(rand.NewSource(1409))
+	points := randomPoints(rng, 400, 32)
+	baseline, err := Hierarchical(points, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		workers := []int{1, 2, 4}[trial%3]
+		delay := time.Duration(rng.Intn(2000)) * time.Microsecond
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		start := time.Now()
+		dendro, err := HierarchicalWorkersCtx(ctx, points, AverageLinkage, workers)
+		elapsed := time.Since(start)
+		cancel()
+		if elapsed > 10*time.Second {
+			t.Fatalf("trial %d: cancellation took %v to unwind", trial, elapsed)
+		}
+		switch {
+		case err == nil:
+			if !reflect.DeepEqual(dendro.Merges, baseline.Merges) {
+				t.Fatalf("trial %d: completed run diverged from baseline", trial)
+			}
+		case errors.Is(err, context.Canceled):
+			if dendro != nil {
+				t.Fatalf("trial %d: partial dendrogram returned alongside cancellation", trial)
+			}
+		default:
+			t.Fatalf("trial %d: unexpected error %v", trial, err)
+		}
+	}
+}
+
+// TestKMeansCancellationProperty does the same for concurrent k-means
+// restarts: cancellation mid-restart must drain the semaphore-bounded
+// pool and report context.Canceled, never a partial result.
+func TestKMeansCancellationProperty(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
+	rng := rand.New(rand.NewSource(2718))
+	points := randomPoints(rng, 300, 16)
+	opts := KMeansOptions{K: 5, Restarts: 8, Seed: 11, Workers: 4}
+	baseline, err := KMeans(points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 8; trial++ {
+		delay := time.Duration(rng.Intn(1500)) * time.Microsecond
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		res, err := KMeansCtx(ctx, points, opts)
+		cancel()
+		switch {
+		case err == nil:
+			if res.Inertia != baseline.Inertia || !reflect.DeepEqual(res.Assignment.Labels, baseline.Assignment.Labels) {
+				t.Fatalf("trial %d: completed run diverged from baseline", trial)
+			}
+		case errors.Is(err, context.Canceled):
+			if res != nil {
+				t.Fatalf("trial %d: partial result returned alongside cancellation", trial)
+			}
+		default:
+			t.Fatalf("trial %d: unexpected error %v", trial, err)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -91,6 +92,14 @@ func Hierarchical(points []linalg.Vector, linkage Linkage) (*Dendrogram, error) 
 // result is bit-identical for any worker count: every matrix entry is
 // computed independently and the agglomeration itself is sequential.
 func HierarchicalWorkers(points []linalg.Vector, linkage Linkage, workers int) (*Dendrogram, error) {
+	return HierarchicalWorkersCtx(context.Background(), points, linkage, workers)
+}
+
+// HierarchicalWorkersCtx is HierarchicalWorkers with cancellation:
+// observed between row strips of the distance kernel and between merges
+// of the agglomeration, and a distance-kernel worker panic is returned
+// as an error instead of crashing the process.
+func HierarchicalWorkersCtx(ctx context.Context, points []linalg.Vector, linkage Linkage, workers int) (*Dendrogram, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, ErrNoPoints
@@ -104,11 +113,11 @@ func HierarchicalWorkers(points []linalg.Vector, linkage Linkage, workers int) (
 		return &Dendrogram{N: 1, Linkage: linkage, Merges: nil}, nil
 	}
 
-	dist, err := condensedDistances(points, workers)
+	dist, err := condensedDistances(ctx, points, workers)
 	if err != nil {
 		return nil, err
 	}
-	slotMerges, err := nnChain(dist, linkage)
+	slotMerges, err := nnChain(ctx, dist, linkage)
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +134,12 @@ func HierarchicalWorkers(points []linalg.Vector, linkage Linkage, workers int) (
 // matrix the result is bit-identical to HierarchicalWorkers on the
 // matrix's row views.
 func HierarchicalMat[F linalg.Float](x *linalg.Mat[F], linkage Linkage, workers int) (*Dendrogram, error) {
+	return HierarchicalMatCtx[F](context.Background(), x, linkage, workers)
+}
+
+// HierarchicalMatCtx is HierarchicalMat with cancellation and distance-
+// kernel fault isolation; see HierarchicalWorkersCtx for the contract.
+func HierarchicalMatCtx[F linalg.Float](ctx context.Context, x *linalg.Mat[F], linkage Linkage, workers int) (*Dendrogram, error) {
 	n := x.Rows
 	if n == 0 {
 		return nil, ErrNoPoints
@@ -138,10 +153,10 @@ func HierarchicalMat[F linalg.Float](x *linalg.Mat[F], linkage Linkage, workers 
 		return &Dendrogram{N: 1, Linkage: linkage, Merges: nil}, nil
 	}
 	c := newCondensed(n)
-	if err := condensedInto(c.d, x, workers); err != nil {
+	if err := condensedInto(ctx, c.d, x, workers); err != nil {
 		return nil, err
 	}
-	slotMerges, err := nnChain(c, linkage)
+	slotMerges, err := nnChain(ctx, c, linkage)
 	if err != nil {
 		return nil, err
 	}
@@ -151,25 +166,24 @@ func HierarchicalMat[F linalg.Float](x *linalg.Mat[F], linkage Linkage, workers 
 // condensedInto fills the float64 condensed buffer with the Euclidean
 // distances between x's rows, running the blocked kernel at x's own
 // element type.
-func condensedInto[F linalg.Float](dst []float64, x *linalg.Mat[F], workers int) error {
+func condensedInto[F linalg.Float](ctx context.Context, dst []float64, x *linalg.Mat[F], workers int) error {
 	switch xx := any(x).(type) {
 	case *linalg.Matrix:
 		norms := make(linalg.Vector, xx.Rows)
-		if err := linalg.PairwiseSquaredCondensed(dst, xx, norms, workers); err != nil {
+		if err := linalg.PairwiseSquaredCondensedCtx(ctx, dst, xx, norms, workers); err != nil {
 			return err
 		}
 	case *linalg.Matrix32:
 		buf := make(linalg.Vector32, len(dst))
 		norms := make(linalg.Vector32, xx.Rows)
-		if err := linalg.PairwiseSquaredCondensed(buf, xx, norms, workers); err != nil {
+		if err := linalg.PairwiseSquaredCondensedCtx(ctx, buf, xx, norms, workers); err != nil {
 			return err
 		}
 		for i, v := range buf {
 			dst[i] = float64(v)
 		}
 	}
-	linalg.SquaredDistancesSqrtInPlace(dst, workers)
-	return nil
+	return linalg.SquaredDistancesSqrtInPlaceCtx(ctx, dst, workers)
 }
 
 // condensed is an upper-triangular N×N distance matrix stored as the
@@ -211,7 +225,7 @@ func (c condensed) row(i int) []float64 {
 // lives on as condensedDistancesOracle in oracle.go; the kernel agrees
 // with it to ≤1e-9 relative error (Gram-trick reassociation) and is
 // bit-identical across worker counts.
-func condensedDistances(points []linalg.Vector, workers int) (condensed, error) {
+func condensedDistances(ctx context.Context, points []linalg.Vector, workers int) (condensed, error) {
 	n := len(points)
 	dim := len(points[0])
 	for i, p := range points {
@@ -228,10 +242,12 @@ func condensedDistances(points []linalg.Vector, workers int) (condensed, error) 
 		return condensed{}, err
 	}
 	norms := make(linalg.Vector, n)
-	if err := linalg.PairwiseSquaredCondensed(c.d, x, norms, workers); err != nil {
+	if err := linalg.PairwiseSquaredCondensedCtx(ctx, c.d, x, norms, workers); err != nil {
 		return condensed{}, err
 	}
-	linalg.SquaredDistancesSqrtInPlace(c.d, workers)
+	if err := linalg.SquaredDistancesSqrtInPlaceCtx(ctx, c.d, workers); err != nil {
+		return condensed{}, err
+	}
 	return c, nil
 }
 
@@ -247,7 +263,8 @@ type slotMerge struct {
 // and size arrays plus the chain stack. Merges are recorded against slots
 // in discovery order, which for reducible linkages (average, single,
 // complete) sorts into a valid agglomeration order.
-func nnChain(dist condensed, linkage Linkage) ([]slotMerge, error) {
+func nnChain(ctx context.Context, dist condensed, linkage Linkage) ([]slotMerge, error) {
+	done := ctx.Done()
 	n := dist.n
 	active := make([]bool, n)
 	size := make([]int, n)
@@ -268,6 +285,13 @@ func nnChain(dist condensed, linkage Linkage) ([]slotMerge, error) {
 	}
 
 	for len(slotMerges) < n-1 {
+		// One cancellation check per merge: O(N) checks against the
+		// O(N^2) agglomeration keeps the scan loops branch-free.
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if len(chain) == 0 {
 			chain = append(chain, anyActive())
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/linalg"
+	"repro/internal/panicsafe"
 )
 
 // KMeansOptions configure the k-means baseline.
@@ -66,6 +68,14 @@ type KMeansResult struct {
 // index order with a strict inertia comparison, exactly as a serial loop
 // would.
 func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
+	return KMeansCtx(context.Background(), points, opts)
+}
+
+// KMeansCtx is KMeans with cancellation: ctx is observed once per Lloyd
+// iteration of every restart and between row strips of the blocked
+// assignment kernel, and a panic in a restart or assignment worker is
+// returned as an error instead of crashing the process.
+func KMeansCtx(ctx context.Context, points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, ErrNoPoints
@@ -83,7 +93,7 @@ func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return KMeansMat(x, opts)
+	return KMeansMatCtx(ctx, x, opts)
 }
 
 // KMeansMat is KMeans on a flat row-major matrix at either modeling
@@ -93,6 +103,13 @@ func KMeans(points []linalg.Vector, opts KMeansOptions) (*KMeansResult, error) {
 // reduction and the reported centroids kept in float64. With a float64
 // matrix the result is bit-identical to KMeans on the matrix's row views.
 func KMeansMat[F linalg.Float](x *linalg.Mat[F], opts KMeansOptions) (*KMeansResult, error) {
+	return KMeansMatCtx[F](context.Background(), x, opts)
+}
+
+// KMeansMatCtx is KMeansMat with the cancellation and fault isolation of
+// KMeansCtx. On cancellation every in-flight restart exits at its next
+// iteration boundary and the pool drains before the call returns.
+func KMeansMatCtx[F linalg.Float](ctx context.Context, x *linalg.Mat[F], opts KMeansOptions) (*KMeansResult, error) {
 	opts = opts.withDefaults()
 	n := x.Rows
 	if n == 0 {
@@ -115,7 +132,7 @@ func KMeansMat[F linalg.Float](x *linalg.Mat[F], opts KMeansOptions) (*KMeansRes
 	errs := make([]error, opts.Restarts)
 	if workers == 1 || opts.Restarts == 1 {
 		for r := range results {
-			results[r], errs[r] = kmeansOnce(x, xnorms, opts, restartRNG(r), workers)
+			results[r], errs[r] = kmeansOnce(ctx, x, xnorms, opts, restartRNG(r), workers)
 		}
 	} else {
 		// Concurrent restarts, bounded by the worker budget: at most
@@ -132,11 +149,15 @@ func KMeansMat[F linalg.Float](x *linalg.Mat[F], opts KMeansOptions) (*KMeansRes
 		for r := range results {
 			wg.Add(1)
 			sem <- struct{}{}
-			go func(r int) {
-				defer wg.Done()
+			// A panicking restart is captured as that restart's error slot;
+			// the deterministic first-error scan below surfaces it exactly
+			// where a serial run would have crashed.
+			panicsafe.Go(func() error {
 				defer func() { <-sem }()
-				results[r], errs[r] = kmeansOnce(x, xnorms, opts, restartRNG(r), inner)
-			}(r)
+				var err error
+				results[r], err = kmeansOnce(ctx, x, xnorms, opts, restartRNG(r), inner)
+				return err
+			}, func(err error) { errs[r] = err }, wg.Done)
 		}
 		wg.Wait()
 	}
@@ -184,8 +205,9 @@ func newKMeansScratch[F linalg.Float](n, k, dim int) *kmeansScratch[F] {
 // phases (k-means++ initialisation and the empty-cluster reseeding of the
 // update step), so the draw sequence — and with it the result — is
 // independent of the worker count.
-func kmeansOnce[F linalg.Float](x *linalg.Mat[F], xnorms linalg.Vec[F], opts KMeansOptions, rng *rand.Rand, workers int) (*KMeansResult, error) {
+func kmeansOnce[F linalg.Float](ctx context.Context, x *linalg.Mat[F], xnorms linalg.Vec[F], opts KMeansOptions, rng *rand.Rand, workers int) (*KMeansResult, error) {
 	n, dim := x.Rows, x.Cols
+	done := ctx.Done()
 	init, err := kmeansPlusPlusInit(x, opts.K, rng)
 	if err != nil {
 		return nil, err
@@ -197,11 +219,18 @@ func kmeansOnce[F linalg.Float](x *linalg.Mat[F], xnorms linalg.Vec[F], opts KMe
 	var iterations int
 	converged := false
 	for iterations = 0; iterations < opts.MaxIterations; iterations++ {
+		// One cancellation check per Lloyd iteration; the blocked kernel
+		// below adds its own per-strip checks for large point sets.
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Assignment step on the blocked kernel: all point-centroid
 		// squared distances in one tiled pass, then an argmin per point.
 		// Each point's nearest centroid is independent of every other
 		// point, so the worker chunking cannot change the outcome.
-		changed, err := assignNearest(x, xnorms, sc, workers)
+		changed, err := assignNearest(ctx, x, xnorms, sc, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -247,7 +276,7 @@ func kmeansOnce[F linalg.Float](x *linalg.Mat[F], xnorms linalg.Vec[F], opts KMe
 	// skipped; only the iteration-budget exit (centroids updated after the
 	// last assignment) needs the recompute.
 	if !converged {
-		if err := pointCentroidDistances(x, xnorms, sc, workers); err != nil {
+		if err := pointCentroidDistances(ctx, x, xnorms, sc, workers); err != nil {
 			return nil, err
 		}
 	}
@@ -284,12 +313,13 @@ func widenRows[F linalg.Float](m *linalg.Mat[F]) []linalg.Vector {
 
 // chunkPoints splits [0, n) into at most `workers` contiguous chunks and
 // runs fn on each concurrently, returning the first error by chunk order.
+// A panic inside fn is captured as that chunk's error.
 func chunkPoints(n, workers int, fn func(lo, hi int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		return fn(0, n)
+		return panicsafe.Call(func() error { return fn(0, n) })
 	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -297,10 +327,9 @@ func chunkPoints(n, workers int, fn func(lo, hi int) error) error {
 		lo := w * n / workers
 		hi := (w + 1) * n / workers
 		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			errs[w] = fn(lo, hi)
-		}(w, lo, hi)
+		panicsafe.Go(func() error {
+			return fn(lo, hi)
+		}, func(err error) { errs[w] = err }, wg.Done)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -315,19 +344,19 @@ func chunkPoints(n, workers int, fn func(lo, hi int) error) error {
 // point to every current centroid via the blocked cross kernel. The point
 // norms are fixed for the whole run and shared read-only across restarts;
 // only the centroid norms are refreshed.
-func pointCentroidDistances[F linalg.Float](x *linalg.Mat[F], xnorms linalg.Vec[F], sc *kmeansScratch[F], workers int) error {
+func pointCentroidDistances[F linalg.Float](ctx context.Context, x *linalg.Mat[F], xnorms linalg.Vec[F], sc *kmeansScratch[F], workers int) error {
 	if err := linalg.RowNormsSquaredInto(sc.cnorms, sc.centroids); err != nil {
 		return err
 	}
-	return linalg.CrossSquaredInto(sc.dists, x, sc.centroids, xnorms, sc.cnorms, workers)
+	return linalg.CrossSquaredIntoCtx(ctx, sc.dists, x, sc.centroids, xnorms, sc.cnorms, workers)
 }
 
 // assignNearest relabels every point to its nearest centroid (ties to the
 // lowest centroid index, as in a serial scan) and reports whether any
 // label changed. The serial path stays closure-free so a warmed Lloyd
 // iteration performs no allocations.
-func assignNearest[F linalg.Float](x *linalg.Mat[F], xnorms linalg.Vec[F], sc *kmeansScratch[F], workers int) (bool, error) {
-	if err := pointCentroidDistances(x, xnorms, sc, workers); err != nil {
+func assignNearest[F linalg.Float](ctx context.Context, x *linalg.Mat[F], xnorms linalg.Vec[F], sc *kmeansScratch[F], workers int) (bool, error) {
+	if err := pointCentroidDistances(ctx, x, xnorms, sc, workers); err != nil {
 		return false, err
 	}
 	if workers <= 1 {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -270,14 +271,26 @@ func DBICurve(points []linalg.Vector, dendro *Dendrogram, minK, maxK int) ([]DBI
 // DBICurveWorkers is DBICurve with an explicit bound on the goroutines of
 // the per-K Davies–Bouldin evaluations (≤ 0 means GOMAXPROCS).
 func DBICurveWorkers(points []linalg.Vector, dendro *Dendrogram, minK, maxK, workers int) ([]DBICurvePoint, error) {
+	return DBICurveCtx(context.Background(), points, dendro, minK, maxK, workers)
+}
+
+// DBICurveCtx is DBICurveWorkers with cancellation, observed once per
+// evaluated cluster count.
+func DBICurveCtx(ctx context.Context, points []linalg.Vector, dendro *Dendrogram, minK, maxK, workers int) ([]DBICurvePoint, error) {
 	if minK < 2 {
 		return nil, fmt.Errorf("%w: minK=%d (need at least 2)", ErrBadK, minK)
 	}
 	if maxK < minK || maxK > dendro.N {
 		return nil, fmt.Errorf("%w: maxK=%d with minK=%d and %d points", ErrBadK, maxK, minK, dendro.N)
 	}
+	done := ctx.Done()
 	out := make([]DBICurvePoint, 0, maxK-minK+1)
 	for k := minK; k <= maxK; k++ {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		assign, err := dendro.CutK(k)
 		if err != nil {
 			return nil, err
@@ -304,7 +317,12 @@ func OptimalK(points []linalg.Vector, dendro *Dendrogram, minK, maxK int) (int, 
 // OptimalKWorkers is OptimalK with an explicit bound on the goroutines of
 // the underlying Davies–Bouldin evaluations (≤ 0 means GOMAXPROCS).
 func OptimalKWorkers(points []linalg.Vector, dendro *Dendrogram, minK, maxK, workers int) (int, []DBICurvePoint, error) {
-	curve, err := DBICurveWorkers(points, dendro, minK, maxK, workers)
+	return OptimalKCtx(context.Background(), points, dendro, minK, maxK, workers)
+}
+
+// OptimalKCtx is OptimalKWorkers with the cancellation of DBICurveCtx.
+func OptimalKCtx(ctx context.Context, points []linalg.Vector, dendro *Dendrogram, minK, maxK, workers int) (int, []DBICurvePoint, error) {
+	curve, err := DBICurveCtx(ctx, points, dendro, minK, maxK, workers)
 	if err != nil {
 		return 0, nil, err
 	}

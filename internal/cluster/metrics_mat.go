@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -197,14 +198,26 @@ func SilhouetteMat[F linalg.Float](x *linalg.Mat[F], a *Assignment, workers int)
 // in [minK, maxK] over a flat matrix — the metric-tuner sweep at either
 // modeling precision.
 func DBICurveMat[F linalg.Float](x *linalg.Mat[F], dendro *Dendrogram, minK, maxK, workers int) ([]DBICurvePoint, error) {
+	return DBICurveMatCtx[F](context.Background(), x, dendro, minK, maxK, workers)
+}
+
+// DBICurveMatCtx is DBICurveMat with cancellation, observed once per
+// evaluated cluster count.
+func DBICurveMatCtx[F linalg.Float](ctx context.Context, x *linalg.Mat[F], dendro *Dendrogram, minK, maxK, workers int) ([]DBICurvePoint, error) {
 	if minK < 2 {
 		return nil, fmt.Errorf("%w: minK=%d (need at least 2)", ErrBadK, minK)
 	}
 	if maxK < minK || maxK > dendro.N {
 		return nil, fmt.Errorf("%w: maxK=%d with minK=%d and %d points", ErrBadK, maxK, minK, dendro.N)
 	}
+	done := ctx.Done()
 	out := make([]DBICurvePoint, 0, maxK-minK+1)
 	for k := minK; k <= maxK; k++ {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		assign, err := dendro.CutK(k)
 		if err != nil {
 			return nil, err
@@ -225,7 +238,12 @@ func DBICurveMat[F linalg.Float](x *linalg.Mat[F], dendro *Dendrogram, minK, max
 // OptimalKMat returns the cluster count minimising the Davies–Bouldin
 // index over [minK, maxK] on a flat matrix, together with the full curve.
 func OptimalKMat[F linalg.Float](x *linalg.Mat[F], dendro *Dendrogram, minK, maxK, workers int) (int, []DBICurvePoint, error) {
-	curve, err := DBICurveMat(x, dendro, minK, maxK, workers)
+	return OptimalKMatCtx[F](context.Background(), x, dendro, minK, maxK, workers)
+}
+
+// OptimalKMatCtx is OptimalKMat with the cancellation of DBICurveMatCtx.
+func OptimalKMatCtx[F linalg.Float](ctx context.Context, x *linalg.Mat[F], dendro *Dendrogram, minK, maxK, workers int) (int, []DBICurvePoint, error) {
+	curve, err := DBICurveMatCtx(ctx, x, dendro, minK, maxK, workers)
 	if err != nil {
 		return 0, nil, err
 	}

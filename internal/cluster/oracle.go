@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -196,7 +197,7 @@ func hierarchicalPerPairOracle(points []linalg.Vector, linkage Linkage) (*Dendro
 	if err != nil {
 		return nil, err
 	}
-	slotMerges, err := nnChain(dist, linkage)
+	slotMerges, err := nnChain(context.Background(), dist, linkage)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/linalg"
+	"repro/internal/testutil"
 )
 
 // testWorkerCounts sweeps the serial path, fixed small counts, GOMAXPROCS
@@ -87,6 +89,7 @@ func TestHierarchicalMatchesNaiveOracle(t *testing.T) {
 // distance matrix entries are each computed by exactly one goroutine and
 // the agglomeration is sequential.
 func TestHierarchicalWorkersBitIdentical(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
 	rng := rand.New(rand.NewSource(43))
 	points := randomPoints(rng, 120, 6)
 	base, err := HierarchicalWorkers(points, AverageLinkage, 1)
@@ -110,6 +113,7 @@ func TestHierarchicalWorkersBitIdentical(t *testing.T) {
 // now validate dimensions before any worker starts, so they must return
 // the dimension error promptly (the timeout is the deadlock detector).
 func TestDistanceMatrixRaggedNoDeadlock(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
 	// Enough rows that the old producer outlived the workers' early exit.
 	points := make([]linalg.Vector, 256)
 	for i := range points {
@@ -127,7 +131,7 @@ func TestDistanceMatrixRaggedNoDeadlock(t *testing.T) {
 		done <- result{"distanceMatrix", err}
 	}()
 	go func() {
-		_, err := condensedDistances(points, 0)
+		_, err := condensedDistances(context.Background(), points, 0)
 		done <- result{"condensedDistances", err}
 	}()
 	for i := 0; i < 2; i++ {
@@ -183,6 +187,7 @@ func TestCondensedIndexing(t *testing.T) {
 // (Workers=1) is the oracle for the chunked assignment step and the
 // concurrent restarts.
 func TestKMeansWorkersBitIdentical(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
 	rng := rand.New(rand.NewSource(47))
 	points, _ := blobs(rng, 4, 60, 8, 2.5)
 	for _, maxIter := range []int{3, 100} { // exhaustion and convergence exits

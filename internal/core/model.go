@@ -9,9 +9,17 @@
 // package pipeline) plus the POI inventory of the city and produces a
 // Result carrying every artefact needed to regenerate the paper's tables
 // and figures.
+//
+// AnalyzeContext and AnalyzeSourceContext are the cancellable forms:
+// ctx is observed between pipeline stages and inside every parallel
+// kernel (clustering, k-means, NMF, batch FFT), worker pools drain
+// before the call returns, and a panic in any pool worker comes back as
+// a *panicsafe.Error rather than crashing the process. Analyze and
+// AnalyzeSource remain as context.Background() wrappers.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -197,6 +205,16 @@ type Result struct {
 // the metric tuner, POI labelling, time-domain characterisation and
 // frequency-domain feature extraction.
 func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), ds, pois, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation threaded through every
+// modeling stage: the clustering distance kernels, the metric tuner's
+// per-K sweep, the NMF update iterations and the k-means restarts all
+// observe ctx at their natural work boundaries, and a cancelled analysis
+// returns ctx.Err() (possibly wrapped with the failing stage) with every
+// worker pool drained. A Background context costs nothing.
+func AnalyzeContext(ctx context.Context, ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error) {
 	if ds == nil {
 		return nil, errors.New("core: nil dataset")
 	}
@@ -219,6 +237,15 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 		return nil, fmt.Errorf("core: unknown precision %v", opts.Precision)
 	}
 	f32 := opts.Precision == Float32
+	done := ctx.Done()
+	// Serial stages between the cancellable kernels check ctx here, so a
+	// cancelled analysis cannot start a new stage.
+	stageCheck := func() error {
+		if done != nil {
+			return ctx.Err()
+		}
+		return nil
+	}
 
 	clock := timedomain.Clock{Start: ds.Start, SlotMinutes: ds.SlotMinutes}
 
@@ -232,9 +259,9 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 		err    error
 	)
 	if f32 {
-		dendro, err = cluster.HierarchicalMat(ds.NormalizedMatrix32, opts.Linkage, opts.Workers)
+		dendro, err = cluster.HierarchicalMatCtx(ctx, ds.NormalizedMatrix32, opts.Linkage, opts.Workers)
 	} else {
-		dendro, err = cluster.HierarchicalWorkers(ds.Normalized, opts.Linkage, opts.Workers)
+		dendro, err = cluster.HierarchicalWorkersCtx(ctx, ds.Normalized, opts.Linkage, opts.Workers)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
@@ -261,9 +288,9 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 		if minK >= 2 && maxK >= minK && ds.NumTowers() > maxK {
 			// Still compute the curve for reporting when feasible.
 			if f32 {
-				curve, err = cluster.DBICurveMat(ds.NormalizedMatrix32, dendro, minK, maxK, opts.Workers)
+				curve, err = cluster.DBICurveMatCtx(ctx, ds.NormalizedMatrix32, dendro, minK, maxK, opts.Workers)
 			} else {
-				curve, err = cluster.DBICurveWorkers(ds.Normalized, dendro, minK, maxK, opts.Workers)
+				curve, err = cluster.DBICurveCtx(ctx, ds.Normalized, dendro, minK, maxK, opts.Workers)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("core: DBI curve: %w", err)
@@ -271,9 +298,9 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 		}
 	} else {
 		if f32 {
-			k, curve, err = cluster.OptimalKMat(ds.NormalizedMatrix32, dendro, minK, maxK, opts.Workers)
+			k, curve, err = cluster.OptimalKMatCtx(ctx, ds.NormalizedMatrix32, dendro, minK, maxK, opts.Workers)
 		} else {
-			k, curve, err = cluster.OptimalKWorkers(ds.Normalized, dendro, minK, maxK, opts.Workers)
+			k, curve, err = cluster.OptimalKCtx(ctx, ds.Normalized, dendro, minK, maxK, opts.Workers)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: metric tuner: %w", err)
@@ -307,9 +334,9 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 			Workers: opts.Workers,
 		}
 		if f32 {
-			nmfRes, err = nmf.FactorizeMat(ds.RawMatrix32, nmfOpts)
+			nmfRes, err = nmf.FactorizeMatContext(ctx, ds.RawMatrix32, nmfOpts)
 		} else {
-			nmfRes, err = nmf.Factorize(ds.Raw, nmfOpts)
+			nmfRes, err = nmf.FactorizeContext(ctx, ds.Raw, nmfOpts)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: NMF decomposition: %w", err)
@@ -324,9 +351,9 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 			Workers:  opts.Workers,
 		}
 		if f32 {
-			kmRes, err = cluster.KMeansMat(ds.NormalizedMatrix32, kmOpts)
+			kmRes, err = cluster.KMeansMatCtx(ctx, ds.NormalizedMatrix32, kmOpts)
 		} else {
-			kmRes, err = cluster.KMeans(ds.Normalized, kmOpts)
+			kmRes, err = cluster.KMeansCtx(ctx, ds.Normalized, kmOpts)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: k-means baseline: %w", err)
@@ -334,6 +361,9 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 	}
 
 	// Geographical context: POI counting and cluster labelling.
+	if err := stageCheck(); err != nil {
+		return nil, err
+	}
 	counter, err := poi.NewCounter(pois, opts.POIRadiusMeters)
 	if err != nil {
 		return nil, fmt.Errorf("core: indexing POIs: %w", err)
@@ -352,12 +382,15 @@ func Analyze(ds *pipeline.Dataset, pois []poi.POI, opts Options) (*Result, error
 	// Frequency-domain features and representative towers. One FFT plan is
 	// built (or drawn from the pool) for the dataset's slot count and
 	// threaded through every spectral stage.
+	if err := stageCheck(); err != nil {
+		return nil, err
+	}
 	plan, err := dsp.AcquirePlan(ds.NumSlots())
 	if err != nil {
 		return nil, fmt.Errorf("core: FFT plan: %w", err)
 	}
 	defer plan.Release()
-	features, err := freqdomain.ExtractPlan(plan, ds.Normalized, ds.Days)
+	features, err := freqdomain.ExtractPlanContext(ctx, plan, ds.Normalized, ds.Days)
 	if err != nil {
 		return nil, fmt.Errorf("core: frequency features: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -31,15 +32,26 @@ import (
 // simply get a zero location, as with VectorizeRecords. The returned
 // CleanStats describe what the streaming cleaner removed or amended.
 func AnalyzeSource(src trace.Source, towers []trace.TowerInfo, pois []poi.POI, vopts pipeline.VectorizerOptions, opts Options) (*Result, trace.CleanStats, error) {
+	return AnalyzeSourceContext(context.Background(), src, towers, pois, vopts, opts)
+}
+
+// AnalyzeSourceContext is AnalyzeSource with cancellation threaded
+// through the whole chain: the streaming vectorizer observes ctx between
+// source batches (and the cleaned source itself checks it between
+// batches via trace.WithContext inside the vectorizer's read loop), and
+// the modeling stages observe it as described on AnalyzeContext. On
+// cancellation the returned CleanStats still describe the records
+// cleaned up to that point.
+func AnalyzeSourceContext(ctx context.Context, src trace.Source, towers []trace.TowerInfo, pois []poi.POI, vopts pipeline.VectorizerOptions, opts Options) (*Result, trace.CleanStats, error) {
 	if src == nil {
 		return nil, trace.CleanStats{}, errors.New("core: nil source")
 	}
 	cleaned := trace.CleanSourceWindow(src, opts.CleanWindow)
-	ds, err := pipeline.VectorizeSource(cleaned, towers, vopts)
+	ds, err := pipeline.VectorizeSourceContext(ctx, cleaned, towers, vopts)
 	if err != nil {
 		return nil, cleaned.Stats(), fmt.Errorf("core: vectorizing stream: %w", err)
 	}
-	res, err := Analyze(ds, pois, opts)
+	res, err := AnalyzeContext(ctx, ds, pois, opts)
 	if err != nil {
 		return nil, cleaned.Stats(), err
 	}

@@ -1,10 +1,13 @@
 package dsp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/panicsafe"
 )
 
 // BatchTransform computes the spectrum of every signal (all of length
@@ -19,6 +22,15 @@ import (
 // returned by fn (or the lowest-index signal of the wrong length) aborts the
 // batch.
 func (p *Plan) BatchTransform(signals [][]float64, fn func(row int, spectrum []complex128) error) error {
+	return p.BatchTransformContext(context.Background(), signals, fn)
+}
+
+// BatchTransformContext is BatchTransform with cancellation and worker
+// fault isolation: ctx is observed between signals (a Background context
+// costs nothing), and a panic in a worker — in the transform or in fn —
+// is returned as a *panicsafe.Error instead of crashing the process. On
+// either early exit the pool drains fully before the call returns.
+func (p *Plan) BatchTransformContext(ctx context.Context, signals [][]float64, fn func(row int, spectrum []complex128) error) error {
 	if fn == nil {
 		return fmt.Errorf("dsp: BatchTransform requires a callback")
 	}
@@ -27,6 +39,7 @@ func (p *Plan) BatchTransform(signals [][]float64, fn func(row int, spectrum []c
 			return fmt.Errorf("dsp: signal %d has %d samples, plan expects %d", i, len(x), p.n)
 		}
 	}
+	done := ctx.Done()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(signals) {
 		workers = len(signals)
@@ -34,6 +47,11 @@ func (p *Plan) BatchTransform(signals [][]float64, fn func(row int, spectrum []c
 	if workers <= 1 {
 		spectrum := make([]complex128, p.n)
 		for i, x := range signals {
+			if done != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if err := p.Transform(spectrum, x); err != nil {
 				return err
 			}
@@ -61,35 +79,50 @@ func (p *Plan) BatchTransform(signals [][]float64, fn func(row int, spectrum []c
 			plan = p.Clone()
 		}
 		wg.Add(1)
-		go func(plan *Plan) {
-			defer wg.Done()
+		panicsafe.Go(func() error {
 			spectrum := make([]complex128, plan.n)
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= len(signals) || aborted.Load() {
-					return
+					return nil
+				}
+				if done != nil && ctx.Err() != nil {
+					aborted.Store(true)
+					return nil
 				}
 				if err := plan.Transform(spectrum, signals[i]); err != nil {
-					fail(err)
-					return
+					return err
 				}
 				if err := fn(i, spectrum); err != nil {
-					fail(err)
-					return
+					return err
 				}
 			}
-		}(plan)
+		}, fail, wg.Done)
 	}
 	wg.Wait()
-	return firstEr
+	if firstEr != nil {
+		return firstEr
+	}
+	if done != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // BatchSpectra computes and returns the spectrum of every signal, fanning
 // the transforms across the worker pool of BatchTransform. Row i of the
 // result is the DFT of signals[i].
 func (p *Plan) BatchSpectra(signals [][]float64) ([][]complex128, error) {
+	return p.BatchSpectraContext(context.Background(), signals)
+}
+
+// BatchSpectraContext is BatchSpectra with the cancellation and fault
+// isolation of BatchTransformContext.
+func (p *Plan) BatchSpectraContext(ctx context.Context, signals [][]float64) ([][]complex128, error) {
 	out := make([][]complex128, len(signals))
-	err := p.BatchTransform(signals, func(row int, spectrum []complex128) error {
+	err := p.BatchTransformContext(ctx, signals, func(row int, spectrum []complex128) error {
 		s := make([]complex128, len(spectrum))
 		copy(s, spectrum)
 		out[row] = s

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 // testLengths exercises every code path of the engine: the unit transform,
@@ -204,6 +206,7 @@ func TestPlanZeroAllocs(t *testing.T) {
 // TestPlanCloneConcurrent runs clones of one plan from many goroutines and
 // checks every result against the parent's.
 func TestPlanCloneConcurrent(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
 	rng := rand.New(rand.NewSource(17))
 	const n = 252
 	p, err := NewPlan(n)
@@ -249,6 +252,7 @@ func TestPlanCloneConcurrent(t *testing.T) {
 // TestBatchSpectraMatchesSequential checks the batch fan-out against
 // per-signal wrapper calls, plus error propagation for ragged inputs.
 func TestBatchSpectraMatchesSequential(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
 	rng := rand.New(rand.NewSource(19))
 	const n, rows = 144, 37
 	p, err := NewPlan(n)

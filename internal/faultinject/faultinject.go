@@ -1,0 +1,178 @@
+// Package faultinject provides deterministic, seed-driven fault
+// injection for the ingestion and analysis pipeline's chaos tests. The
+// wrappers compose over io.Reader (byte-level faults: transient and
+// permanent read errors, short reads, corrupted bytes, premature EOF,
+// injected latency) and trace.Source (record-level faults: mid-stream
+// errors and panics), and every fault decision is drawn from a seeded
+// RNG keyed only to the read sequence — the same seed over the same
+// input replays the exact same fault schedule, which is what lets the
+// chaos suite assert precise skip accounting.
+//
+// Nothing in the production build imports this package; it exists for
+// tests (and for the fuzz harness, which drives the ingestion stack
+// through randomized fault schedules).
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// TransientError is an injected failure that reports itself as
+// retryable via the Temporary method, the convention trace.IsTransient
+// (and the net package) use to classify errors worth retrying.
+type TransientError struct {
+	// Offset is the stream position at which the fault fired.
+	Offset int64
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinject: transient read failure at byte %d", e.Offset)
+}
+
+// Temporary marks the error as retryable.
+func (e *TransientError) Temporary() bool { return true }
+
+// PermanentError is an injected failure that is NOT retryable: it keeps
+// firing on every subsequent read, modelling a dead disk or a closed
+// connection that no backoff will revive.
+type PermanentError struct {
+	// Offset is the stream position at which the fault first fired.
+	Offset int64
+}
+
+// Error implements error.
+func (e *PermanentError) Error() string {
+	return fmt.Sprintf("faultinject: permanent read failure at byte %d", e.Offset)
+}
+
+// Profile configures a faulty Reader. The zero value injects nothing:
+// the wrapped reader behaves identically to the original, which is the
+// control arm of every chaos test. Probabilities are per Read call.
+type Profile struct {
+	// Seed keys the fault schedule. Two readers with the same Seed and
+	// Profile over the same read sequence inject identical faults.
+	Seed int64
+
+	// TransientProb is the probability that a Read call fails with a
+	// *TransientError instead of reading. MaxTransient caps the total
+	// number injected (0 means at most one per ~1/TransientProb reads
+	// with no cap).
+	TransientProb float64
+	MaxTransient  int
+
+	// ShortReadProb is the probability that a Read call is truncated to
+	// a random prefix of the requested length (at least 1 byte). Short
+	// reads are legal io.Reader behaviour; a consumer that mishandles
+	// them corrupts records at buffer boundaries.
+	ShortReadProb float64
+
+	// CorruptProb is the probability that one byte of a Read's result is
+	// overwritten with a random value — the byte-level model of a torn
+	// or bit-rotted record. Corruption never touches offset 0 of the
+	// stream's first read (the header's first byte), so header parsing
+	// survives and the damage lands in the record stream.
+	CorruptProb float64
+
+	// DelayProb injects Delay of latency before a Read completes,
+	// modelling a stalling NFS mount or a throttled object store.
+	DelayProb float64
+	Delay     time.Duration
+
+	// TruncateAt ends the stream with io.EOF once this many bytes have
+	// been delivered, regardless of how much input remains — a
+	// mid-stream EOF that lands inside a record. Zero disables.
+	TruncateAt int64
+
+	// PermanentAt fails every read with a *PermanentError once this many
+	// bytes have been delivered. Zero disables.
+	PermanentAt int64
+}
+
+// Counts reports how many faults a Reader actually injected, so tests
+// can assert both arms: a run whose Counts are all zero must be
+// byte-identical to the unwrapped reader, and a run with non-zero
+// counts must show exactly the matching skip/retry accounting.
+type Counts struct {
+	Transient  int64
+	ShortReads int64
+	Corrupted  int64
+	Delays     int64
+	Truncated  bool
+	Permanent  bool
+}
+
+// Reader wraps an io.Reader with the fault schedule of a Profile. It is
+// not safe for concurrent Read calls (neither are the readers it wraps).
+type Reader struct {
+	r         io.Reader
+	p         Profile
+	rng       *rand.Rand
+	offset    int64 // bytes delivered so far
+	transient int64
+	counts    Counts
+	permErr   error // sticky permanent failure
+}
+
+// NewReader wraps r with the given fault profile.
+func NewReader(r io.Reader, p Profile) *Reader {
+	return &Reader{r: r, p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Counts returns the faults injected so far.
+func (f *Reader) Counts() Counts { return f.counts }
+
+// Read implements io.Reader, rolling the fault schedule before
+// delegating to the wrapped reader.
+func (f *Reader) Read(b []byte) (int, error) {
+	if f.permErr != nil {
+		return 0, f.permErr
+	}
+	if f.p.TruncateAt > 0 && f.offset >= f.p.TruncateAt {
+		f.counts.Truncated = true
+		return 0, io.EOF
+	}
+	if f.p.PermanentAt > 0 && f.offset >= f.p.PermanentAt {
+		f.counts.Permanent = true
+		f.permErr = &PermanentError{Offset: f.offset}
+		return 0, f.permErr
+	}
+	if f.p.DelayProb > 0 && f.rng.Float64() < f.p.DelayProb {
+		f.counts.Delays++
+		time.Sleep(f.p.Delay)
+	}
+	if f.p.TransientProb > 0 && f.rng.Float64() < f.p.TransientProb {
+		if f.p.MaxTransient <= 0 || f.transient < int64(f.p.MaxTransient) {
+			f.transient++
+			f.counts.Transient++
+			return 0, &TransientError{Offset: f.offset}
+		}
+	}
+	if len(b) > 1 && f.p.ShortReadProb > 0 && f.rng.Float64() < f.p.ShortReadProb {
+		f.counts.ShortReads++
+		b = b[:1+f.rng.Intn(len(b)-1)]
+	}
+	if f.p.TruncateAt > 0 && f.offset+int64(len(b)) > f.p.TruncateAt {
+		b = b[:f.p.TruncateAt-f.offset]
+		if len(b) == 0 {
+			f.counts.Truncated = true
+			return 0, io.EOF
+		}
+	}
+	n, err := f.r.Read(b)
+	if n > 0 && f.p.CorruptProb > 0 && f.rng.Float64() < f.p.CorruptProb {
+		i := f.rng.Intn(n)
+		if f.offset == 0 && i == 0 {
+			i = n - 1 // spare the first header byte on a first read
+		}
+		if f.offset+int64(i) > 0 {
+			f.counts.Corrupted++
+			b[i] = byte(f.rng.Intn(256))
+		}
+	}
+	f.offset += int64(n)
+	return n, err
+}

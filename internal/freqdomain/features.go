@@ -7,6 +7,7 @@
 package freqdomain
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -74,6 +75,12 @@ func Extract(vectors []linalg.Vector, nDays int) ([]Features, error) {
 // match the vectors). The per-tower transforms are fanned across the plan's
 // batch worker pool.
 func ExtractPlan(plan *dsp.Plan, vectors []linalg.Vector, nDays int) ([]Features, error) {
+	return ExtractPlanContext(context.Background(), plan, vectors, nDays)
+}
+
+// ExtractPlanContext is ExtractPlan with the cancellation and worker
+// fault isolation of dsp.BatchTransformContext.
+func ExtractPlanContext(ctx context.Context, plan *dsp.Plan, vectors []linalg.Vector, nDays int) ([]Features, error) {
 	if len(vectors) == 0 {
 		return nil, ErrNoVectors
 	}
@@ -90,7 +97,7 @@ func ExtractPlan(plan *dsp.Plan, vectors []linalg.Vector, nDays int) ([]Features
 		signals[i] = v
 	}
 	out := make([]Features, len(vectors))
-	err = plan.BatchTransform(signals, func(i int, spectrum []complex128) error {
+	err = plan.BatchTransformContext(ctx, signals, func(i int, spectrum []complex128) error {
 		scale := 1 / float64(n)
 		cw, cd, ch := spectrum[week], spectrum[day], spectrum[half]
 		out[i] = Features{

@@ -1,10 +1,13 @@
 package linalg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/panicsafe"
 )
 
 // Blocked Gram-matrix distance engine.
@@ -61,26 +64,68 @@ func stripWorkers(strips, workers int) int {
 }
 
 // forEachStrip claims strip indices [0, strips) with `workers` goroutines
-// (> 1; the serial paths call their strip functions directly so the warmed
-// kernels stay allocation-free) from a shared atomic counter. Each strip is
-// processed by exactly one worker.
-func forEachStrip(strips, workers int, fn func(s int)) {
-	var next atomic.Int64
-	var wg sync.WaitGroup
+// (> 1; the serial paths go through stripLoop so the warmed kernels stay
+// allocation-free) from a shared atomic counter. Each strip is processed
+// by exactly one worker. Cancellation is observed between strips — the
+// strip is the kernels' unit of promptness — and a worker panic is
+// recovered into the returned error; on either early exit every worker
+// drains through the shared stop flag before forEachStrip returns.
+func forEachStrip(ctx context.Context, strips, workers int, fn func(s int)) error {
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		panicsafe.Go(func() error {
 			for {
+				if stop.Load() || (done != nil && ctx.Err() != nil) {
+					stop.Store(true)
+					return nil
+				}
 				s := int(next.Add(1)) - 1
 				if s >= strips {
-					return
+					return nil
 				}
 				fn(s)
 			}
-		}()
+		}, fail, wg.Done)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if done != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stripLoop is the serial counterpart of forEachStrip: strips run in order
+// on the caller's goroutine, with the same between-strips cancellation
+// points and zero allocations (a Background context short-circuits the
+// checks entirely).
+func stripLoop(ctx context.Context, strips int, fn func(s int)) error {
+	done := ctx.Done()
+	for s := 0; s < strips; s++ {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		fn(s)
+	}
+	return nil
 }
 
 // dot4x4 accumulates the 16 dot products between four x rows and four y
@@ -283,9 +328,11 @@ func (m *Mat[F]) GramInto(dst *Mat[F], workers int) error {
 	if dst.Rows != n || dst.Cols != n {
 		return fmt.Errorf("%w: gram of %dx%d into %dx%d", ErrDimensionMismatch, n, m.Cols, dst.Rows, dst.Cols)
 	}
-	symmetricTiles(m, nil, dst.Data, workers)
-	mirrorLower(dst, workers)
-	return nil
+	ctx := context.Background()
+	if err := symmetricTiles(ctx, m, nil, dst.Data, workers); err != nil {
+		return err
+	}
+	return mirrorLower(ctx, dst, workers)
 }
 
 // PairwiseSquaredInto writes the full symmetric matrix of squared Euclidean
@@ -295,6 +342,13 @@ func (m *Mat[F]) GramInto(dst *Mat[F], workers int) error {
 // The diagonal is exactly zero and the result is bit-identical for any
 // worker count.
 func PairwiseSquaredInto[F Float](dst *Mat[F], x *Mat[F], norms Vec[F], workers int) error {
+	return PairwiseSquaredIntoCtx(context.Background(), dst, x, norms, workers)
+}
+
+// PairwiseSquaredIntoCtx is PairwiseSquaredInto with cancellation observed
+// at strip granularity and worker panics recovered into the returned
+// error. On early exit dst holds partial results and must not be used.
+func PairwiseSquaredIntoCtx[F Float](ctx context.Context, dst *Mat[F], x *Mat[F], norms Vec[F], workers int) error {
 	n := x.Rows
 	if dst.Rows != n || dst.Cols != n {
 		return fmt.Errorf("%w: pairwise of %d rows into %dx%d", ErrDimensionMismatch, n, dst.Rows, dst.Cols)
@@ -305,12 +359,13 @@ func PairwiseSquaredInto[F Float](dst *Mat[F], x *Mat[F], norms Vec[F], workers 
 	if err := RowNormsSquaredInto(norms, x); err != nil {
 		return err
 	}
-	symmetricTiles(x, norms, dst.Data, workers)
+	if err := symmetricTiles(ctx, x, norms, dst.Data, workers); err != nil {
+		return err
+	}
 	for i := 0; i < n; i++ {
 		dst.Data[i*n+i] = 0
 	}
-	mirrorLower(dst, workers)
-	return nil
+	return mirrorLower(ctx, dst, workers)
 }
 
 // symmetricTiles computes the upper triangle (including the diagonal) of
@@ -319,15 +374,12 @@ func PairwiseSquaredInto[F Float](dst *Mat[F], x *Mat[F], norms Vec[F], workers 
 // of pairTile rows; within a strip every tile right of the diagonal runs
 // the rectangular kernel and diagonal tiles compute their own lower half
 // redundantly (a ≤1/tiles fraction of the work) to keep the kernel uniform.
-func symmetricTiles[F Float](x *Mat[F], norms Vec[F], out []F, workers int) {
+func symmetricTiles[F Float](ctx context.Context, x *Mat[F], norms Vec[F], out []F, workers int) error {
 	strips := (x.Rows + pairTile - 1) / pairTile
 	if w := stripWorkers(strips, workers); w > 1 {
-		forEachStrip(strips, w, func(s int) { symmetricStrip(x, norms, out, s) })
-		return
+		return forEachStrip(ctx, strips, w, func(s int) { symmetricStrip(x, norms, out, s) })
 	}
-	for s := 0; s < strips; s++ {
-		symmetricStrip(x, norms, out, s)
-	}
+	return stripLoop(ctx, strips, func(s int) { symmetricStrip(x, norms, out, s) })
 }
 
 func symmetricStrip[F Float](x *Mat[F], norms Vec[F], out []F, s int) {
@@ -343,15 +395,12 @@ func symmetricStrip[F Float](x *Mat[F], norms Vec[F], out []F, s int) {
 // mirrorLower copies the strict upper triangle of the symmetric matrix dst
 // into its lower triangle, partitioned by destination row so each entry is
 // written by exactly one worker.
-func mirrorLower[F Float](dst *Mat[F], workers int) {
+func mirrorLower[F Float](ctx context.Context, dst *Mat[F], workers int) error {
 	strips := (dst.Rows + pairTile - 1) / pairTile
 	if w := stripWorkers(strips, workers); w > 1 {
-		forEachStrip(strips, w, func(s int) { mirrorStrip(dst, s) })
-		return
+		return forEachStrip(ctx, strips, w, func(s int) { mirrorStrip(dst, s) })
 	}
-	for s := 0; s < strips; s++ {
-		mirrorStrip(dst, s)
-	}
+	return stripLoop(ctx, strips, func(s int) { mirrorStrip(dst, s) })
 }
 
 func mirrorStrip[F Float](dst *Mat[F], s int) {
@@ -375,6 +424,15 @@ func mirrorStrip[F Float](dst *Mat[F], s int) {
 // whole row strips, so the result is bit-identical for any worker count,
 // and the serial path performs no allocations.
 func PairwiseSquaredCondensed[F Float](dst []F, x *Mat[F], norms Vec[F], workers int) error {
+	return PairwiseSquaredCondensedCtx(context.Background(), dst, x, norms, workers)
+}
+
+// PairwiseSquaredCondensedCtx is PairwiseSquaredCondensed with
+// cancellation observed between row strips (the unit the clustering
+// engine's promptness bound is stated in) and worker panics recovered
+// into the returned error. On early exit dst holds partial results and
+// must not be used.
+func PairwiseSquaredCondensedCtx[F Float](ctx context.Context, dst []F, x *Mat[F], norms Vec[F], workers int) error {
 	n := x.Rows
 	if len(dst) != n*(n-1)/2 {
 		return fmt.Errorf("%w: condensed buffer %d for %d rows (want %d)", ErrDimensionMismatch, len(dst), n, n*(n-1)/2)
@@ -387,13 +445,9 @@ func PairwiseSquaredCondensed[F Float](dst []F, x *Mat[F], norms Vec[F], workers
 	}
 	strips := (n + pairTile - 1) / pairTile
 	if w := stripWorkers(strips, workers); w > 1 {
-		forEachStrip(strips, w, func(s int) { condensedStrip(dst, x, norms, s) })
-		return nil
+		return forEachStrip(ctx, strips, w, func(s int) { condensedStrip(dst, x, norms, s) })
 	}
-	for s := 0; s < strips; s++ {
-		condensedStrip(dst, x, norms, s)
-	}
-	return nil
+	return stripLoop(ctx, strips, func(s int) { condensedStrip(dst, x, norms, s) })
 }
 
 // condensedStrip fills the condensed rows of one pairTile strip.
@@ -442,6 +496,13 @@ func condensedStrip[F Float](dst []F, x *Mat[F], norms Vec[F], s int) {
 // Bit-identical for any worker count; with caller-provided norms the
 // serial path performs no allocations.
 func CrossSquaredInto[F Float](dst *Mat[F], x, y *Mat[F], xnorms, ynorms Vec[F], workers int) error {
+	return CrossSquaredIntoCtx(context.Background(), dst, x, y, xnorms, ynorms, workers)
+}
+
+// CrossSquaredIntoCtx is CrossSquaredInto with cancellation observed at
+// strip granularity and worker panics recovered into the returned error.
+// On early exit dst holds partial results and must not be used.
+func CrossSquaredIntoCtx[F Float](ctx context.Context, dst *Mat[F], x, y *Mat[F], xnorms, ynorms Vec[F], workers int) error {
 	if x.Cols != y.Cols {
 		return fmt.Errorf("%w: cross distances between %d-col and %d-col rows", ErrDimensionMismatch, x.Cols, y.Cols)
 	}
@@ -465,13 +526,9 @@ func CrossSquaredInto[F Float](dst *Mat[F], x, y *Mat[F], xnorms, ynorms Vec[F],
 	}
 	strips := (x.Rows + pairTile - 1) / pairTile
 	if w := stripWorkers(strips, workers); w > 1 {
-		forEachStrip(strips, w, func(s int) { crossStrip(dst, x, y, xnorms, ynorms, s) })
-		return nil
+		return forEachStrip(ctx, strips, w, func(s int) { crossStrip(dst, x, y, xnorms, ynorms, s) })
 	}
-	for s := 0; s < strips; s++ {
-		crossStrip(dst, x, y, xnorms, ynorms, s)
-	}
-	return nil
+	return stripLoop(ctx, strips, func(s int) { crossStrip(dst, x, y, xnorms, ynorms, s) })
 }
 
 // crossStrip fills one pairTile strip of the cross-distance matrix.
@@ -514,13 +571,21 @@ func AssignedSquaredDistance[F Float](x, y *Mat[F], xnorms, ynorms Vec[F], i, j 
 // root, splitting the buffer across up to `workers` goroutines (≤ 0 means
 // GOMAXPROCS). Element-wise, so bit-identical for any worker count.
 func SquaredDistancesSqrtInPlace[F Float](d []F, workers int) {
+	// The Background context cannot cancel and the chunked loops cannot
+	// panic, so the error is structurally nil.
+	_ = SquaredDistancesSqrtInPlaceCtx(context.Background(), d, workers)
+}
+
+// SquaredDistancesSqrtInPlaceCtx is SquaredDistancesSqrtInPlace with
+// cancellation observed between 16k-element chunks and worker panics
+// recovered into the returned error.
+func SquaredDistancesSqrtInPlaceCtx[F Float](ctx context.Context, d []F, workers int) error {
 	const chunk = 1 << 14
 	strips := (len(d) + chunk - 1) / chunk
 	if w := stripWorkers(strips, workers); w > 1 {
-		forEachStrip(strips, w, func(s int) { sqrtStrip(d, s*chunk, min(len(d), s*chunk+chunk)) })
-		return
+		return forEachStrip(ctx, strips, w, func(s int) { sqrtStrip(d, s*chunk, min(len(d), s*chunk+chunk)) })
 	}
-	sqrtStrip(d, 0, len(d))
+	return stripLoop(ctx, strips, func(s int) { sqrtStrip(d, s*chunk, min(len(d), s*chunk+chunk)) })
 }
 
 func sqrtStrip[F Float](d []F, lo, hi int) {

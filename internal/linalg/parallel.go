@@ -1,10 +1,13 @@
 package linalg
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/panicsafe"
 )
 
 // Parallel matrix kernels for the modeling engine.
@@ -15,6 +18,15 @@ import (
 // serial MulInto/TransposeInto, so the results are bit-identical to the
 // serial kernels for ANY worker count — the property the deterministic
 // modeling engine (internal/nmf, internal/cluster) is built on.
+//
+// Every pool is fault-tolerant: a panic inside a worker is recovered and
+// returned as a *panicsafe.Error instead of crashing the process, and
+// the Ctx kernel variants observe context cancellation at block/strip
+// granularity — coarse enough to keep the hot loops free of per-element
+// checks, fine enough that cancellation returns within one block of
+// work. On either early exit every worker drains through the shared
+// stop flag before the kernel returns, so no goroutine outlives its
+// call.
 
 // parallelBlockRows is the number of output rows per work unit. Blocks keep
 // the atomic-counter contention negligible while still load-balancing
@@ -38,22 +50,37 @@ func ResolveWorkers(workers int) int {
 
 // parallelRowBlocks runs fn over [0, rows) split into parallelBlockRows-size
 // blocks claimed by `workers` goroutines. fn must be safe to call
-// concurrently for disjoint row ranges.
-func parallelRowBlocks(rows, workers int, fn func(lo, hi int)) {
+// concurrently for disjoint row ranges. A worker panic is converted to a
+// returned error; ctx cancellation stops the pool at block granularity and
+// returns ctx.Err(). Either way every worker has exited by return.
+func parallelRowBlocks(ctx context.Context, rows, workers int, fn func(lo, hi int)) error {
 	blocks := (rows + parallelBlockRows - 1) / parallelBlockRows
 	if workers > blocks {
 		workers = blocks
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		panicsafe.Go(func() error {
 			for {
+				if stop.Load() || (done != nil && ctx.Err() != nil) {
+					stop.Store(true)
+					return nil
+				}
 				b := int(next.Add(1)) - 1
 				if b >= blocks {
-					return
+					return nil
 				}
 				lo := b * parallelBlockRows
 				hi := lo + parallelBlockRows
@@ -62,9 +89,18 @@ func parallelRowBlocks(rows, workers int, fn func(lo, hi int)) {
 				}
 				fn(lo, hi)
 			}
-		}()
+		}, fail, wg.Done)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if done != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ParallelMulInto writes m · other into dst using up to `workers`
@@ -73,9 +109,15 @@ func parallelRowBlocks(rows, workers int, fn func(lo, hi int)) {
 // MulInto for any worker count: output rows are partitioned into blocks and
 // each row is accumulated in the same k-then-j order as the serial kernel.
 func (m *Mat[F]) ParallelMulInto(dst, other *Mat[F], workers int) error {
-	workers = ResolveWorkers(workers)
-	if workers == 1 || m.Rows*m.Cols*other.Cols < parallelMinWork {
-		return m.MulInto(dst, other)
+	return m.ParallelMulIntoCtx(context.Background(), dst, other, workers)
+}
+
+// ParallelMulIntoCtx is ParallelMulInto with cancellation: ctx is observed
+// between row blocks (and once up front on the serial path), and a worker
+// panic comes back as an error instead of killing the process.
+func (m *Mat[F]) ParallelMulIntoCtx(ctx context.Context, dst, other *Mat[F], workers int) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if m.Cols != other.Rows {
 		return fmt.Errorf("%w: %dx%d times %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, other.Rows, other.Cols)
@@ -83,10 +125,13 @@ func (m *Mat[F]) ParallelMulInto(dst, other *Mat[F], workers int) error {
 	if dst.Rows != m.Rows || dst.Cols != other.Cols {
 		return fmt.Errorf("%w: product %dx%d into %dx%d", ErrDimensionMismatch, m.Rows, other.Cols, dst.Rows, dst.Cols)
 	}
-	parallelRowBlocks(m.Rows, workers, func(lo, hi int) {
+	workers = ResolveWorkers(workers)
+	if workers == 1 || m.Rows*m.Cols*other.Cols < parallelMinWork {
+		return m.MulInto(dst, other)
+	}
+	return parallelRowBlocks(ctx, m.Rows, workers, func(lo, hi int) {
 		mulRows(dst, m, other, lo, hi)
 	})
-	return nil
 }
 
 // ParallelTransposeInto writes mᵀ into dst using up to `workers` goroutines
@@ -94,16 +139,25 @@ func (m *Mat[F]) ParallelMulInto(dst, other *Mat[F], workers int) error {
 // with m. Each destination element is written exactly once, so the result
 // is bit-identical to TransposeInto for any worker count.
 func (m *Mat[F]) ParallelTransposeInto(dst *Mat[F], workers int) error {
-	workers = ResolveWorkers(workers)
-	if workers == 1 || m.Rows*m.Cols < parallelMinWork {
-		return m.TransposeInto(dst)
+	return m.ParallelTransposeIntoCtx(context.Background(), dst, workers)
+}
+
+// ParallelTransposeIntoCtx is ParallelTransposeInto with cancellation and
+// worker panic recovery; see ParallelMulIntoCtx for the contract.
+func (m *Mat[F]) ParallelTransposeIntoCtx(ctx context.Context, dst *Mat[F], workers int) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if dst.Rows != m.Cols || dst.Cols != m.Rows {
 		return fmt.Errorf("%w: transpose of %dx%d into %dx%d", ErrDimensionMismatch, m.Rows, m.Cols, dst.Rows, dst.Cols)
 	}
+	workers = ResolveWorkers(workers)
+	if workers == 1 || m.Rows*m.Cols < parallelMinWork {
+		return m.TransposeInto(dst)
+	}
 	// Partition the SOURCE rows: worker w copies rows [lo,hi) of m into
 	// columns [lo,hi) of dst. Disjoint writes, no synchronisation needed.
-	parallelRowBlocks(m.Rows, workers, func(lo, hi int) {
+	return parallelRowBlocks(ctx, m.Rows, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := m.Data[i*m.Cols : (i+1)*m.Cols]
 			for j, x := range row {
@@ -111,5 +165,4 @@ func (m *Mat[F]) ParallelTransposeInto(dst *Mat[F], workers int) error {
 			}
 		}
 	})
-	return nil
 }

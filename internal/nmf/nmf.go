@@ -10,6 +10,7 @@
 package nmf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -74,6 +75,14 @@ const epsilon = 1e-12
 // Factorize computes V ≈ W·H for the non-negative matrix whose rows are the
 // given vectors.
 func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
+	return FactorizeContext(context.Background(), rows, opts)
+}
+
+// FactorizeContext is Factorize with cancellation: ctx is observed once
+// per multiplicative-update iteration and between row blocks of the
+// parallel matrix products, so a cancelled factorisation returns within
+// one update step and its worker pool drains before the call returns.
+func FactorizeContext(ctx context.Context, rows []linalg.Vector, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	n := len(rows)
 	if n == 0 {
@@ -98,7 +107,7 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return FactorizeMat(v, opts)
+	return FactorizeMatContext(ctx, v, opts)
 }
 
 // FactorizeMat computes V ≈ W·H for a non-negative flat matrix at either
@@ -112,6 +121,12 @@ func Factorize(rows []linalg.Vector, opts Options) (*Result, error) {
 // end. With a float64 matrix the result is bit-identical to Factorize on
 // the matrix's row views.
 func FactorizeMat[F linalg.Float](v *linalg.Mat[F], opts Options) (*Result, error) {
+	return FactorizeMatContext[F](context.Background(), v, opts)
+}
+
+// FactorizeMatContext is FactorizeMat with the cancellation of
+// FactorizeContext.
+func FactorizeMatContext[F linalg.Float](ctx context.Context, v *linalg.Mat[F], opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	n, m := v.Rows, v.Cols
 	if n == 0 || m == 0 {
@@ -166,36 +181,44 @@ func FactorizeMat[F linalg.Float](v *linalg.Mat[F], opts Options) (*Result, erro
 	// (min normal ≈ 1.2e-38), so the narrowing keeps its value.
 	eps := F(epsilon)
 	workers := linalg.ResolveWorkers(opts.Workers)
+	done := ctx.Done()
 	prevErr := math.Inf(1)
 	iterations := 0
 	for ; iterations < opts.MaxIterations; iterations++ {
+		// One cancellation check per update iteration; the parallel
+		// products below add per-block checks for large factors.
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// H ← H ∘ (Wᵀ V) / (Wᵀ W H)
-		if err := w.ParallelTransposeInto(wt, workers); err != nil {
+		if err := w.ParallelTransposeIntoCtx(ctx, wt, workers); err != nil {
 			return nil, err
 		}
-		if err := wt.ParallelMulInto(wtv, v, workers); err != nil {
+		if err := wt.ParallelMulIntoCtx(ctx, wtv, v, workers); err != nil {
 			return nil, err
 		}
-		if err := wt.ParallelMulInto(wtw, w, workers); err != nil {
+		if err := wt.ParallelMulIntoCtx(ctx, wtw, w, workers); err != nil {
 			return nil, err
 		}
-		if err := wtw.ParallelMulInto(wtwh, h, workers); err != nil {
+		if err := wtw.ParallelMulIntoCtx(ctx, wtwh, h, workers); err != nil {
 			return nil, err
 		}
 		for i := range h.Data {
 			h.Data[i] *= wtv.Data[i] / (wtwh.Data[i] + eps)
 		}
 		// W ← W ∘ (V Hᵀ) / (W H Hᵀ)
-		if err := h.ParallelTransposeInto(ht, workers); err != nil {
+		if err := h.ParallelTransposeIntoCtx(ctx, ht, workers); err != nil {
 			return nil, err
 		}
-		if err := v.ParallelMulInto(vht, ht, workers); err != nil {
+		if err := v.ParallelMulIntoCtx(ctx, vht, ht, workers); err != nil {
 			return nil, err
 		}
-		if err := w.ParallelMulInto(wh, h, workers); err != nil {
+		if err := w.ParallelMulIntoCtx(ctx, wh, h, workers); err != nil {
 			return nil, err
 		}
-		if err := wh.ParallelMulInto(whht, ht, workers); err != nil {
+		if err := wh.ParallelMulIntoCtx(ctx, whht, ht, workers); err != nil {
 			return nil, err
 		}
 		for i := range w.Data {

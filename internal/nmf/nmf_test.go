@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/linalg"
+	"repro/internal/testutil"
 )
 
 // syntheticMix builds rows that are non-negative mixtures of `rank` known
@@ -225,6 +226,7 @@ func TestFactorizeProperty(t *testing.T) {
 // The matrix is sized so the parallel kernels actually engage (the blocked
 // kernels fall back to serial below a work threshold).
 func TestFactorizeParallelMatchesSerial(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
 	rng := rand.New(rand.NewSource(76))
 	rows, _ := syntheticMix(rng, 120, 90, 4)
 	serial, err := Factorize(rows, Options{Rank: 5, Seed: 9, MaxIterations: 40, Workers: 1})

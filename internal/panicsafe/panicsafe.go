@@ -1,0 +1,61 @@
+// Package panicsafe converts panics escaping worker goroutines into
+// returned errors. A panic on the main goroutine of a computation
+// unwinds to the caller like any other panic; a panic inside a pool
+// worker, by contrast, would crash the whole process — no deferred
+// recover on the caller's stack can catch it. Every worker pool in the
+// pipeline (the blocked distance kernels, the FFT batch pool, the
+// ingestion chunk parsers, the vectorizer shards, the k-means restarts)
+// therefore runs its worker body through Call and surfaces the resulting
+// *panicsafe.Error through its normal error return instead of dying
+// mid-analysis.
+package panicsafe
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Error carries a recovered panic value together with the stack of the
+// goroutine that panicked, so a converted worker panic remains as
+// debuggable as the crash it replaces.
+type Error struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted stack trace captured at recovery, from
+	// runtime/debug.Stack.
+	Stack []byte
+}
+
+// Error implements the error interface. The stack is included: a worker
+// panic converted to an error typically travels far from the goroutine
+// that produced it before being logged.
+func (e *Error) Error() string {
+	return fmt.Sprintf("panic: %v\n\nworker stack:\n%s", e.Value, e.Stack)
+}
+
+// Call runs fn, converting a panic into an *Error carrying the panic
+// value and the worker's stack. A nil return means fn returned normally
+// with a nil error.
+func Call(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &Error{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Go runs fn on its own goroutine through Call, delivering the converted
+// error (or fn's own error) to report. report is only invoked for a
+// non-nil error and must be safe for concurrent use; pools typically
+// pass a sync.Once-guarded first-error store. done is called exactly
+// once when the goroutine finishes, panicked or not — a sync.WaitGroup's
+// Done in every current caller — so pools can always drain.
+func Go(fn func() error, report func(error), done func()) {
+	go func() {
+		defer done()
+		if err := Call(fn); err != nil && report != nil {
+			report(err)
+		}
+	}()
+}

@@ -1,0 +1,67 @@
+package panicsafe
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCallPassesThroughReturns(t *testing.T) {
+	if err := Call(func() error { return nil }); err != nil {
+		t.Fatalf("nil-returning fn: err = %v", err)
+	}
+	sentinel := errors.New("boom")
+	if err := Call(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("error-returning fn: err = %v, want sentinel", err)
+	}
+}
+
+func TestCallConvertsPanic(t *testing.T) {
+	err := Call(func() error { panic("kernel exploded") })
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *panicsafe.Error", err)
+	}
+	if pe.Value != "kernel exploded" {
+		t.Errorf("Value = %v, want the panic value", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "panicsafe") {
+		t.Errorf("Stack missing or implausible: %q", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "kernel exploded") {
+		t.Errorf("Error() does not mention the panic value: %s", err)
+	}
+}
+
+func TestGoAlwaysCallsDone(t *testing.T) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var got []error
+	report := func(err error) {
+		mu.Lock()
+		got = append(got, err)
+		mu.Unlock()
+	}
+	wg.Add(3)
+	Go(func() error { return nil }, report, wg.Done)
+	Go(func() error { return errors.New("plain") }, report, wg.Done)
+	Go(func() error { panic(42) }, report, wg.Done)
+	wg.Wait() // deadlocks here if a panicking worker skipped done
+	if len(got) != 2 {
+		t.Fatalf("report called %d times, want 2 (plain error + panic)", len(got))
+	}
+	panics := 0
+	for _, err := range got {
+		var pe *Error
+		if errors.As(err, &pe) {
+			panics++
+			if pe.Value != 42 {
+				t.Errorf("panic Value = %v, want 42", pe.Value)
+			}
+		}
+	}
+	if panics != 1 {
+		t.Fatalf("%d reported errors were panics, want 1", panics)
+	}
+}

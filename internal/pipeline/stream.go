@@ -1,15 +1,18 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
 	"repro/internal/linalg"
+	"repro/internal/panicsafe"
 	"repro/internal/trace"
 )
 
@@ -35,6 +38,17 @@ const sourceBatchSize = 512
 // every tower appearing in the stream gets a row even if all its records
 // fall outside the window.
 func VectorizeSource(src trace.Source, towers []trace.TowerInfo, opts VectorizerOptions) (*Dataset, error) {
+	return VectorizeSourceContext(context.Background(), src, towers, opts)
+}
+
+// VectorizeSourceContext is VectorizeSource with cancellation and worker
+// fault isolation: ctx is observed between source batches (a Background
+// context costs nothing), a panic inside a shard worker — or inside the
+// source itself — is returned as a *panicsafe.Error instead of crashing
+// the process, and on any early exit — cancellation, source failure or
+// worker panic — every shard worker drains and terminates before the
+// call returns.
+func VectorizeSourceContext(ctx context.Context, src trace.Source, towers []trace.TowerInfo, opts VectorizerOptions) (*Dataset, error) {
 	if src == nil {
 		return nil, fmt.Errorf("pipeline: nil source")
 	}
@@ -53,7 +67,20 @@ func VectorizeSource(src trace.Source, towers []trace.TowerInfo, opts Vectorizer
 	// Drained batches return to the free list so steady-state ingestion
 	// reuses a fixed set of buffers instead of allocating per batch.
 	free := make(chan []trace.Record, 4*workers)
-	var wg sync.WaitGroup
+	// A worker that panics latches the first error and raises stop; the
+	// producer stops feeding, and the worker itself KEEPS DRAINING its
+	// channel (discarding batches) so the producer can never deadlock on
+	// a send to a dead shard.
+	var (
+		stop      atomic.Bool
+		errOnce   sync.Once
+		workerErr error
+		wg        sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { workerErr = err })
+		stop.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		shards[w] = make(map[int]linalg.Vector)
 		chans[w] = make(chan []trace.Record, 2)
@@ -61,8 +88,9 @@ func VectorizeSource(src trace.Source, towers []trace.TowerInfo, opts Vectorizer
 		go func(w int) {
 			defer wg.Done()
 			acc := shards[w]
-			for batch := range chans[w] {
-				for _, r := range batch {
+			var cur []trace.Record
+			accumulate := func() error {
+				for _, r := range cur {
 					vec, ok := acc[r.TowerID]
 					if !ok {
 						vec = make(linalg.Vector, slots)
@@ -72,6 +100,15 @@ func VectorizeSource(src trace.Source, towers []trace.TowerInfo, opts Vectorizer
 						continue
 					}
 					vec[int(r.Start.Sub(opts.Start)/slotDur)] += float64(r.Bytes)
+				}
+				return nil
+			}
+			for batch := range chans[w] {
+				if !stop.Load() {
+					cur = batch
+					if err := panicsafe.Call(accumulate); err != nil {
+						fail(err)
+					}
 				}
 				select {
 				case free <- batch[:0]:
@@ -94,29 +131,37 @@ func VectorizeSource(src trace.Source, towers []trace.TowerInfo, opts Vectorizer
 		pending[w] = newBatch()
 	}
 
+	done := ctx.Done()
 	batched := trace.Batched(src)
 	inp := trace.GetBatch()
-	var srcErr error
-	for {
-		n, err := batched.NextBatch(*inp)
-		for _, r := range (*inp)[:n] {
-			w := r.TowerID % workers
-			if w < 0 {
-				w += workers
+	// The read loop runs under panic recovery: a panicking source would
+	// otherwise unwind this goroutine before the shard channels close,
+	// leaving every worker blocked on its channel forever.
+	srcErr := panicsafe.Call(func() error {
+		for {
+			if stop.Load() || (done != nil && ctx.Err() != nil) {
+				return nil
 			}
-			pending[w] = append(pending[w], r)
-			if len(pending[w]) >= sourceBatchSize {
-				chans[w] <- pending[w]
-				pending[w] = newBatch()
+			n, err := batched.NextBatch(*inp)
+			for _, r := range (*inp)[:n] {
+				w := r.TowerID % workers
+				if w < 0 {
+					w += workers
+				}
+				pending[w] = append(pending[w], r)
+				if len(pending[w]) >= sourceBatchSize {
+					chans[w] <- pending[w]
+					pending[w] = newBatch()
+				}
+			}
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					return err
+				}
+				return nil
 			}
 		}
-		if err != nil {
-			if !errors.Is(err, io.EOF) {
-				srcErr = err
-			}
-			break
-		}
-	}
+	})
 	trace.PutBatch(inp)
 	for w := range chans {
 		if len(pending[w]) > 0 {
@@ -125,8 +170,16 @@ func VectorizeSource(src trace.Source, towers []trace.TowerInfo, opts Vectorizer
 		close(chans[w])
 	}
 	wg.Wait()
+	if workerErr != nil {
+		return nil, fmt.Errorf("pipeline: vectorizing: %w", workerErr)
+	}
 	if srcErr != nil {
 		return nil, fmt.Errorf("pipeline: reading source: %w", srcErr)
+	}
+	if done != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Shards are disjoint by construction (tower → worker is a function),

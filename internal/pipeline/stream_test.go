@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/testutil"
 	"repro/internal/trace"
 )
 
@@ -43,6 +44,7 @@ func datasetsEqual(a, b *Dataset) error {
 // identical to the (wrapped) slice path, for random record batches
 // including out-of-window records and towers without locations.
 func TestVectorizeSourceMatchesRecordsProperty(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
 	towers := []trace.TowerInfo{
 		{TowerID: 0, Location: geo.Point{Lat: 31.1, Lon: 121.4}, Resolved: true},
 		{TowerID: 1, Location: geo.Point{Lat: 31.2, Lon: 121.5}, Resolved: true},
@@ -78,6 +80,7 @@ func TestVectorizeSourceMatchesRecordsProperty(t *testing.T) {
 }
 
 func TestVectorizeSourceErrors(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
 	if _, err := VectorizeSource(nil, nil, defaultOpts()); err == nil {
 		t.Error("nil source should fail")
 	}
@@ -106,6 +109,7 @@ func TestVectorizeSourceErrors(t *testing.T) {
 }
 
 func TestVectorizeSourceKeepsOutOfWindowTowers(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
 	// A tower whose only records fall outside the window still gets an
 	// all-zero row, matching the slice path.
 	records := []trace.Record{

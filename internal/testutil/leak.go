@@ -1,0 +1,72 @@
+// Package testutil holds shared test harnesses. It is imported only from
+// _test files; nothing in the production build depends on it.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakSettleTimeout bounds how long CheckNoGoroutineLeak waits for
+// goroutines spawned by the test to wind down before declaring a leak.
+// Worker pools in this repo terminate as soon as their WaitGroup drains,
+// so a healthy test settles in microseconds; the generous budget only
+// matters under -race on loaded CI machines.
+const leakSettleTimeout = 5 * time.Second
+
+// CheckNoGoroutineLeak snapshots the goroutine count and registers a
+// cleanup that fails the test if the count has not returned to the
+// baseline by the end of the test. It is a hand-rolled stand-in for
+// goleak: the runtime count is polled with backoff (GC, timer and pool
+// goroutines need a moment to park), and on failure the full stack dump
+// is logged so the leaked goroutine is identifiable.
+//
+// Call it FIRST in the test, before any goroutine-spawning code:
+//
+//	func TestSomething(t *testing.T) {
+//		testutil.CheckNoGoroutineLeak(t)
+//		...
+//	}
+//
+// Subtests that run in parallel with their siblings must each call it on
+// their own *testing.T rather than the parent's.
+func CheckNoGoroutineLeak(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakSettleTimeout)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		after := runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d before, %d after waiting %v\n\n%s",
+			before, after, leakSettleTimeout, condenseStacks(string(buf)))
+	})
+}
+
+// condenseStacks drops the calling test's own stack from the dump so the
+// leak report leads with the interesting goroutines.
+func condenseStacks(dump string) string {
+	blocks := strings.Split(dump, "\n\n")
+	var keep []string
+	for _, b := range blocks {
+		if strings.Contains(b, "testing.tRunner") && strings.Contains(b, "[running]") {
+			continue
+		}
+		keep = append(keep, b)
+	}
+	return strings.Join(keep, "\n\n")
+}

@@ -15,13 +15,25 @@ package trace
 // so a newline is marked as a record boundary exactly when the serial
 // scanner would start a fresh row there, for malformed input as much as
 // for well-formed input.
+//
+// Fault tolerance: the chunk reader and every parse worker run under
+// panic recovery (a panic surfaces as an ordered error chunk, not a
+// process crash), cancellation of the construction context is observed
+// at chunk granularity by the reader, the consumer and the dispatch
+// hand-off, and the consumer rebases chunk-relative error positions
+// (line + byte offset) onto the whole stream, so fail-fast errors from a
+// worker locate the offending row in the file, not in the chunk.
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+
+	"repro/internal/panicsafe"
 )
 
 const (
@@ -35,14 +47,16 @@ const (
 )
 
 // IngestSource is the common surface of the CSV ingestion readers:
-// scalar and batched record access, malformed-row accounting, and Close
-// for releasing background resources when a stream is abandoned before
-// io.EOF (a no-op for the serial Scanner, mandatory cleanup for the
-// goroutine-backed ParallelCSVSource).
+// scalar and batched record access, malformed-row accounting (the bare
+// total and the per-category breakdown), and Close for releasing
+// background resources when a stream is abandoned before io.EOF (a no-op
+// for the serial Scanner, mandatory cleanup for the goroutine-backed
+// ParallelCSVSource).
 type IngestSource interface {
 	Source
 	BatchSource
 	Skipped() int
+	Stats() SkipStats
 	Close()
 }
 
@@ -52,13 +66,61 @@ type IngestSource interface {
 // the chunk handoff would only cost), or a ParallelCSVSource fanning
 // chunk parsing across workers goroutines.
 func NewIngestSource(r io.Reader, workers int) (IngestSource, error) {
+	return NewIngestSourceContext(context.Background(), r, workers, ErrorPolicy{})
+}
+
+// NewIngestSourceContext is NewIngestSource with cancellation and an
+// explicit ingestion error policy. Cancellation is observed at batch
+// granularity on the serial path and chunk granularity on the parallel
+// path; when policy.Retry enables retrying, the reader is wrapped in a
+// RetryReader and the absorbed transient failures appear in
+// Stats().IORetries.
+func NewIngestSourceContext(ctx context.Context, r io.Reader, workers int, policy ErrorPolicy) (IngestSource, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var rr *RetryReader
+	if policy.Retry.MaxAttempts > 0 {
+		rr = NewRetryReader(ctx, r, policy.Retry)
+		r = rr
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var src IngestSource
 	if workers == 1 {
-		return NewScanner(r)
+		sc, err := NewScannerPolicy(r, policy)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Done() == nil && rr == nil {
+			return sc, nil
+		}
+		src = WithContext(ctx, sc)
+	} else {
+		p, err := NewParallelCSVSourceContext(ctx, r, workers, policy)
+		if err != nil {
+			return nil, err
+		}
+		src = p
 	}
-	return NewParallelCSVSource(r, workers)
+	if rr != nil {
+		src = &retryStatsSource{IngestSource: src, rr: rr}
+	}
+	return src, nil
+}
+
+// retryStatsSource folds the RetryReader's absorbed-failure count into
+// the wrapped source's skip stats.
+type retryStatsSource struct {
+	IngestSource
+	rr *RetryReader
+}
+
+func (s *retryStatsSource) Stats() SkipStats {
+	st := s.IngestSource.Stats()
+	st.IORetries += s.rr.Retries()
+	return st
 }
 
 // boundaryState is the chunker's position in the CSV quoting state
@@ -169,11 +231,16 @@ type job struct {
 }
 
 // parsedChunk is a worker's output for one chunk, or the reader's
-// terminal I/O error.
+// terminal I/O error. Positions inside err (a *PosError, if any) are
+// chunk-relative; lines and bytes let the consumer rebase them and keep
+// a running stream position.
 type parsedChunk struct {
-	recs    []Record
-	skipped int
-	err     error
+	recs  []Record
+	stats SkipStats
+	rows  int64 // data rows observed in the chunk, skipped included
+	lines int64 // physical lines in the chunk
+	bytes int64 // chunk payload size
+	err   error
 }
 
 // ParallelCSVSource is an order-preserving parallel reader over the CSV
@@ -181,17 +248,31 @@ type parsedChunk struct {
 // with the same malformed-row skip counts as CSVReader and Scanner, in
 // the same order, for any worker count. Not safe for concurrent use by
 // multiple consumers.
+//
+// Error-policy granularity: PolicyFailFast stops exactly at the first
+// malformed row (every good record before it is delivered, none after);
+// PolicyBudget is evaluated once per consumed chunk, so the stream ends
+// within one chunk of the serial trip point, with all of that chunk's
+// records delivered first.
 type ParallelCSVSource struct {
 	order     chan chan parsedChunk
 	jobs      chan job
 	done      chan struct{}
 	chunkSize int
 
-	cur     []Record
-	pos     int
-	skipped int
-	err     error
-	closed  bool
+	ctx     context.Context
+	ctxDone <-chan struct{}
+	policy  ErrorPolicy
+
+	cur        []Record
+	pos        int
+	stats      SkipStats
+	rows       int64
+	baseLine   int64 // physical lines consumed through prior chunks (header included)
+	baseOffset int64 // bytes consumed through prior chunks (header included)
+	pendingErr error // terminal error to surface once cur is drained
+	err        error
+	closed     bool
 
 	bufPool sync.Pool
 	recPool sync.Pool
@@ -202,12 +283,29 @@ type ParallelCSVSource struct {
 // GOMAXPROCS). Call Close to release the goroutines if the stream is
 // abandoned before io.EOF or an error.
 func NewParallelCSVSource(r io.Reader, workers int) (*ParallelCSVSource, error) {
-	return newParallelCSVSource(r, workers, parallelChunkSize)
+	return newParallelCSVSourceOpts(context.Background(), r, workers, parallelChunkSize, ErrorPolicy{})
+}
+
+// NewParallelCSVSourceContext is NewParallelCSVSource with cancellation
+// and an ingestion error policy. ctx is observed by the chunk reader,
+// the dispatch hand-off and the consumer, all at chunk granularity;
+// after cancellation Next/NextBatch return ctx.Err() and all background
+// goroutines drain. The retry part of the policy is ignored here — wrap
+// the reader (see NewIngestSourceContext) to retry transient I/O errors.
+func NewParallelCSVSourceContext(ctx context.Context, r io.Reader, workers int, policy ErrorPolicy) (*ParallelCSVSource, error) {
+	return newParallelCSVSourceOpts(ctx, r, workers, parallelChunkSize, policy)
 }
 
 // newParallelCSVSource exposes the chunk size so tests can force many
 // tiny chunks through small inputs.
 func newParallelCSVSource(r io.Reader, workers, chunkSize int) (*ParallelCSVSource, error) {
+	return newParallelCSVSourceOpts(context.Background(), r, workers, chunkSize, ErrorPolicy{})
+}
+
+func newParallelCSVSourceOpts(ctx context.Context, r io.Reader, workers, chunkSize int, policy ErrorPolicy) (*ParallelCSVSource, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -228,10 +326,15 @@ func newParallelCSVSource(r io.Reader, workers, chunkSize int) (*ParallelCSVSour
 	}
 
 	p := &ParallelCSVSource{
-		order:     make(chan chan parsedChunk, 2*workers),
-		jobs:      make(chan job, workers),
-		done:      make(chan struct{}),
-		chunkSize: chunkSize,
+		order:      make(chan chan parsedChunk, 2*workers),
+		jobs:       make(chan job, workers),
+		done:       make(chan struct{}),
+		chunkSize:  chunkSize,
+		ctx:        ctx,
+		ctxDone:    ctx.Done(),
+		policy:     policy,
+		baseLine:   sc.line,   // lines the header occupied
+		baseOffset: sc.offset, // bytes the header occupied
 	}
 	for w := 0; w < workers; w++ {
 		go p.worker()
@@ -248,11 +351,29 @@ type errorReader struct {
 func (r errorReader) Read([]byte) (int, error) { return 0, r.err }
 
 // readChunks assembles record-aligned chunks and dispatches them to the
-// workers in input order.
+// workers in input order, converting a chunker panic into an ordered
+// error chunk instead of crashing the process.
 func (p *ParallelCSVSource) readChunks(r io.Reader, pending []byte, eof bool) {
 	defer close(p.order)
 	defer close(p.jobs)
+	if err := panicsafe.Call(func() error {
+		p.chunkLoop(r, pending, eof)
+		return nil
+	}); err != nil {
+		errCh := make(chan parsedChunk, 1)
+		errCh <- parsedChunk{err: err}
+		select {
+		case p.order <- errCh:
+		case <-p.done:
+		case <-p.ctxDone:
+		}
+	}
+}
 
+// chunkLoop is the chunk reader's body; it returns when the input is
+// exhausted, an I/O error has been surfaced, the source was closed, or
+// the context was cancelled.
+func (p *ParallelCSVSource) chunkLoop(r io.Reader, pending []byte, eof bool) {
 	// acc always starts at a record boundary. state is the quoting state
 	// machine's position, scanned the prefix of acc already examined,
 	// and lastSafe the index just past the last record-boundary newline.
@@ -271,22 +392,27 @@ func (p *ParallelCSVSource) readChunks(r io.Reader, pending []byte, eof bool) {
 
 	for {
 		for !eof && len(acc) < cap(acc) {
+			if p.ctxDone != nil && p.ctx.Err() != nil {
+				return
+			}
 			n, err := r.Read(acc[len(acc):cap(acc)])
 			acc = acc[:len(acc)+n]
 			if err == io.EOF {
 				eof = true
 			} else if err != nil {
 				// Flush the complete records read so far, then surface
-				// the I/O error in order, exactly once.
+				// the I/O error in order, exactly once. The consumer
+				// wraps it with the stream position.
 				rescan()
 				if lastSafe > 0 {
 					p.dispatch(acc[:lastSafe])
 				}
 				errCh := make(chan parsedChunk, 1)
-				errCh <- parsedChunk{err: fmt.Errorf("trace: reading row: %w", err)}
+				errCh <- parsedChunk{err: err}
 				select {
 				case p.order <- errCh:
 				case <-p.done:
+				case <-p.ctxDone:
 				}
 				return
 			}
@@ -321,62 +447,157 @@ func (p *ParallelCSVSource) readChunks(r io.Reader, pending []byte, eof bool) {
 }
 
 // dispatch hands one chunk to the workers, keeping its result slot in
-// the order queue. It reports false when the source was closed.
+// the order queue. It reports false when the source was closed or
+// cancelled.
 func (p *ParallelCSVSource) dispatch(data []byte) bool {
 	ch := make(chan parsedChunk, 1)
 	select {
 	case p.order <- ch:
 	case <-p.done:
 		return false
+	case <-p.ctxDone:
+		return false
 	}
 	select {
 	case p.jobs <- job{data: data, out: ch}:
 	case <-p.done:
+		return false
+	case <-p.ctxDone:
 		return false
 	}
 	return true
 }
 
 // worker parses chunks with a private zero-allocation scanner whose
-// scratch buffers and address intern table persist across chunks.
+// scratch buffers and address intern table persist across chunks. A
+// panic while parsing becomes the chunk's error instead of crashing the
+// process.
 func (p *ParallelCSVSource) worker() {
 	sc := newChunkScanner()
+	if p.policy.Mode == PolicyFailFast {
+		// Chunk-relative fail-fast: the scanner stops at the first bad
+		// row with a chunk-relative position the consumer rebases; the
+		// records before it are delivered, matching serial semantics
+		// exactly. Budget mode stays chunk-side Skip — the budget is
+		// global and applied by the consumer.
+		sc.policy.Mode = PolicyFailFast
+	}
 	for j := range p.jobs {
-		sc.resetBytes(j.data)
-		recs := p.getRecs()
-		for {
-			if len(recs) == cap(recs) {
-				recs = append(recs, Record{})[:len(recs)]
+		var pc parsedChunk
+		if err := panicsafe.Call(func() error {
+			sc.resetBytes(j.data)
+			recs := p.getRecs()
+			for {
+				if len(recs) == cap(recs) {
+					recs = append(recs, Record{})[:len(recs)]
+				}
+				n, err := sc.NextBatch(recs[len(recs):cap(recs)])
+				recs = recs[:len(recs)+n]
+				if err != nil {
+					if !errors.Is(err, io.EOF) {
+						// Fail-fast rejection: a bytes-mode scanner has
+						// no reader to fail any other way.
+						pc.err = err
+					}
+					break
+				}
 			}
-			n, err := sc.NextBatch(recs[len(recs):cap(recs)])
-			recs = recs[:len(recs)+n]
-			if err != nil {
-				// Always io.EOF: a bytes-mode scanner has no reader to fail.
-				break
-			}
+			pc.recs = recs
+			pc.stats = sc.stats
+			pc.rows = sc.rows
+			pc.lines = sc.line
+			pc.bytes = int64(len(j.data))
+			return nil
+		}); err != nil {
+			pc = parsedChunk{err: err}
 		}
 		p.putBuf(j.data)
 		// The send never blocks: out is buffered and owned by this chunk.
-		j.out <- parsedChunk{recs: recs, skipped: sc.Skipped()}
+		j.out <- pc
 	}
 }
 
+// rebase turns a chunk-relative error into a stream-positioned one.
+// Panic and context errors pass through untouched; raw I/O errors are
+// positioned at the first unparsed line.
+func (p *ParallelCSVSource) rebase(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	var ps *panicsafe.Error
+	if errors.As(err, &ps) {
+		return err
+	}
+	var pe *PosError
+	if errors.As(err, &pe) {
+		return fmt.Errorf("trace: %w", &PosError{
+			Line:   p.baseLine + pe.Line,
+			Offset: p.baseOffset + pe.Offset,
+			Err:    pe.Err,
+		})
+	}
+	return fmt.Errorf("trace: reading row: %w", &PosError{
+		Line:   p.baseLine + 1,
+		Offset: p.baseOffset,
+		Err:    err,
+	})
+}
+
 // advance releases the consumed batch and takes the next chunk's result
-// in input order.
+// in input order, folding its stats into the stream totals and applying
+// the error budget.
 func (p *ParallelCSVSource) advance() error {
 	if p.cur != nil {
 		p.putRecs(p.cur)
 		p.cur = nil
 	}
 	p.pos = 0
-	ch, ok := <-p.order
+	if p.pendingErr != nil {
+		return p.pendingErr
+	}
+	if p.ctxDone != nil {
+		if err := p.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	var (
+		ch chan parsedChunk
+		ok bool
+	)
+	select {
+	case ch, ok = <-p.order:
+	case <-p.ctxDone:
+		return p.ctx.Err()
+	}
 	if !ok {
 		return io.EOF
 	}
-	c := <-ch
-	p.skipped += c.skipped
-	if c.err != nil {
-		return c.err
+	var c parsedChunk
+	select {
+	case c = <-ch:
+	case <-p.ctxDone:
+		return p.ctx.Err()
+	}
+	p.stats.Add(c.stats)
+	p.rows += c.rows
+	var err error
+	switch {
+	case c.err != nil:
+		err = p.rebase(c.err)
+	case p.policy.exceeded(p.stats.SkippedRows(), p.rows):
+		err = fmt.Errorf("trace: %w: %d of %d rows dropped (%v)",
+			ErrBudgetExceeded, p.stats.SkippedRows(), p.rows, p.stats)
+	}
+	p.baseLine += c.lines
+	p.baseOffset += c.bytes
+	if err != nil {
+		if len(c.recs) > 0 {
+			// Deliver the good records ahead of the failure point first.
+			p.cur = c.recs
+			p.pendingErr = err
+			return nil
+		}
+		return err
 	}
 	p.cur = c.recs
 	return nil
@@ -424,7 +645,12 @@ func (p *ParallelCSVSource) NextBatch(dst []Record) (int, error) {
 // Skipped returns the number of malformed rows skipped in the chunks
 // consumed so far; after the stream is drained it is the total for the
 // whole input, equal to what CSVReader would report.
-func (p *ParallelCSVSource) Skipped() int { return p.skipped }
+func (p *ParallelCSVSource) Skipped() int { return int(p.stats.SkippedRows()) }
+
+// Stats returns the per-category skip accounting for the chunks consumed
+// so far; after the stream is drained it matches the serial Scanner's
+// stats for the whole input.
+func (p *ParallelCSVSource) Stats() SkipStats { return p.stats }
 
 // Close stops the background reader and workers. Subsequent calls
 // return io.EOF (or the earlier terminal error). Close is idempotent

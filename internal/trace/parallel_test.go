@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 // parallelTestTrace builds a CSV trace with the full menu of realistic
@@ -67,6 +69,7 @@ func parallelTestTrace(t testing.TB, rows int, seed int64) []byte {
 // parallel parser yields exactly the records, order and skip count of
 // the serial CSVReader.
 func TestParallelCSVSourceMatchesCSVReader(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
 	data := parallelTestTrace(t, 20_000, 3)
 
 	cr, err := NewCSVReader(bytes.NewReader(data))
@@ -371,6 +374,7 @@ func TestParallelCSVSourceTinyChunksAdversarial(t *testing.T) {
 // TestParallelCSVSourceIOError checks that a mid-stream I/O failure
 // surfaces as a terminal error after the records read before it.
 func TestParallelCSVSourceIOError(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
 	broken := errors.New("read: connection reset")
 	payload := scanHeader + "1,2014-08-01T08:00:00Z,2014-08-01T08:05:00Z,7,addr,100,LTE\n"
 	p, err := NewParallelCSVSource(&flakyReader{payload: strings.NewReader(payload), err: broken}, 2)
@@ -433,6 +437,7 @@ func TestParallelCSVSourceSurfacesHeaderLatchedError(t *testing.T) {
 // the background goroutines must wind down without deadlock and
 // subsequent reads must report io.EOF.
 func TestParallelCSVSourceCloseEarly(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
 	data := parallelTestTrace(t, 200_000, 8)
 	p, err := NewParallelCSVSource(bytes.NewReader(data), 4)
 	if err != nil {

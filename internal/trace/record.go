@@ -10,6 +10,17 @@
 // encoding/csv CSVReader; records move downstream through the
 // BatchSource interface. The write path (WriteCSV, CSVWriter,
 // WriteTowersCSV) is symmetric, serialising rows into reused buffers.
+//
+// Fault tolerance: every ingestion constructor has a context-aware form
+// (NewIngestSourceContext, NewParallelCSVSourceContext,
+// CleanSourceContext, WithContext) taking an ErrorPolicy that selects
+// skip / fail-fast / budget handling of malformed rows, per-category
+// skip accounting (SkipStats) and bounded retry of transient read errors
+// (RetryPolicy). The legacy names — NewIngestSource, NewParallelCSVSource,
+// CleanSource — remain as context.Background() wrappers with the
+// historical skip-everything policy, so existing callers keep their exact
+// behaviour. Terminal errors from the readers carry the failing row's
+// line number and byte offset via *PosError.
 package trace
 
 import (
@@ -187,25 +198,34 @@ func ReadCSV(r io.Reader) (records []Record, skipped int, err error) {
 }
 
 func parseRow(row []string) (Record, error) {
+	rec, _, err := parseRowCat(row)
+	return rec, err
+}
+
+// parseRowCat is parseRow with the drop category attached, feeding the
+// per-category SkipStats of CSVReader. Categories mirror the Scanner's
+// classification (same field order), so all three ingestion paths report
+// identical stats for the same input.
+func parseRowCat(row []string) (Record, skipCategory, error) {
 	userID, err := strconv.Atoi(row[0])
 	if err != nil {
-		return Record{}, fmt.Errorf("trace: user id: %w", err)
+		return Record{}, skipBadField, fmt.Errorf("trace: user id: %w", err)
 	}
 	start, err := time.Parse(timeLayout, row[1])
 	if err != nil {
-		return Record{}, fmt.Errorf("trace: start: %w", err)
+		return Record{}, skipBadTimestamp, fmt.Errorf("trace: start: %w", err)
 	}
 	end, err := time.Parse(timeLayout, row[2])
 	if err != nil {
-		return Record{}, fmt.Errorf("trace: end: %w", err)
+		return Record{}, skipBadTimestamp, fmt.Errorf("trace: end: %w", err)
 	}
 	towerID, err := strconv.Atoi(row[3])
 	if err != nil {
-		return Record{}, fmt.Errorf("trace: tower id: %w", err)
+		return Record{}, skipBadField, fmt.Errorf("trace: tower id: %w", err)
 	}
 	bytes, err := strconv.ParseInt(row[5], 10, 64)
 	if err != nil {
-		return Record{}, fmt.Errorf("trace: bytes: %w", err)
+		return Record{}, skipBadField, fmt.Errorf("trace: bytes: %w", err)
 	}
 	rec := Record{
 		UserID:  userID,
@@ -217,9 +237,9 @@ func parseRow(row []string) (Record, error) {
 		Tech:    Technology(row[6]),
 	}
 	if err := rec.Validate(); err != nil {
-		return Record{}, err
+		return Record{}, skipBadField, err
 	}
-	return rec, nil
+	return rec, skipNone, nil
 }
 
 // TowerInfo is the per-tower metadata recovered during preprocessing.

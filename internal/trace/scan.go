@@ -67,7 +67,20 @@ type Scanner struct {
 	readErr error // latched non-EOF read error, surfaced once the buffer drains
 	err     error
 
-	skipped int
+	stats  SkipStats
+	rows   int64 // data rows observed so far, skipped rows included
+	policy ErrorPolicy
+
+	// Stream position, maintained by readLine: physical lines and raw
+	// bytes consumed (the header counts), plus the position at which the
+	// current row starts — what a positioned fail-fast error reports.
+	// Chunk scanners run with chunk-relative positions that the parallel
+	// consumer rebases.
+	line      int64
+	offset    int64
+	lineStart int64
+	rowLine   int64
+	rowOffset int64
 
 	// Per-row scratch, reused across records. fields holds the current
 	// row's field views: into the read buffer for borrowed fields, into
@@ -96,8 +109,18 @@ type Scanner struct {
 // performance-sensitive paths; NewIngestSource picks between the serial
 // and parallel layouts.
 func NewScanner(r io.Reader) (*Scanner, error) {
+	return NewScannerPolicy(r, ErrorPolicy{})
+}
+
+// NewScannerPolicy is NewScanner with an explicit ingestion error policy
+// (the zero policy skips and counts malformed rows, the historical
+// behaviour). Policy violations surface as terminal errors wrapping
+// ErrRowRejected or ErrBudgetExceeded; fail-fast errors carry a PosError
+// locating the offending row.
+func NewScannerPolicy(r io.Reader, policy ErrorPolicy) (*Scanner, error) {
 	s := newChunkScanner()
 	s.r = r
+	s.policy = policy
 	s.buf = make([]byte, scanBufSize)
 	s.eof = false
 	if err := s.readRow(); err != nil {
@@ -128,11 +151,17 @@ func (s *Scanner) resetBytes(data []byte) {
 	s.start, s.end = 0, len(data)
 	s.eof = true
 	s.err = nil
-	s.skipped = 0
+	s.stats = SkipStats{}
+	s.rows = 0
+	s.line, s.offset, s.lineStart = 0, 0, 0
+	s.rowLine, s.rowOffset = 0, 0
 }
 
 // Skipped returns the number of malformed rows skipped so far.
-func (s *Scanner) Skipped() int { return s.skipped }
+func (s *Scanner) Skipped() int { return int(s.stats.SkippedRows()) }
+
+// Stats returns the per-category skip accounting so far.
+func (s *Scanner) Stats() SkipStats { return s.stats }
 
 // Close is a no-op: the serial Scanner holds no background resources.
 // It exists so Scanner satisfies IngestSource's cleanup contract.
@@ -161,22 +190,50 @@ func (s *Scanner) NextBatch(dst []Record) (int, error) {
 	for n < len(dst) {
 		if err := s.readRow(); err != nil {
 			if err == errRow {
-				s.skipped++
+				if ferr := s.reject(skipMalformed); ferr != nil {
+					s.err = ferr
+					return n, ferr
+				}
 				continue
 			}
 			if !errors.Is(err, io.EOF) {
-				err = fmt.Errorf("trace: reading row: %w", err)
+				err = fmt.Errorf("trace: reading row: %w", &PosError{Line: s.line, Offset: s.offset, Err: err})
 			}
 			s.err = err
 			return n, err
 		}
-		if s.toRecord(&dst[n]) {
+		if cat := s.toRecord(&dst[n]); cat == skipNone {
+			s.rows++
 			n++
-		} else {
-			s.skipped++
+		} else if ferr := s.reject(cat); ferr != nil {
+			s.err = ferr
+			return n, ferr
 		}
 	}
 	return n, nil
+}
+
+// reject accounts one dropped row and applies the error policy: a nil
+// return keeps streaming; otherwise the returned error is terminal. The
+// records already in dst stay valid — a fail-fast stream delivers every
+// good row before the offending one.
+func (s *Scanner) reject(cat skipCategory) error {
+	s.rows++
+	s.stats.count(cat)
+	switch s.policy.Mode {
+	case PolicyFailFast:
+		return fmt.Errorf("trace: %w", &PosError{
+			Line:   s.rowLine,
+			Offset: s.rowOffset,
+			Err:    fmt.Errorf("%v: %w", cat, ErrRowRejected),
+		})
+	case PolicyBudget:
+		if s.policy.exceeded(s.stats.SkippedRows(), s.rows) {
+			return fmt.Errorf("trace: %w: %d of %d rows dropped (%v)",
+				ErrBudgetExceeded, s.stats.SkippedRows(), s.rows, s.stats)
+		}
+	}
+	return nil
 }
 
 // fill compacts the buffer and reads more data. It only returns
@@ -231,6 +288,9 @@ func (s *Scanner) readLine() ([]byte, error) {
 			n := searched + i + 1
 			line := s.buf[s.start : s.start+n]
 			s.start += n
+			s.lineStart = s.offset
+			s.offset += int64(n)
+			s.line++
 			if ll := len(line); ll >= 2 && line[ll-2] == '\r' {
 				line[ll-2] = '\n'
 				line = line[:ll-1]
@@ -244,6 +304,9 @@ func (s *Scanner) readLine() ([]byte, error) {
 			}
 			line := s.buf[s.start:s.end]
 			s.start = s.end
+			s.lineStart = s.offset
+			s.offset += int64(len(line))
+			s.line++
 			if line[len(line)-1] == '\r' {
 				line = line[:len(line)-1]
 			}
@@ -269,6 +332,9 @@ func (s *Scanner) readRow() error {
 			continue // blank line
 		}
 		line = l
+		// The row starts on this line; multi-line quoted rows keep the
+		// first line's position.
+		s.rowLine, s.rowOffset = s.line, s.lineStart
 		break
 	}
 	err := s.parseRowFast(line)
@@ -475,29 +541,32 @@ parseField:
 	return nil
 }
 
-// toRecord converts the current row's fields into rec, reporting whether
-// the row is a valid record. Classification matches parseRow + Validate.
-func (s *Scanner) toRecord(rec *Record) bool {
+// toRecord converts the current row's fields into rec, returning
+// skipNone on success or the drop category otherwise. Acceptance
+// matches parseRow + Validate; the category order follows the oracle's
+// field order so serial, parallel and encoding/csv ingestion report
+// identical per-category stats.
+func (s *Scanner) toRecord(rec *Record) skipCategory {
 	f := s.fields
 	userID, ok := parseIntField(f[0])
 	if !ok {
-		return false
+		return skipBadField
 	}
 	start, ok := s.parseTime(f[1])
 	if !ok {
-		return false
+		return skipBadTimestamp
 	}
 	end, ok := s.parseTime(f[2])
 	if !ok {
-		return false
+		return skipBadTimestamp
 	}
 	towerID, ok := parseIntField(f[3])
 	if !ok {
-		return false
+		return skipBadField
 	}
 	byteCount, ok := parseIntField(f[5])
 	if !ok {
-		return false
+		return skipBadField
 	}
 	tech := f[6]
 	var technology Technology
@@ -509,7 +578,7 @@ func (s *Scanner) toRecord(rec *Record) bool {
 	default:
 		// Validate rejects every other technology; skip without building
 		// the string.
-		return false
+		return skipBadField
 	}
 	// Validate, inlined to avoid copying the record through the method
 	// value. The checks and their outcomes match Record.Validate, plus
@@ -517,11 +586,11 @@ func (s *Scanner) toRecord(rec *Record) bool {
 	// comparisons are constant-false on 64-bit).
 	if userID < math.MinInt || userID > math.MaxInt ||
 		towerID < math.MinInt || towerID > math.MaxInt {
-		return false
+		return skipBadField
 	}
 	if userID < 0 || towerID < 0 || byteCount < 0 ||
 		start.IsZero() || end.IsZero() || end.Before(start) {
-		return false
+		return skipBadField
 	}
 	rec.UserID = int(userID)
 	rec.Start = start
@@ -530,7 +599,7 @@ func (s *Scanner) toRecord(rec *Record) bool {
 	rec.Bytes = byteCount
 	rec.Address = s.internAddress(f[4])
 	rec.Tech = technology
-	return true
+	return skipNone
 }
 
 // internAddress returns a string for the address bytes, reusing one

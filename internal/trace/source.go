@@ -110,9 +110,10 @@ func Collect(src Source) ([]Record, error) {
 // rows whose fields fail to parse or validate are skipped and counted;
 // I/O errors from the underlying reader abort the stream.
 type CSVReader struct {
-	cr      *csv.Reader
-	skipped int
-	err     error
+	cr    *csv.Reader
+	stats SkipStats
+	line  int64 // physical lines consumed; best-effort for multi-line rows
+	err   error
 }
 
 // NewCSVReader wraps r, reads and checks the header row, and returns a
@@ -128,12 +129,14 @@ func NewCSVReader(r io.Reader) (*CSVReader, error) {
 	if len(header) != len(csvHeader) || header[0] != csvHeader[0] {
 		return nil, fmt.Errorf("trace: unexpected header %v", header)
 	}
-	return &CSVReader{cr: cr}, nil
+	return &CSVReader{cr: cr, line: 1}, nil
 }
 
 // Next returns the next well-formed record. Malformed rows are skipped
 // (see Skipped); the error is io.EOF at end of input, or the underlying
-// I/O error, both sticky.
+// I/O error, both sticky. I/O errors are wrapped in a PosError carrying
+// the line number and byte offset at which the read failed, so a corrupt
+// region of a multi-gigabyte trace is locatable from the error alone.
 func (r *CSVReader) Next() (Record, error) {
 	if r.err != nil {
 		return Record{}, r.err
@@ -144,18 +147,26 @@ func (r *CSVReader) Next() (Record, error) {
 			var perr *csv.ParseError
 			if errors.As(err, &perr) {
 				// Structurally broken CSV row: count and continue.
-				r.skipped++
+				// ParseError tracks physical lines exactly; resync so
+				// multi-line rows before this point don't skew positions.
+				r.stats.MalformedRows++
+				r.line = int64(perr.Line)
 				continue
 			}
 			if !errors.Is(err, io.EOF) {
-				err = fmt.Errorf("trace: reading row: %w", err)
+				err = fmt.Errorf("trace: reading row: %w", &PosError{
+					Line:   r.line + 1,
+					Offset: r.cr.InputOffset(),
+					Err:    err,
+				})
 			}
 			r.err = err
 			return Record{}, err
 		}
-		rec, perr := parseRow(row)
-		if perr != nil {
-			r.skipped++
+		r.line++
+		rec, cat, _ := parseRowCat(row)
+		if cat != skipNone {
+			r.stats.count(cat)
 			continue
 		}
 		return rec, nil
@@ -163,4 +174,7 @@ func (r *CSVReader) Next() (Record, error) {
 }
 
 // Skipped returns the number of malformed rows skipped so far.
-func (r *CSVReader) Skipped() int { return r.skipped }
+func (r *CSVReader) Skipped() int { return int(r.stats.SkippedRows()) }
+
+// Stats returns the per-category skip accounting so far.
+func (r *CSVReader) Stats() SkipStats { return r.stats }
