@@ -1,0 +1,167 @@
+// Command served runs the always-on analysis service: a synthetic city's
+// CDR log is replayed as a live feed (rate-paced by the records' own
+// timestamps via -replay-speed) into a sliding traffic window, a
+// background loop re-runs the full modeling pipeline every
+// -remodel-interval, and an HTTP/JSON API serves the current model —
+// cluster and functional-region labels, live window statistics, anomaly
+// reports, forecasts and a server-sent-events anomaly stream — without
+// ever blocking a query on modeling.
+//
+// Endpoints (see internal/serve): /healthz, /summary, /towers,
+// /towers/{id}, /stream, /metrics.
+//
+// With -snapshot the window is persisted on shutdown and restored on the
+// next start, so a restarted service resumes the identical sliding
+// window instead of warming up from nothing.
+//
+// SIGINT/SIGTERM shut the service down gracefully: the HTTP listener
+// drains, the ingest and modeling goroutines stop, the snapshot (if
+// configured) is written, and the process exits 0.
+//
+// Examples:
+//
+//	served -addr :8080 -towers 200 -days 28 -replay-speed 0
+//	served -snapshot /var/tmp/window.snap -remodel-interval 30s
+//	served -precision float32 -workers 4 -window-days 14
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8080", "HTTP listen address")
+		windowDays      = flag.Int("window-days", 14, "sliding-window length in days (multiple of 7)")
+		remodelInterval = flag.Duration("remodel-interval", time.Minute, "pause between background modeling cycles")
+		snapshot        = flag.String("snapshot", "", "window snapshot path: restored on start when present, written on shutdown")
+		precision       = flag.String("precision", "float64", "modeling precision: float64 or float32")
+		workers         = flag.Int("workers", 0, "modeling worker goroutines (0 = GOMAXPROCS)")
+
+		towers      = flag.Int("towers", 200, "towers in the synthetic city feeding the service")
+		days        = flag.Int("days", 28, "days of synthetic traffic to replay")
+		seed        = flag.Int64("seed", 1, "synthetic city seed")
+		replaySpeed = flag.Float64("replay-speed", 0, "trace-time over wall-time replay factor (3600 = an hour per second; 0 = as fast as possible)")
+		dedupWindow = flag.Int("dedup-window", 0, "bound the streaming cleaner's dedup state to this many records (0 = exact)")
+	)
+	flag.Parse()
+
+	opts := core.Options{Workers: *workers, Seed: *seed}
+	switch *precision {
+	case "float64":
+		opts.Precision = core.Float64
+	case "float32":
+		opts.Precision = core.Float32
+	default:
+		log.Fatalf("unknown -precision %q (want float64 or float32)", *precision)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *windowDays, *remodelInterval, *snapshot, opts,
+		*towers, *days, *seed, *replaySpeed, *dedupWindow); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, addr string, windowDays int, remodelInterval time.Duration,
+	snapshot string, analyze core.Options, towers, days int, seed int64,
+	replaySpeed float64, dedupWindow int) error {
+	cfg := synth.SmallConfig()
+	cfg.Towers = towers
+	cfg.Users = 50 * towers
+	cfg.Days = days
+	cfg.Seed = seed
+	city, err := synth.GenerateCity(cfg)
+	if err != nil {
+		return fmt.Errorf("generating city: %w", err)
+	}
+	series, err := city.GenerateSeries()
+	if err != nil {
+		return fmt.Errorf("generating traffic: %w", err)
+	}
+
+	var w *window.Window
+	if snapshot != "" {
+		if w, err = window.Load(snapshot); err == nil {
+			log.Printf("restored window snapshot %s: %d towers, %d complete days",
+				snapshot, w.Summary().Towers, w.Summary().CompleteDays)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("restoring snapshot: %w", err)
+		}
+	}
+	if w == nil {
+		if w, err = window.New(window.Options{
+			Start:       cfg.Start,
+			SlotMinutes: cfg.SlotMinutes,
+			Days:        windowDays,
+		}); err != nil {
+			return err
+		}
+	}
+	w.SetLocations(city.TowerInfos())
+
+	stream := city.LogSource(series, synth.LogOptions{TimeMajor: true})
+	defer stream.Close()
+	srv, err := serve.New(serve.Config{
+		Window:          w,
+		Source:          trace.NewReplaySource(ctx, stream, replaySpeed),
+		POIs:            city.POIs,
+		RemodelInterval: remodelInterval,
+		Analyze:         analyze,
+		CleanWindow:     dedupWindow,
+		SnapshotPath:    snapshot,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start(ctx)
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s: %d towers, %d-day window, re-model every %v, replay speed %gx",
+		addr, towers, windowDays, remodelInterval, replaySpeed)
+
+	select {
+	case err := <-httpErr:
+		srv.Close()
+		return fmt.Errorf("http server: %w", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down")
+	// Stop the service first: this drains the ingest and modeling
+	// goroutines, wakes any blocked SSE streams and writes the snapshot,
+	// so the HTTP drain below finishes promptly.
+	closeErr := srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	if snapshot != "" {
+		log.Printf("window snapshot written to %s", snapshot)
+	}
+	log.Printf("bye")
+	return nil
+}

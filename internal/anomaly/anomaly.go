@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -21,10 +22,18 @@ import (
 	"repro/internal/linalg"
 )
 
+// Disabled switches a float Options field off entirely. The zero value of
+// a field keeps its documented default, so "off" needs an explicit
+// sentinel: any negative value works, Disabled is the canonical spelling.
+const Disabled = -1
+
 // Options configure the detector.
 type Options struct {
 	// Threshold is the number of robust standard deviations (scaled MAD) a
-	// slot's residual must exceed to be flagged (default 5).
+	// slot's residual must exceed to be flagged. Zero means the default of
+	// 5; any positive value (including sub-default ones like 0.5) is used
+	// as given; Disabled (any negative value) removes the score cut
+	// entirely, flagging every slot that clears MinRelativeDeviation.
 	Threshold float64
 	// Harmonics is the number of daily harmonics kept in the expected
 	// traffic model beyond the principal components (default 4); their
@@ -33,20 +42,27 @@ type Options struct {
 	Harmonics int
 	// MinRelativeDeviation additionally requires the residual to be at
 	// least this fraction of the tower's mean traffic, which suppresses
-	// statistically-significant-but-tiny deviations during quiet hours
-	// (default 0.5).
+	// statistically-significant-but-tiny deviations during quiet hours.
+	// Zero means the default of 0.5; Disabled (any negative value) turns
+	// the filter off so purely statistical deviations are reported too.
 	MinRelativeDeviation float64
 }
 
 func (o Options) withDefaults() Options {
-	if o.Threshold <= 0 {
+	switch {
+	case o.Threshold == 0:
 		o.Threshold = 5
+	case o.Threshold < 0:
+		o.Threshold = 0
 	}
 	if o.Harmonics <= 0 {
 		o.Harmonics = 4
 	}
-	if o.MinRelativeDeviation <= 0 {
+	switch {
+	case o.MinRelativeDeviation == 0:
 		o.MinRelativeDeviation = 0.5
+	case o.MinRelativeDeviation < 0:
+		o.MinRelativeDeviation = 0
 	}
 	return o
 }
@@ -63,6 +79,9 @@ type Anomaly struct {
 
 // Report is the outcome of detection on one tower.
 type Report struct {
+	// Bins are the spectral bins retained by the expected-traffic model,
+	// sorted and unique.
+	Bins []int
 	// Expected is the modelled traffic (band-limited reconstruction).
 	Expected linalg.Vector
 	// Residual is Observed − Expected per slot.
@@ -124,6 +143,13 @@ func detectPlan(plan *dsp.Plan, traffic linalg.Vector, nDays int, opts Options) 
 			valid = append(valid, b)
 		}
 	}
+	// The construction above lists some bins twice (h=2 re-adds 2·day,
+	// which IS the half-day principal bin). ReconstructInto applies bins
+	// as a mask, so duplicates were harmless there — but the bin list is
+	// also the model's description (counted, exported, summed by the
+	// serving API), so keep it sorted and unique.
+	sort.Ints(valid)
+	valid = slices.Compact(valid)
 	expected := make(linalg.Vector, len(traffic))
 	if _, err := plan.ReconstructInto(expected, traffic, valid...); err != nil {
 		return nil, err
@@ -155,7 +181,7 @@ func detectPlan(plan *dsp.Plan, traffic linalg.Vector, nDays int, opts Options) 
 		scale = 0
 	}
 
-	report := &Report{Expected: expected, Residual: residual, Scale: scale}
+	report := &Report{Bins: valid, Expected: expected, Residual: residual, Scale: scale}
 	if scale == 0 {
 		return report, nil
 	}

@@ -213,3 +213,102 @@ func BenchmarkDetect(b *testing.B) {
 		}
 	}
 }
+
+func TestOptionsDisableSentinels(t *testing.T) {
+	// Zero value keeps the documented defaults.
+	d := Options{}.withDefaults()
+	if d.Threshold != 5 || d.Harmonics != 4 || d.MinRelativeDeviation != 0.5 {
+		t.Errorf("zero-value defaults = %+v", d)
+	}
+	// Sub-default positive values are taken as given, not clamped up.
+	d = Options{Threshold: 0.5, MinRelativeDeviation: 0.01}.withDefaults()
+	if d.Threshold != 0.5 || d.MinRelativeDeviation != 0.01 {
+		t.Errorf("sub-default values rewritten: %+v", d)
+	}
+	// Disabled (negative) switches the filters off entirely.
+	d = Options{Threshold: Disabled, MinRelativeDeviation: Disabled}.withDefaults()
+	if d.Threshold != 0 || d.MinRelativeDeviation != 0 {
+		t.Errorf("Disabled not honoured: %+v", d)
+	}
+}
+
+func TestDetectWithFiltersDisabledFlagsEverySlot(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	traffic := regularTraffic(rng, 0.05)
+	opts := Options{Threshold: Disabled, MinRelativeDeviation: Disabled}
+	report, err := Detect(traffic, days, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No score cut and no relative-deviation floor: every slot is reported
+	// (the "give me every score" query of the serving API).
+	if len(report.Anomalies) != len(traffic) {
+		t.Errorf("disabled filters flagged %d of %d slots", len(report.Anomalies), len(traffic))
+	}
+	// The default options must still apply both filters.
+	defReport, err := Detect(traffic, days, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defReport.Anomalies) >= len(traffic)/2 {
+		t.Errorf("default options flagged %d of %d slots", len(defReport.Anomalies), len(traffic))
+	}
+}
+
+func TestDetectMinRelativeDeviationDisabledKeepsQuietHourHits(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	traffic := regularTraffic(rng, 0.05)
+	// A statistically extreme but absolutely tiny bump at 04:00: the
+	// default relative-deviation floor suppresses it, Disabled reports it.
+	slot := 9*slotsPerDay + 4*6
+	traffic[slot] *= 3
+	find := func(r *Report) bool {
+		for _, a := range r.Anomalies {
+			if a.Slot == slot {
+				return true
+			}
+		}
+		return false
+	}
+	defReport, err := Detect(traffic, days, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offReport, err := Detect(traffic, days, Options{MinRelativeDeviation: Disabled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if find(defReport) {
+		t.Skip("quiet-hour bump cleared the default filter; pick a smaller bump")
+	}
+	if !find(offReport) {
+		t.Error("MinRelativeDeviation: Disabled should report the quiet-hour deviation")
+	}
+}
+
+func TestDetectBinsUniqueAndSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	traffic := regularTraffic(rng, 0.05)
+	report, err := Detect(traffic, days, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Bins) == 0 {
+		t.Fatal("no bins reported")
+	}
+	day := days // bin of the daily component for a days-day window
+	seenHalfDay := 0
+	for i, b := range report.Bins {
+		if i > 0 && report.Bins[i-1] >= b {
+			t.Fatalf("bins not sorted+unique: %v", report.Bins)
+		}
+		if b == 2*day {
+			seenHalfDay++
+		}
+	}
+	// Pre-dedupe, the half-day principal bin was also emitted as the h=2
+	// daily harmonic, so 2·day appeared twice in the model's bin list.
+	if seenHalfDay != 1 {
+		t.Errorf("half-day bin appears %d times in %v", seenHalfDay, report.Bins)
+	}
+}

@@ -284,14 +284,28 @@ func (m *SlotOfWeekMeanModel) Predict(horizon int) (linalg.Vector, error) {
 func (m *SlotOfWeekMeanModel) StateSize() int { return len(m.means) }
 
 // Metrics summarise forecast accuracy over a horizon.
+//
+// MAPE and NRMSE are only meaningful when the actual window carried
+// traffic: a dead tower (all-zero actuals) yields MAPE == NRMSE == 0,
+// which read as a perfect forecast if taken at face value. Check
+// Evaluable (or Coverage) first — zero means "no evaluable traffic",
+// not "perfect".
 type Metrics struct {
-	// MAPE is the mean absolute percentage error over slots with
-	// non-trivial traffic (at least 10 % of the mean).
+	// MAPE is the mean absolute percentage error over the Evaluable slots
+	// (actual traffic at least 10 % of the window mean). Zero when
+	// Evaluable is zero.
 	MAPE float64
 	// RMSE is the root mean squared error over all slots.
 	RMSE float64
-	// NRMSE is RMSE divided by the mean of the actual traffic.
+	// NRMSE is RMSE divided by the mean of the actual traffic, or zero
+	// when the window mean is zero (see Evaluable).
 	NRMSE float64
+	// Evaluable is the number of slots that entered the MAPE sum. Zero
+	// means the window carried no evaluable traffic and the relative
+	// errors above say nothing about forecast quality.
+	Evaluable int
+	// Coverage is Evaluable as a fraction of the window's slots.
+	Coverage float64
 }
 
 // Evaluate compares a forecast against the actual traffic.
@@ -315,7 +329,11 @@ func Evaluate(actual, predicted linalg.Vector) (Metrics, error) {
 			mapeN++
 		}
 	}
-	m := Metrics{RMSE: math.Sqrt(sq / float64(len(actual)))}
+	m := Metrics{
+		RMSE:      math.Sqrt(sq / float64(len(actual))),
+		Evaluable: mapeN,
+		Coverage:  float64(mapeN) / float64(len(actual)),
+	}
 	if mapeN > 0 {
 		m.MAPE = mapeSum / float64(mapeN)
 	}

@@ -230,3 +230,44 @@ func BenchmarkSpectralBacktest(b *testing.B) {
 		}
 	}
 }
+
+func TestEvaluateZeroWindowIsNotPerfect(t *testing.T) {
+	// A dead tower: the actual window is all zeros. MAPE and NRMSE
+	// degenerate to 0, which pre-coverage read as a perfect forecast in
+	// summaries; Evaluable/Coverage must expose that nothing was scored.
+	actual := make(linalg.Vector, 2*slotsPerDay)
+	predicted := make(linalg.Vector, 2*slotsPerDay)
+	for i := range predicted {
+		predicted[i] = 100 // wildly wrong forecast for a dead tower
+	}
+	m, err := Evaluate(actual, predicted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MAPE != 0 || m.NRMSE != 0 {
+		t.Errorf("degenerate relative errors changed: MAPE=%g NRMSE=%g", m.MAPE, m.NRMSE)
+	}
+	if m.RMSE != 100 {
+		t.Errorf("RMSE = %g, want 100", m.RMSE)
+	}
+	if m.Evaluable != 0 || m.Coverage != 0 {
+		t.Errorf("zero window: Evaluable=%d Coverage=%g, want 0/0", m.Evaluable, m.Coverage)
+	}
+
+	// A live window reports full coverage for uniformly non-trivial
+	// traffic, so consumers can tell the two apart.
+	live := make(linalg.Vector, 2*slotsPerDay)
+	for i := range live {
+		live[i] = 50 + float64(i%7)
+	}
+	m, err = Evaluate(live, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Evaluable != len(live) || m.Coverage != 1 {
+		t.Errorf("live window: Evaluable=%d Coverage=%g, want %d/1", m.Evaluable, m.Coverage, len(live))
+	}
+	if m.MAPE != 0 || m.RMSE != 0 {
+		t.Errorf("exact forecast: MAPE=%g RMSE=%g", m.MAPE, m.RMSE)
+	}
+}

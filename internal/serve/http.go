@@ -1,0 +1,436 @@
+package serve
+
+// http.go is the query plane of the analysis service: a JSON API over
+// the currently published model plus a server-sent-events feed of fresh
+// anomalies. Handlers only ever read the atomic model pointer and the
+// window's O(1) per-tower stats, so they stay fast and non-blocking no
+// matter what the re-modeling loop is doing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/anomaly"
+)
+
+// metrics are the service's operational counters, exposed on /metrics.
+// They are hand-rolled atomics rather than expvar publications so that
+// tests (and embedders) can build any number of Servers in one process
+// without tripping expvar's global re-registration panic.
+type metrics struct {
+	ingestRecords  atomic.Uint64
+	ingestBatches  atomic.Uint64
+	ingestErrors   atomic.Uint64
+	modelCycles    atomic.Uint64
+	modelSkips     atomic.Uint64
+	modelFailures  atomic.Uint64
+	snapshots      atomic.Uint64
+	lastModelNanos atomic.Int64
+
+	reqTower   atomic.Uint64
+	reqTowers  atomic.Uint64
+	reqSummary atomic.Uint64
+	reqHealthz atomic.Uint64
+	reqStream  atomic.Uint64
+	reqMetrics atomic.Uint64
+}
+
+// Handler returns the service's HTTP API:
+//
+//	GET /healthz      liveness + readiness (ready once a model is published)
+//	GET /summary      window counters + published model overview
+//	GET /towers       modeled towers with cluster and region labels
+//	GET /towers/{id}  one tower: cluster, region, live window stats,
+//	                  anomalies (tunable via ?threshold= and ?min_rel_dev=,
+//	                  "off" disables a filter), forecast backtest + next day
+//	GET /stream       server-sent events; one "anomaly" event per fresh
+//	                  anomaly as each re-model publishes
+//	GET /metrics      operational counters (JSON)
+//
+// The handler is safe to use before Start and keeps answering after
+// Close (from the last published model).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", counted(&s.met.reqHealthz, s.handleHealthz))
+	mux.HandleFunc("GET /summary", counted(&s.met.reqSummary, s.handleSummary))
+	mux.HandleFunc("GET /towers", counted(&s.met.reqTowers, s.handleTowers))
+	mux.HandleFunc("GET /towers/{id}", counted(&s.met.reqTower, s.handleTower))
+	mux.HandleFunc("GET /stream", counted(&s.met.reqStream, s.handleStream))
+	mux.HandleFunc("GET /metrics", counted(&s.met.reqMetrics, s.handleMetrics))
+	return mux
+}
+
+func counted(c *atomic.Uint64, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Add(1)
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sum := s.cfg.Window.Summary()
+	m := s.model()
+	resp := map[string]any{
+		"status":        "ok",
+		"ready":         m != nil,
+		"towers":        sum.Towers,
+		"complete_days": sum.CompleteDays,
+	}
+	if m != nil {
+		resp["model_seq"] = m.Seq
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// modelInfo is the JSON shape of a published model's identity.
+type modelInfo struct {
+	Seq        uint64    `json:"seq"`
+	ModeledAt  time.Time `json:"modeled_at"`
+	WindowFrom time.Time `json:"window_from"`
+	WindowTo   time.Time `json:"window_to"`
+	Days       int       `json:"days"`
+	Towers     int       `json:"towers"`
+	K          int       `json:"k"`
+}
+
+func (m *model) info() modelInfo {
+	return modelInfo{
+		Seq:        m.Seq,
+		ModeledAt:  m.ModeledAt,
+		WindowFrom: m.ds.Start,
+		WindowTo:   m.WindowEnd,
+		Days:       m.ds.Days,
+		Towers:     m.ds.NumTowers(),
+		K:          m.res.OptimalK,
+	}
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	sum := s.cfg.Window.Summary()
+	resp := map[string]any{
+		"window": map[string]any{
+			"towers":          sum.Towers,
+			"ingested":        sum.Ingested,
+			"dropped":         sum.Dropped,
+			"latest_slot_end": sum.LatestSlotEnd,
+			"complete_days":   sum.CompleteDays,
+		},
+	}
+	if m := s.model(); m != nil {
+		type clusterJSON struct {
+			Index          int     `json:"index"`
+			Region         string  `json:"region"`
+			Towers         int     `json:"towers"`
+			Share          float64 `json:"share"`
+			Representative int     `json:"representative_tower"`
+		}
+		clusters := make([]clusterJSON, 0, len(m.res.Clusters))
+		anomalous := 0
+		for _, c := range m.res.Clusters {
+			rep := -1
+			if c.Representative >= 0 {
+				rep = m.ds.TowerIDs[c.Representative]
+			}
+			clusters = append(clusters, clusterJSON{
+				Index:          c.Index,
+				Region:         c.Region.String(),
+				Towers:         len(c.Members),
+				Share:          c.Share,
+				Representative: rep,
+			})
+		}
+		for _, rep := range m.anomalies {
+			if rep != nil && len(rep.Anomalies) > 0 {
+				anomalous++
+			}
+		}
+		resp["model"] = map[string]any{
+			"info":             m.info(),
+			"clusters":         clusters,
+			"anomalous_towers": anomalous,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTowers(w http.ResponseWriter, r *http.Request) {
+	m := s.model()
+	if m == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model published yet")
+		return
+	}
+	type towerRow struct {
+		Tower     int    `json:"tower"`
+		Cluster   int    `json:"cluster"`
+		Region    string `json:"region"`
+		Anomalies int    `json:"anomalies"`
+	}
+	rows := make([]towerRow, m.ds.NumTowers())
+	for row, id := range m.ds.TowerIDs {
+		n := 0
+		if rep := m.anomalies[row]; rep != nil {
+			n = len(rep.Anomalies)
+		}
+		rows[row] = towerRow{
+			Tower:     id,
+			Cluster:   m.res.Assignment.Labels[row],
+			Region:    m.res.TowerRegions[row].String(),
+			Anomalies: n,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"model": m.info(), "towers": rows})
+}
+
+// anomalyJSON is one flagged slot, with the slot resolved to wall time.
+type anomalyJSON struct {
+	Time     time.Time `json:"time"`
+	Slot     int       `json:"slot"`
+	Observed float64   `json:"observed"`
+	Expected float64   `json:"expected"`
+	Score    float64   `json:"score"`
+}
+
+// anomalyOverride parses the ?threshold= and ?min_rel_dev= query
+// parameters. "off" (or any negative number) maps to the detector's
+// Disabled sentinel; absent parameters keep the server's configuration.
+func anomalyOverride(q url.Values, base anomaly.Options) (anomaly.Options, bool, error) {
+	override := false
+	parse := func(key string, dst *float64) error {
+		v := q.Get(key)
+		if v == "" {
+			return nil
+		}
+		override = true
+		if v == "off" {
+			*dst = anomaly.Disabled
+			return nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("bad %s %q: %v", key, v, err)
+		}
+		*dst = f
+		return nil
+	}
+	if err := parse("threshold", &base.Threshold); err != nil {
+		return base, false, err
+	}
+	if err := parse("min_rel_dev", &base.MinRelativeDeviation); err != nil {
+		return base, false, err
+	}
+	return base, override, nil
+}
+
+func (s *Server) handleTower(w http.ResponseWriter, r *http.Request) {
+	m := s.model()
+	if m == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model published yet")
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad tower id %q", r.PathValue("id"))
+		return
+	}
+	row, ok := m.rowByID[id]
+	if !ok {
+		httpError(w, http.StatusNotFound, "tower %d is not in the modeled window", id)
+		return
+	}
+
+	rep := m.anomalies[row]
+	if opts, override, err := anomalyOverride(r.URL.Query(), s.cfg.Anomaly); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	} else if override {
+		fresh, derr := anomaly.Detect(m.ds.Raw[row], m.ds.Days, opts)
+		if derr != nil {
+			httpError(w, http.StatusInternalServerError, "re-detect: %v", derr)
+			return
+		}
+		rep = fresh
+	}
+	anomalies := []anomalyJSON{}
+	if rep != nil {
+		for _, a := range rep.Anomalies {
+			anomalies = append(anomalies, anomalyJSON{
+				Time:     m.ds.SlotTime(a.Slot),
+				Slot:     a.Slot,
+				Observed: a.Observed,
+				Expected: a.Expected,
+				Score:    a.Score,
+			})
+		}
+	}
+
+	resp := map[string]any{
+		"tower":     id,
+		"cluster":   m.res.Assignment.Labels[row],
+		"region":    m.res.TowerRegions[row].String(),
+		"model":     m.info(),
+		"anomalies": anomalies,
+	}
+	if stats, ok := s.cfg.Window.TowerStats(id); ok {
+		resp["window"] = map[string]any{
+			"mean_bytes_per_slot": stats.Mean,
+			"std_bytes_per_slot":  stats.Std,
+			"last_slot_bytes":     stats.LastSlotBytes,
+		}
+	}
+	if fc := m.forecasts[row]; fc.Valid {
+		resp["forecast"] = map[string]any{
+			"mape":      fc.Metrics.MAPE,
+			"rmse":      fc.Metrics.RMSE,
+			"nrmse":     fc.Metrics.NRMSE,
+			"evaluable": fc.Metrics.Evaluable,
+			"coverage":  fc.Metrics.Coverage,
+			"next_day":  fc.NextDay,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ingest": map[string]uint64{
+			"records": s.met.ingestRecords.Load(),
+			"batches": s.met.ingestBatches.Load(),
+			"errors":  s.met.ingestErrors.Load(),
+		},
+		"model": map[string]any{
+			"cycles":            s.met.modelCycles.Load(),
+			"warmup_skips":      s.met.modelSkips.Load(),
+			"failures":          s.met.modelFailures.Load(),
+			"last_cycle_millis": time.Duration(s.met.lastModelNanos.Load()).Milliseconds(),
+		},
+		"requests": map[string]uint64{
+			"healthz": s.met.reqHealthz.Load(),
+			"summary": s.met.reqSummary.Load(),
+			"towers":  s.met.reqTowers.Load(),
+			"tower":   s.met.reqTower.Load(),
+			"stream":  s.met.reqStream.Load(),
+			"metrics": s.met.reqMetrics.Load(),
+		},
+		"stream": map[string]any{
+			"clients": s.broker.clientCount(),
+			"dropped": s.broker.droppedCount(),
+		},
+		"snapshots": s.met.snapshots.Load(),
+	})
+}
+
+// anomalyEvent is the payload of one SSE "anomaly" event.
+type anomalyEvent struct {
+	Tower    int       `json:"tower"`
+	Time     time.Time `json:"time"`
+	Slot     int       `json:"slot"`
+	Observed float64   `json:"observed"`
+	Expected float64   `json:"expected"`
+	Score    float64   `json:"score"`
+	ModelSeq uint64    `json:"model_seq"`
+}
+
+// broker fans anomaly events out to SSE subscribers. Slow subscribers
+// never block the modeling loop: each client has a buffered channel and
+// events beyond its capacity are dropped (and counted).
+type broker struct {
+	mu      sync.Mutex
+	clients map[chan []byte]struct{}
+	dropped atomic.Uint64
+}
+
+func newBroker() *broker {
+	return &broker{clients: make(map[chan []byte]struct{})}
+}
+
+// subscriberBuffer bounds each SSE client's in-flight event queue.
+const subscriberBuffer = 64
+
+func (b *broker) subscribe() chan []byte {
+	ch := make(chan []byte, subscriberBuffer)
+	b.mu.Lock()
+	b.clients[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch
+}
+
+func (b *broker) unsubscribe(ch chan []byte) {
+	b.mu.Lock()
+	delete(b.clients, ch)
+	b.mu.Unlock()
+}
+
+func (b *broker) publish(ev anomalyEvent) {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.clients {
+		select {
+		case ch <- payload:
+		default:
+			b.dropped.Add(1)
+		}
+	}
+}
+
+func (b *broker) clientCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.clients)
+}
+
+func (b *broker) droppedCount() uint64 { return b.dropped.Load() }
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch := s.broker.subscribe()
+	defer s.broker.unsubscribe(ch)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	var seq uint64
+	if m := s.model(); m != nil {
+		seq = m.Seq
+	}
+	fmt.Fprintf(w, ": connected model_seq=%d\n\n", seq)
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		case payload := <-ch:
+			fmt.Fprintf(w, "event: anomaly\ndata: %s\n\n", payload)
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,366 @@
+// Package serve is the always-on analysis service: it keeps a live
+// sliding window of per-tower traffic (package window) fed from a record
+// stream, periodically re-runs the full batch model (core.AnalyzeContext)
+// over that window in the background, and answers HTTP/JSON queries about
+// towers, clusters, anomalies and forecasts.
+//
+// The serving core is a double-buffered model behind an atomic.Pointer:
+// the re-modeling loop builds the next *model off to the side and
+// publishes it with a single pointer swap, so queries never block on
+// modeling and always see a complete, self-consistent result. The ingest
+// goroutine, the re-modeling loop and the HTTP handlers share no locks
+// beyond the window's own mutex.
+//
+// Lifecycle: New validates the configuration, Start(ctx) launches the
+// ingest and re-modeling goroutines, Close (or cancelling ctx) drains
+// them and, when a snapshot path is configured, persists the window so a
+// restarted process resumes the identical sliding window.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/core"
+	"repro/internal/forecast"
+	"repro/internal/pipeline"
+	"repro/internal/poi"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+// Config assembles an analysis service.
+type Config struct {
+	// Window is the live sliding-window accumulator the service ingests
+	// into and models from. Required.
+	Window *window.Window
+	// Source is the live record feed; nil runs the service without an
+	// ingest goroutine (the window is fed out of band, e.g. by tests).
+	// The feed is passed through the streaming cleaner before it reaches
+	// the window, so duplicated and conflicting records are eliminated
+	// exactly as in the batch pipeline.
+	Source trace.Source
+	// POIs is the city's POI inventory, handed to the labelling stage of
+	// every re-model.
+	POIs []poi.POI
+	// RemodelInterval is the pause between background modeling cycles
+	// (default 1 minute). The first cycle runs immediately on Start.
+	RemodelInterval time.Duration
+	// Analyze configures the modeling stage (precision, workers, seed...).
+	Analyze core.Options
+	// Anomaly configures the per-tower anomaly detector run after each
+	// re-model. The zero value keeps the detector's defaults.
+	Anomaly anomaly.Options
+	// ForecastTrainDays holds out the window's final week and backtests a
+	// spectral forecaster on it when the window covers at least two weeks.
+	// It is a switch, not a number: zero enables the stage, a negative
+	// value disables forecasting entirely.
+	ForecastTrainDays int
+	// CleanWindow bounds the streaming cleaner's dedup state (see
+	// trace.NewCleanerWindow); zero keeps exact, unbounded state.
+	CleanWindow int
+	// SnapshotPath, when non-empty, is where Close persists the window
+	// (atomically, via window.Save).
+	SnapshotPath string
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// towerForecast is the per-row forecasting artefact of one modeling cycle.
+type towerForecast struct {
+	// Valid reports whether the forecasting stage ran for this row.
+	Valid bool
+	// Metrics is the backtest of the spectral model on the window's final
+	// held-out week.
+	Metrics forecast.Metrics
+	// NextDay is the predicted traffic of the day following the window.
+	NextDay []float64
+}
+
+// model is one published analysis generation: everything the HTTP
+// handlers read, built off to the side and swapped in atomically.
+type model struct {
+	// Seq numbers the modeling cycles from 1.
+	Seq uint64
+	// ModeledAt is when the cycle finished.
+	ModeledAt time.Time
+	// WindowEnd is the end of the modeled window (exclusive).
+	WindowEnd time.Time
+	ds        *pipeline.Dataset
+	res       *core.Result
+	anomalies []*anomaly.Report
+	forecasts []towerForecast
+	rowByID   map[int]int
+}
+
+// Server is the running analysis service. Create with New.
+type Server struct {
+	cfg    Config
+	cur    atomic.Pointer[model]
+	met    metrics
+	broker *broker
+	done   chan struct{} // closed by Close; unblocks SSE writers
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New validates cfg and assembles a server. The service is inert until
+// Start; Handler can be used immediately (it serves 503s until the first
+// modeling cycle publishes).
+func New(cfg Config) (*Server, error) {
+	if cfg.Window == nil {
+		return nil, errors.New("serve: Config.Window is required")
+	}
+	if cfg.RemodelInterval <= 0 {
+		cfg.RemodelInterval = time.Minute
+	}
+	return &Server{
+		cfg:    cfg,
+		broker: newBroker(),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Start launches the ingest and re-modeling goroutines. They stop when
+// ctx is cancelled or Close is called, whichever comes first. Start is
+// idempotent after the first call.
+func (s *Server) Start(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	ctx, s.cancel = context.WithCancel(ctx)
+	if s.cfg.Source != nil {
+		s.wg.Add(1)
+		go s.ingest(ctx)
+	}
+	s.wg.Add(1)
+	go s.remodelLoop(ctx)
+}
+
+// Close stops the background goroutines, waits for them to drain, wakes
+// any blocked SSE writers, and persists the window when SnapshotPath is
+// configured. Safe to call more than once; only the first call does the
+// work.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	cancel := s.cancel
+	s.mu.Unlock()
+
+	if cancel != nil {
+		cancel()
+	}
+	s.wg.Wait()
+	close(s.done)
+	if s.cfg.SnapshotPath != "" {
+		// An empty window has nothing worth persisting — and a service
+		// that died before ingesting anything (bad flag, bind failure)
+		// must not overwrite the previous run's good snapshot with it.
+		if s.cfg.Window.Summary().Ingested == 0 {
+			s.logf("serve: window is empty; leaving %s untouched", s.cfg.SnapshotPath)
+			return nil
+		}
+		if err := s.cfg.Window.Save(s.cfg.SnapshotPath); err != nil {
+			return fmt.Errorf("serve: final snapshot: %w", err)
+		}
+		s.met.snapshots.Add(1)
+	}
+	return nil
+}
+
+// ingest drains the configured source through the streaming cleaner into
+// the window. Feed exhaustion (io.EOF) is not an error — the service
+// keeps serving the window it has. A panicking source (fault injection,
+// broken decoder) is contained to this goroutine and counted, not
+// propagated to the process.
+func (s *Server) ingest(ctx context.Context) {
+	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.ingestErrors.Add(1)
+			s.logf("serve: ingest panic contained: %v", r)
+		}
+	}()
+	cleaned := trace.CleanSourceWindowContext(ctx, s.cfg.Source, s.cfg.CleanWindow)
+	err := trace.ForEachBatchContext(ctx, cleaned, func(batch []trace.Record) error {
+		s.cfg.Window.AddBatch(batch)
+		s.met.ingestRecords.Add(uint64(len(batch)))
+		s.met.ingestBatches.Add(1)
+		return nil
+	})
+	switch {
+	case err == nil:
+		s.logf("serve: ingest feed exhausted; serving last window")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Shutdown.
+	default:
+		s.met.ingestErrors.Add(1)
+		s.logf("serve: ingest stopped: %v", err)
+	}
+}
+
+// remodelLoop runs one modeling cycle immediately, then one per
+// RemodelInterval tick, until ctx ends.
+func (s *Server) remodelLoop(ctx context.Context) {
+	defer s.wg.Done()
+	s.remodelOnce(ctx)
+	ticker := time.NewTicker(s.cfg.RemodelInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.remodelOnce(ctx)
+		}
+	}
+}
+
+func (s *Server) remodelOnce(ctx context.Context) {
+	if err := s.RemodelNow(ctx); err != nil {
+		switch {
+		case errors.Is(err, window.ErrWarmingUp):
+			// Expected while the feed fills the first week.
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		default:
+			s.logf("serve: modeling cycle failed: %v", err)
+		}
+	}
+}
+
+// RemodelNow runs one full modeling cycle synchronously — snapshot the
+// window into a dataset, run the analysis pipeline, the anomaly sweep
+// and the forecasting stage — and publishes the result with an atomic
+// pointer swap. Queries are never blocked while this runs. It returns
+// window.ErrWarmingUp while the window covers less than one whole week.
+func (s *Server) RemodelNow(ctx context.Context) error {
+	began := time.Now()
+	ds, err := s.cfg.Window.Dataset()
+	if err != nil {
+		if errors.Is(err, window.ErrWarmingUp) {
+			s.met.modelSkips.Add(1)
+		} else {
+			s.met.modelFailures.Add(1)
+		}
+		return err
+	}
+	res, err := core.AnalyzeContext(ctx, ds, s.cfg.POIs, s.cfg.Analyze)
+	if err != nil {
+		s.met.modelFailures.Add(1)
+		return fmt.Errorf("serve: analyze: %w", err)
+	}
+	reports, err := anomaly.DetectAll(ds.Raw, ds.Days, s.cfg.Anomaly)
+	if err != nil {
+		s.met.modelFailures.Add(1)
+		return fmt.Errorf("serve: anomaly sweep: %w", err)
+	}
+	forecasts := s.buildForecasts(ds)
+
+	rowByID := make(map[int]int, len(ds.TowerIDs))
+	for row, id := range ds.TowerIDs {
+		rowByID[id] = row
+	}
+	next := &model{
+		Seq:       s.met.modelCycles.Load() + 1,
+		ModeledAt: time.Now(),
+		WindowEnd: ds.SlotTime(ds.NumSlots()),
+		ds:        ds,
+		res:       res,
+		anomalies: reports,
+		forecasts: forecasts,
+		rowByID:   rowByID,
+	}
+	prev := s.cur.Swap(next)
+	s.met.modelCycles.Add(1)
+	s.met.lastModelNanos.Store(int64(time.Since(began)))
+	s.publishAnomalies(prev, next)
+	s.logf("serve: model #%d published: %d towers, %d days, k=%d (%v)",
+		next.Seq, ds.NumTowers(), ds.Days, res.OptimalK, time.Since(began).Round(time.Millisecond))
+	return nil
+}
+
+// buildForecasts backtests a spectral forecaster per tower on the
+// window's final week and predicts the next day. Rows whose fit fails
+// (degenerate traffic) carry a zero towerForecast rather than failing
+// the cycle.
+func (s *Server) buildForecasts(ds *pipeline.Dataset) []towerForecast {
+	out := make([]towerForecast, ds.NumTowers())
+	if s.cfg.ForecastTrainDays < 0 || ds.Days < 14 {
+		return out
+	}
+	spd := ds.SlotsPerDay()
+	trainDays := ds.Days - 7
+	for i, row := range ds.Raw {
+		m := &forecast.SpectralModel{Components: forecast.HarmonicsAndSidebands}
+		metrics, err := forecast.Backtest(m, row, ds.Days, trainDays, spd)
+		if err != nil {
+			continue
+		}
+		full := &forecast.SpectralModel{Components: forecast.HarmonicsAndSidebands}
+		if err := full.Fit(row, ds.Days, spd); err != nil {
+			continue
+		}
+		nextDay, err := full.Predict(spd)
+		if err != nil {
+			continue
+		}
+		out[i] = towerForecast{Valid: true, Metrics: metrics, NextDay: nextDay}
+	}
+	return out
+}
+
+// publishAnomalies pushes the anomalies of the newly covered window span
+// to the SSE stream: slots at or after the previous model's window end.
+// The first model publishes nothing — its whole window is history, not
+// news.
+func (s *Server) publishAnomalies(prev, next *model) {
+	if prev == nil {
+		return
+	}
+	for row, rep := range next.anomalies {
+		if rep == nil {
+			continue
+		}
+		for _, a := range rep.Anomalies {
+			at := next.ds.SlotTime(a.Slot)
+			if at.Before(prev.WindowEnd) {
+				continue
+			}
+			s.broker.publish(anomalyEvent{
+				Tower:    next.ds.TowerIDs[row],
+				Time:     at,
+				Slot:     a.Slot,
+				Observed: a.Observed,
+				Expected: a.Expected,
+				Score:    a.Score,
+				ModelSeq: next.Seq,
+			})
+		}
+	}
+}
+
+// Model returns the currently published model, or nil before the first
+// cycle completes. The returned value is immutable.
+func (s *Server) model() *model { return s.cur.Load() }

@@ -14,6 +14,13 @@ type LogOptions struct {
 	// one slot; traffic is split across that many users. Zero means the
 	// default of 4.
 	MaxRecordsPerSlot int
+	// TimeMajor interleaves the towers and emits records in slot order —
+	// the order a live network feed delivers them, with timestamps
+	// non-decreasing at slot granularity. The default (false) is
+	// tower-major: each tower's full history in turn, the layout of a
+	// per-tower CDR export. The cleaned aggregate is identical either way;
+	// the record sequences differ (and so do the injected duplicates).
+	TimeMajor bool
 }
 
 func (o LogOptions) withDefaults() LogOptions {
@@ -46,29 +53,23 @@ func (c *City) GenerateLogs(series []TowerSeries, opts LogOptions) ([]trace.Reco
 	return out, nil
 }
 
-// GenerateLogsFunc streams generated records to the emit callback in
-// chronological slot order per tower. Emission stops at the first error
-// returned by the callback.
+// GenerateLogsFunc streams generated records to the emit callback:
+// tower-major by default (chronological slot order per tower),
+// slot-major across all towers with LogOptions.TimeMajor. Emission stops
+// at the first error returned by the callback.
 func (c *City) GenerateLogsFunc(series []TowerSeries, opts LogOptions, emit func(trace.Record) error) error {
 	if emit == nil {
 		return fmt.Errorf("synth: nil emit callback")
 	}
 	opts = opts.withDefaults()
 	cfg := c.Config
-	rng := rand.New(rand.NewSource(cfg.Seed*999_331 + 7))
-	slotDur := time.Duration(cfg.SlotMinutes) * time.Minute
 
 	towersByID := make(map[int]Tower, len(c.Towers))
 	for _, t := range c.Towers {
 		towersByID[t.ID] = t
 	}
-
-	users := cfg.Users
-	if users <= 0 {
-		users = 1
-	}
-
-	for _, s := range series {
+	towers := make([]Tower, len(series))
+	for i, s := range series {
 		tower, ok := towersByID[s.TowerID]
 		if !ok {
 			return fmt.Errorf("synth: series references unknown tower %d", s.TowerID)
@@ -76,58 +77,106 @@ func (c *City) GenerateLogsFunc(series []TowerSeries, opts LogOptions, emit func
 		if len(s.Bytes) != cfg.TotalSlots() {
 			return fmt.Errorf("synth: series for tower %d has %d slots, want %d", s.TowerID, len(s.Bytes), cfg.TotalSlots())
 		}
-		for slot, total := range s.Bytes {
-			if total <= 0 {
-				continue
-			}
-			start := cfg.Start.Add(time.Duration(slot) * slotDur)
-			n := 1 + rng.Intn(opts.MaxRecordsPerSlot)
-			remaining := int64(total)
-			for i := 0; i < n && remaining > 0; i++ {
-				var bytes int64
-				if i == n-1 {
-					bytes = remaining
-				} else {
-					bytes = int64(float64(remaining) * (0.2 + 0.6*rng.Float64()) / float64(n-i))
-					if bytes <= 0 {
-						bytes = 1
-					}
-					if bytes > remaining {
-						bytes = remaining
-					}
-				}
-				remaining -= bytes
-				offset := time.Duration(rng.Int63n(int64(slotDur) / 2))
-				dur := time.Duration(rng.Int63n(int64(slotDur)/2)) + time.Second
-				tech := Tech3GOrLTE(rng)
-				rec := trace.Record{
-					UserID:  rng.Intn(users),
-					Start:   start.Add(offset),
-					End:     start.Add(offset).Add(dur),
-					TowerID: tower.ID,
-					Address: tower.Address,
-					Bytes:   bytes,
-					Tech:    tech,
-				}
-				if err := emit(rec); err != nil {
+		towers[i] = tower
+	}
+
+	users := cfg.Users
+	if users <= 0 {
+		users = 1
+	}
+	em := logEmitter{
+		cfg:     cfg,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(cfg.Seed*999_331 + 7)),
+		slotDur: time.Duration(cfg.SlotMinutes) * time.Minute,
+		users:   users,
+		emit:    emit,
+	}
+
+	if opts.TimeMajor {
+		for slot := 0; slot < cfg.TotalSlots(); slot++ {
+			for i, s := range series {
+				if err := em.slot(towers[i], slot, s.Bytes[slot]); err != nil {
 					return err
 				}
-				// Redundant logs: exact copies of the record just emitted.
-				if rng.Float64() < cfg.DuplicateFraction {
-					if err := emit(rec); err != nil {
-						return err
-					}
-				}
-				// Conflicting logs: same logical connection, smaller byte
-				// counter (a partial export). Clean keeps the larger copy,
-				// so the cleaned aggregate still matches the series.
-				if rng.Float64() < cfg.ConflictFraction && rec.Bytes > 1 {
-					conflict := rec
-					conflict.Bytes = rec.Bytes / 2
-					if err := emit(conflict); err != nil {
-						return err
-					}
-				}
+			}
+		}
+		return nil
+	}
+	for i, s := range series {
+		for slot, total := range s.Bytes {
+			if err := em.slot(towers[i], slot, total); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// logEmitter turns one (tower, slot, bytes) cell of the ground truth into
+// CDR records: the slot's traffic split across a random set of
+// subscribers, plus the injected duplicates and conflicts. The rng is
+// consumed in emission order, so a given traversal order is fully
+// deterministic under the city seed.
+type logEmitter struct {
+	cfg     Config
+	opts    LogOptions
+	rng     *rand.Rand
+	slotDur time.Duration
+	users   int
+	emit    func(trace.Record) error
+}
+
+func (e *logEmitter) slot(tower Tower, slot int, total float64) error {
+	if total <= 0 {
+		return nil
+	}
+	start := e.cfg.Start.Add(time.Duration(slot) * e.slotDur)
+	n := 1 + e.rng.Intn(e.opts.MaxRecordsPerSlot)
+	remaining := int64(total)
+	for i := 0; i < n && remaining > 0; i++ {
+		var bytes int64
+		if i == n-1 {
+			bytes = remaining
+		} else {
+			bytes = int64(float64(remaining) * (0.2 + 0.6*e.rng.Float64()) / float64(n-i))
+			if bytes <= 0 {
+				bytes = 1
+			}
+			if bytes > remaining {
+				bytes = remaining
+			}
+		}
+		remaining -= bytes
+		offset := time.Duration(e.rng.Int63n(int64(e.slotDur) / 2))
+		dur := time.Duration(e.rng.Int63n(int64(e.slotDur)/2)) + time.Second
+		tech := Tech3GOrLTE(e.rng)
+		rec := trace.Record{
+			UserID:  e.rng.Intn(e.users),
+			Start:   start.Add(offset),
+			End:     start.Add(offset).Add(dur),
+			TowerID: tower.ID,
+			Address: tower.Address,
+			Bytes:   bytes,
+			Tech:    tech,
+		}
+		if err := e.emit(rec); err != nil {
+			return err
+		}
+		// Redundant logs: exact copies of the record just emitted.
+		if e.rng.Float64() < e.cfg.DuplicateFraction {
+			if err := e.emit(rec); err != nil {
+				return err
+			}
+		}
+		// Conflicting logs: same logical connection, smaller byte
+		// counter (a partial export). Clean keeps the larger copy,
+		// so the cleaned aggregate still matches the series.
+		if e.rng.Float64() < e.cfg.ConflictFraction && rec.Bytes > 1 {
+			conflict := rec
+			conflict.Bytes = rec.Bytes / 2
+			if err := e.emit(conflict); err != nil {
+				return err
 			}
 		}
 	}

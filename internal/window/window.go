@@ -1,0 +1,477 @@
+// Package window maintains per-tower sliding-window traffic state for the
+// always-on analysis service: the live counterpart of the batch
+// vectorizer. Records stream in (in roughly chronological order, the shape
+// of a CDR feed), each tower accumulates its traffic into a ring buffer of
+// fixed-length slots, and old slots are evicted as the window slides — so
+// memory stays O(towers × window slots) no matter how long the feed runs.
+//
+// Alongside the ring every tower keeps incremental first and second
+// moments of its window (the z-score state), updated in O(1) per record
+// and per eviction, so live mean/deviation queries never rescan the ring.
+//
+// Dataset snapshots the most recent whole weeks of every tower's window
+// into a pipeline.Dataset — the handoff that lets the background
+// re-modeling loop run the unchanged batch pipeline (core.AnalyzeContext)
+// over live state.
+//
+// WriteSnapshot/ReadSnapshot persist the full window state in a versioned
+// gob frame so a restarted service resumes with the identical window
+// instead of warming up from nothing.
+//
+// All methods are safe for concurrent use: the ingest goroutine appends
+// batches while the re-modeling loop and HTTP handlers read.
+package window
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// Errors returned by the window.
+var (
+	// ErrWarmingUp means the window does not yet cover a whole week of
+	// complete days, so there is nothing to model.
+	ErrWarmingUp = errors.New("window: fewer than 7 complete days observed")
+	// ErrBadSnapshot means the snapshot stream is not a window snapshot or
+	// carries an unsupported version.
+	ErrBadSnapshot = errors.New("window: bad snapshot")
+)
+
+// Options configure the sliding window. The zero value of SlotMinutes and
+// Days take the defaults; Start is required.
+type Options struct {
+	// Start is the slot-grid origin: slot k covers
+	// [Start + k·SlotMinutes, Start + (k+1)·SlotMinutes). Records before
+	// Start are dropped (counted in Summary.Dropped). Required.
+	Start time.Time
+	// SlotMinutes is the aggregation granularity (default 10, the paper's).
+	SlotMinutes int
+	// Days is the sliding-window length in whole days; it must be a
+	// multiple of 7 so the modeling window always covers whole weeks
+	// (default 7).
+	Days int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SlotMinutes == 0 {
+		o.SlotMinutes = 10
+	}
+	if o.Days == 0 {
+		o.Days = 7
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Start.IsZero() {
+		return errors.New("window: Start must be set")
+	}
+	if o.SlotMinutes <= 0 || 1440%o.SlotMinutes != 0 {
+		return fmt.Errorf("window: SlotMinutes must divide 1440, got %d", o.SlotMinutes)
+	}
+	if o.Days <= 0 || o.Days%7 != 0 {
+		return fmt.Errorf("window: Days must be a positive multiple of 7, got %d", o.Days)
+	}
+	return nil
+}
+
+// towerState is one tower's ring of traffic slots plus the incremental
+// moments over the ring.
+type towerState struct {
+	// ring[s % len(ring)] is the bytes of absolute slot s, valid for
+	// slots in (upTo - len(ring), upTo].
+	ring []float64
+	// upTo is the highest absolute slot this ring has been advanced to.
+	upTo int64
+	// sum and sumsq are Σv and Σv² over the ring, maintained
+	// incrementally on every add and eviction.
+	sum, sumsq float64
+}
+
+// Window is the concurrent sliding-window accumulator. See the package
+// comment for the model.
+type Window struct {
+	mu        sync.Mutex
+	opts      Options
+	slotDur   time.Duration
+	spd       int // slots per day
+	ringSlots int // (Days+1)·spd: one spare day so an aligned Days-day window always fits
+	towers    map[int]*towerState
+	locations map[int]geo.Point
+	latest    int64 // highest absolute slot observed; -1 before any record
+	ingested  uint64
+	dropped   uint64
+}
+
+// New returns an empty window.
+func New(opts Options) (*Window, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	spd := 1440 / opts.SlotMinutes
+	return &Window{
+		opts:      opts,
+		slotDur:   time.Duration(opts.SlotMinutes) * time.Minute,
+		spd:       spd,
+		ringSlots: (opts.Days + 1) * spd,
+		towers:    make(map[int]*towerState),
+		locations: make(map[int]geo.Point),
+		latest:    -1,
+	}, nil
+}
+
+// Options returns the window's configuration (with defaults applied).
+func (w *Window) Options() Options { return w.opts }
+
+// SetLocations registers tower locations for the datasets the window
+// hands to the modeling pipeline. Locations are construction-time
+// metadata, not window state: they are not persisted by WriteSnapshot and
+// must be re-supplied after ReadSnapshot.
+func (w *Window) SetLocations(infos []trace.TowerInfo) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, ti := range infos {
+		w.locations[ti.TowerID] = ti.Location
+	}
+}
+
+// advance clears the ring entries between ts.upTo and the target slot,
+// evicting their values from the incremental moments.
+func (w *Window) advance(ts *towerState, to int64) {
+	if to <= ts.upTo {
+		return
+	}
+	if to-ts.upTo >= int64(w.ringSlots) {
+		// The whole ring has fallen out of the window.
+		for i := range ts.ring {
+			ts.ring[i] = 0
+		}
+		ts.sum, ts.sumsq = 0, 0
+		ts.upTo = to
+		return
+	}
+	for s := ts.upTo + 1; s <= to; s++ {
+		i := s % int64(w.ringSlots)
+		if v := ts.ring[i]; v != 0 {
+			ts.sum -= v
+			ts.sumsq -= v * v
+			ts.ring[i] = 0
+		}
+	}
+	ts.upTo = to
+}
+
+// add ingests one record with the lock held.
+func (w *Window) add(rec trace.Record) {
+	slot := int64(rec.Start.Sub(w.opts.Start) / w.slotDur)
+	if rec.Start.Before(w.opts.Start) || (w.latest >= 0 && slot <= w.latest-int64(w.ringSlots)) {
+		// Before the grid origin, or so stale it already slid out.
+		w.dropped++
+		return
+	}
+	if slot > w.latest {
+		w.latest = slot
+	}
+	ts := w.towers[rec.TowerID]
+	if ts == nil {
+		ts = &towerState{ring: make([]float64, w.ringSlots), upTo: w.latest}
+		w.towers[rec.TowerID] = ts
+	}
+	w.advance(ts, w.latest)
+	i := slot % int64(w.ringSlots)
+	old := ts.ring[i]
+	ts.ring[i] = old + float64(rec.Bytes)
+	ts.sum += float64(rec.Bytes)
+	ts.sumsq += ts.ring[i]*ts.ring[i] - old*old
+	w.ingested++
+}
+
+// Add ingests one record.
+func (w *Window) Add(rec trace.Record) {
+	w.mu.Lock()
+	w.add(rec)
+	w.mu.Unlock()
+}
+
+// AddBatch ingests a batch of records under one lock acquisition — the
+// shape the ingest loop's pooled batches arrive in.
+func (w *Window) AddBatch(recs []trace.Record) {
+	w.mu.Lock()
+	for _, rec := range recs {
+		w.add(rec)
+	}
+	w.mu.Unlock()
+}
+
+// TowerStats is the live z-score state of one tower's window.
+type TowerStats struct {
+	// Mean and Std are the incremental first moment and standard
+	// deviation of the tower's ring slots (bytes per slot).
+	Mean, Std float64
+	// LastSlotBytes is the traffic accumulated in the most recent slot.
+	LastSlotBytes float64
+	// Slots is the ring extent the moments cover.
+	Slots int
+}
+
+// TowerStats returns the live window statistics of one tower, and whether
+// the tower has been seen at all.
+func (w *Window) TowerStats(id int) (TowerStats, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ts, ok := w.towers[id]
+	if !ok {
+		return TowerStats{}, false
+	}
+	w.advance(ts, w.latest)
+	n := float64(w.ringSlots)
+	mean := ts.sum / n
+	variance := ts.sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // guard the incremental moments' rounding
+	}
+	return TowerStats{
+		Mean:          mean,
+		Std:           math.Sqrt(variance),
+		LastSlotBytes: ts.ring[w.latest%int64(w.ringSlots)],
+		Slots:         w.ringSlots,
+	}, true
+}
+
+// TowerIDs returns the IDs of every tower seen, sorted.
+func (w *Window) TowerIDs() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sortedIDsLocked()
+}
+
+func (w *Window) sortedIDsLocked() []int {
+	ids := make([]int, 0, len(w.towers))
+	for id := range w.towers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Summary describes the window's global state.
+type Summary struct {
+	// Towers is the number of distinct towers seen.
+	Towers int
+	// Ingested and Dropped count records accepted into the window and
+	// records discarded (pre-Start or already slid out).
+	Ingested, Dropped uint64
+	// LatestSlotEnd is the end of the most recent slot any record touched
+	// (zero before the first record) — the window's data-driven clock.
+	LatestSlotEnd time.Time
+	// CompleteDays is the number of whole days of complete slots observed,
+	// the warm-up gauge: modeling starts at 7.
+	CompleteDays int
+}
+
+// Summary returns the global window state.
+func (w *Window) Summary() Summary {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := Summary{
+		Towers:   len(w.towers),
+		Ingested: w.ingested,
+		Dropped:  w.dropped,
+	}
+	if w.latest >= 0 {
+		s.LatestSlotEnd = w.opts.Start.Add(time.Duration(w.latest+1) * w.slotDur)
+		s.CompleteDays = int(w.latest) / w.spd
+	}
+	return s
+}
+
+// Dataset snapshots the most recent whole weeks of every tower's window
+// into an analysis-ready dataset: up to Options.Days days, ending at the
+// most recent complete day boundary (the slot currently accumulating and
+// its day are excluded). Towers whose extracted window carries no traffic
+// at all are filtered out, exactly as the batch vectorizer's
+// MinActiveSlots does. It returns ErrWarmingUp until a whole week of
+// complete days has been observed.
+func (w *Window) Dataset() (*pipeline.Dataset, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.latest < 0 {
+		return nil, ErrWarmingUp
+	}
+	// Slots strictly before `latest` are complete (the feed is
+	// chronological at slot granularity); the window ends at the last
+	// whole-day boundary among them and spans the largest multiple of 7
+	// days available, capped at the configured window length.
+	endDay := int(w.latest) / w.spd
+	days := endDay
+	if days > w.opts.Days {
+		days = w.opts.Days
+	}
+	days -= days % 7
+	if days < 7 {
+		return nil, ErrWarmingUp
+	}
+	startSlot := int64(endDay-days) * int64(w.spd)
+	slots := days * w.spd
+
+	inputs := make([]pipeline.SeriesInput, 0, len(w.towers))
+	for _, id := range w.sortedIDsLocked() {
+		ts := w.towers[id]
+		w.advance(ts, w.latest)
+		bytes := make([]float64, slots)
+		for k := range bytes {
+			bytes[k] = ts.ring[(startSlot+int64(k))%int64(w.ringSlots)]
+		}
+		inputs = append(inputs, pipeline.SeriesInput{
+			TowerID:  id,
+			Location: w.locations[id],
+			Bytes:    bytes,
+		})
+	}
+	return pipeline.VectorizeSeries(inputs, pipeline.VectorizerOptions{
+		Start:          w.opts.Start.Add(time.Duration(startSlot) * w.slotDur),
+		Days:           days,
+		SlotMinutes:    w.opts.SlotMinutes,
+		MinActiveSlots: 1,
+	})
+}
+
+// snapshotVersion is the on-disk format version. Bump it when the frame
+// layout changes; ReadSnapshot rejects versions it does not know.
+const snapshotVersion = 1
+
+// snapshotMagic guards against feeding an arbitrary gob stream (or an
+// arbitrary file) to ReadSnapshot.
+const snapshotMagic = "repro-window-snapshot"
+
+// snapshotFrame is the serialised form of the whole window.
+type snapshotFrame struct {
+	Magic       string
+	Version     int
+	Start       time.Time
+	SlotMinutes int
+	Days        int
+	Latest      int64
+	Ingested    uint64
+	Dropped     uint64
+	Towers      []towerSnapshot
+}
+
+// towerSnapshot is the serialised form of one tower's ring.
+type towerSnapshot struct {
+	ID         int
+	Ring       []float64
+	Sum, SumSq float64
+}
+
+// WriteSnapshot serialises the full window state (a versioned gob frame)
+// so a restarted process can resume the identical window. Tower rings are
+// canonicalised (advanced to the newest slot) first, and towers are
+// written in ID order, so equal window states produce identical bytes.
+func (w *Window) WriteSnapshot(out io.Writer) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	frame := snapshotFrame{
+		Magic:       snapshotMagic,
+		Version:     snapshotVersion,
+		Start:       w.opts.Start,
+		SlotMinutes: w.opts.SlotMinutes,
+		Days:        w.opts.Days,
+		Latest:      w.latest,
+		Ingested:    w.ingested,
+		Dropped:     w.dropped,
+	}
+	for _, id := range w.sortedIDsLocked() {
+		ts := w.towers[id]
+		w.advance(ts, w.latest)
+		frame.Towers = append(frame.Towers, towerSnapshot{
+			ID:    id,
+			Ring:  ts.ring,
+			Sum:   ts.sum,
+			SumSq: ts.sumsq,
+		})
+	}
+	return gob.NewEncoder(out).Encode(&frame)
+}
+
+// ReadSnapshot rebuilds a window from a WriteSnapshot stream. The restored
+// window is state-identical to the snapshotted one: the same rings, the
+// same incremental moments bit for bit, the same counters — so the first
+// re-model after a restart produces the dataset the crashed process would
+// have. Re-supply tower locations with SetLocations afterwards.
+func ReadSnapshot(in io.Reader) (*Window, error) {
+	var frame snapshotFrame
+	if err := gob.NewDecoder(in).Decode(&frame); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if frame.Magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: not a window snapshot", ErrBadSnapshot)
+	}
+	if frame.Version != snapshotVersion {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrBadSnapshot, frame.Version, snapshotVersion)
+	}
+	w, err := New(Options{Start: frame.Start, SlotMinutes: frame.SlotMinutes, Days: frame.Days})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	w.latest = frame.Latest
+	w.ingested = frame.Ingested
+	w.dropped = frame.Dropped
+	for _, tsnap := range frame.Towers {
+		if len(tsnap.Ring) != w.ringSlots {
+			return nil, fmt.Errorf("%w: tower %d ring has %d slots, want %d", ErrBadSnapshot, tsnap.ID, len(tsnap.Ring), w.ringSlots)
+		}
+		if _, dup := w.towers[tsnap.ID]; dup {
+			return nil, fmt.Errorf("%w: tower %d appears twice", ErrBadSnapshot, tsnap.ID)
+		}
+		w.towers[tsnap.ID] = &towerState{
+			ring:  tsnap.Ring,
+			upTo:  frame.Latest,
+			sum:   tsnap.Sum,
+			sumsq: tsnap.SumSq,
+		}
+	}
+	return w, nil
+}
+
+// Save writes the snapshot to path atomically (temp file + rename), so a
+// crash mid-write never truncates the previous snapshot.
+func (w *Window) Save(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".window-snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := w.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads a snapshot written by Save.
+func Load(path string) (*Window, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}
