@@ -7,21 +7,30 @@
 // reports, forecasts and a server-sent-events anomaly stream — without
 // ever blocking a query on modeling.
 //
-// Endpoints (see internal/serve): /healthz, /summary, /towers,
-// /towers/{id}, /stream, /metrics.
+// Endpoints (see internal/serve): /healthz (liveness), /readyz
+// (readiness with load-balancer semantics: 503 + Retry-After once the
+// model is stale), /summary, /towers, /towers/{id}, /stream, /metrics
+// (JSON, or Prometheus text with ?format=prom).
 //
-// With -snapshot the window is persisted on shutdown and restored on the
-// next start, so a restarted service resumes the identical sliding
-// window instead of warming up from nothing.
+// With -snapshot the window is persisted as checksummed generations
+// (<path>.1, <path>.2, ... — higher is newer, -snapshot-generations of
+// retention) every -snapshot-interval and once more on shutdown, and the
+// newest intact generation is restored on the next start, so a restarted
+// — or killed — service resumes a recent sliding window instead of
+// warming up from nothing.
+//
+// The service supervises its own background loops (panics and transient
+// feed errors restart them with bounded backoff) and keeps serving the
+// last-known-good model in degraded conditions; see internal/serve.
 //
 // SIGINT/SIGTERM shut the service down gracefully: the HTTP listener
-// drains, the ingest and modeling goroutines stop, the snapshot (if
-// configured) is written, and the process exits 0.
+// drains, the ingest and modeling goroutines stop, the final snapshot
+// generation (if configured) is written, and the process exits 0.
 //
 // Examples:
 //
 //	served -addr :8080 -towers 200 -days 28 -replay-speed 0
-//	served -snapshot /var/tmp/window.snap -remodel-interval 30s
+//	served -snapshot /var/tmp/window.snap -snapshot-interval 30s
 //	served -precision float32 -workers 4 -window-days 14
 package main
 
@@ -34,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -44,23 +54,67 @@ import (
 	"repro/internal/window"
 )
 
+// Exit codes, aligned with cmd/analyze's scheme so supervising scripts
+// can tell failure classes apart. 2 is the conventional "bad usage" code
+// (what flag.ExitOnError itself uses for unknown flags).
+const (
+	exitFailure = 1 // runtime failure (modeling, HTTP listener)
+	exitUsage   = 2 // invalid flag values
+	exitIO      = 5 // snapshot directory or restore I/O failure
+)
+
+// usageErrorf reports an invalid flag value the way the flag package
+// does — message plus usage to stderr — and exits with exitUsage.
+func usageErrorf(format string, args ...any) {
+	fmt.Fprintf(flag.CommandLine.Output(), format+"\n", args...)
+	flag.Usage()
+	os.Exit(exitUsage)
+}
+
 func main() {
 	var (
 		addr            = flag.String("addr", ":8080", "HTTP listen address")
-		windowDays      = flag.Int("window-days", 14, "sliding-window length in days (multiple of 7)")
-		remodelInterval = flag.Duration("remodel-interval", time.Minute, "pause between background modeling cycles")
-		snapshot        = flag.String("snapshot", "", "window snapshot path: restored on start when present, written on shutdown")
+		windowDays      = flag.Int("window-days", 14, "sliding-window length in days (positive multiple of 7)")
+		remodelInterval = flag.Duration("remodel-interval", time.Minute, "pause between background modeling cycles (> 0)")
+		staleAfter      = flag.Duration("stale-after", 0, "model age at which /readyz turns 503 (0 = 3x the remodel interval)")
+		requestTimeout  = flag.Duration("request-timeout", 0, "per-request timeout on the query endpoints (0 = the service default, negative disables)")
 		precision       = flag.String("precision", "float64", "modeling precision: float64 or float32")
 		workers         = flag.Int("workers", 0, "modeling worker goroutines (0 = GOMAXPROCS)")
 
-		towers      = flag.Int("towers", 200, "towers in the synthetic city feeding the service")
-		days        = flag.Int("days", 28, "days of synthetic traffic to replay")
+		snapshot       = flag.String("snapshot", "", "base path of the generational window snapshot store: newest intact generation restored on start, a new generation written every -snapshot-interval and on shutdown")
+		snapshotEvery  = flag.Duration("snapshot-interval", time.Minute, "pause between periodic snapshot generations (0 = only on shutdown)")
+		snapshotToKeep = flag.Int("snapshot-generations", 3, "snapshot generations to retain (> 0)")
+
+		towers      = flag.Int("towers", 200, "towers in the synthetic city feeding the service (> 0)")
+		days        = flag.Int("days", 28, "days of synthetic traffic to replay (> 0)")
 		seed        = flag.Int64("seed", 1, "synthetic city seed")
 		replaySpeed = flag.Float64("replay-speed", 0, "trace-time over wall-time replay factor (3600 = an hour per second; 0 = as fast as possible)")
 		dedupWindow = flag.Int("dedup-window", 0, "bound the streaming cleaner's dedup state to this many records (0 = exact)")
 	)
 	flag.Parse()
 
+	// Validate before anything runs: a misconfigured service must refuse
+	// to start with a usage error, not limp along with nonsense values.
+	switch {
+	case *windowDays <= 0 || *windowDays%7 != 0:
+		usageErrorf("-window-days %d: must be a positive multiple of 7", *windowDays)
+	case *remodelInterval <= 0:
+		usageErrorf("-remodel-interval %v: must be positive", *remodelInterval)
+	case *staleAfter < 0:
+		usageErrorf("-stale-after %v: must not be negative", *staleAfter)
+	case *snapshotEvery < 0:
+		usageErrorf("-snapshot-interval %v: must not be negative", *snapshotEvery)
+	case *snapshotToKeep <= 0:
+		usageErrorf("-snapshot-generations %d: must be positive", *snapshotToKeep)
+	case *towers <= 0:
+		usageErrorf("-towers %d: must be positive", *towers)
+	case *days <= 0:
+		usageErrorf("-days %d: must be positive", *days)
+	case *replaySpeed < 0:
+		usageErrorf("-replay-speed %g: must not be negative (0 disables pacing)", *replaySpeed)
+	case *dedupWindow < 0:
+		usageErrorf("-dedup-window %d: must not be negative", *dedupWindow)
+	}
 	opts := core.Options{Workers: *workers, Seed: *seed}
 	switch *precision {
 	case "float64":
@@ -68,25 +122,65 @@ func main() {
 	case "float32":
 		opts.Precision = core.Float32
 	default:
-		log.Fatalf("unknown -precision %q (want float64 or float32)", *precision)
+		usageErrorf("-precision %q: want float64 or float32", *precision)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *windowDays, *remodelInterval, *snapshot, opts,
-		*towers, *days, *seed, *replaySpeed, *dedupWindow); err != nil {
-		log.Fatal(err)
+	if err := run(ctx, runConfig{
+		addr:            *addr,
+		windowDays:      *windowDays,
+		remodelInterval: *remodelInterval,
+		staleAfter:      *staleAfter,
+		requestTimeout:  *requestTimeout,
+		snapshot:        *snapshot,
+		snapshotEvery:   *snapshotEvery,
+		snapshotToKeep:  *snapshotToKeep,
+		analyze:         opts,
+		towers:          *towers,
+		days:            *days,
+		seed:            *seed,
+		replaySpeed:     *replaySpeed,
+		dedupWindow:     *dedupWindow,
+	}); err != nil {
+		log.Print(err)
+		var ioErr *snapshotIOError
+		if errors.As(err, &ioErr) {
+			os.Exit(exitIO)
+		}
+		os.Exit(exitFailure)
 	}
 }
 
-func run(ctx context.Context, addr string, windowDays int, remodelInterval time.Duration,
-	snapshot string, analyze core.Options, towers, days int, seed int64,
-	replaySpeed float64, dedupWindow int) error {
+// snapshotIOError marks failures of the snapshot store's filesystem, so
+// main can exit with the I/O code instead of the generic one.
+type snapshotIOError struct{ err error }
+
+func (e *snapshotIOError) Error() string { return e.err.Error() }
+func (e *snapshotIOError) Unwrap() error { return e.err }
+
+type runConfig struct {
+	addr            string
+	windowDays      int
+	remodelInterval time.Duration
+	staleAfter      time.Duration
+	requestTimeout  time.Duration
+	snapshot        string
+	snapshotEvery   time.Duration
+	snapshotToKeep  int
+	analyze         core.Options
+	towers, days    int
+	seed            int64
+	replaySpeed     float64
+	dedupWindow     int
+}
+
+func run(ctx context.Context, rc runConfig) error {
 	cfg := synth.SmallConfig()
-	cfg.Towers = towers
-	cfg.Users = 50 * towers
-	cfg.Days = days
-	cfg.Seed = seed
+	cfg.Towers = rc.towers
+	cfg.Users = 50 * rc.towers
+	cfg.Days = rc.days
+	cfg.Seed = rc.seed
 	city, err := synth.GenerateCity(cfg)
 	if err != nil {
 		return fmt.Errorf("generating city: %w", err)
@@ -97,19 +191,26 @@ func run(ctx context.Context, addr string, windowDays int, remodelInterval time.
 	}
 
 	var w *window.Window
-	if snapshot != "" {
-		if w, err = window.Load(snapshot); err == nil {
+	if rc.snapshot != "" {
+		if err := os.MkdirAll(filepath.Dir(rc.snapshot), 0o755); err != nil {
+			return &snapshotIOError{fmt.Errorf("snapshot directory: %w", err)}
+		}
+		store := serve.NewSnapshotStore(rc.snapshot, rc.snapshotToKeep, nil, log.Printf)
+		restored, from, err := store.Restore()
+		if err != nil {
+			return &snapshotIOError{fmt.Errorf("restoring snapshot: %w", err)}
+		}
+		if restored != nil {
+			w = restored
 			log.Printf("restored window snapshot %s: %d towers, %d complete days",
-				snapshot, w.Summary().Towers, w.Summary().CompleteDays)
-		} else if !errors.Is(err, os.ErrNotExist) {
-			return fmt.Errorf("restoring snapshot: %w", err)
+				from, w.Summary().Towers, w.Summary().CompleteDays)
 		}
 	}
 	if w == nil {
 		if w, err = window.New(window.Options{
 			Start:       cfg.Start,
 			SlotMinutes: cfg.SlotMinutes,
-			Days:        windowDays,
+			Days:        rc.windowDays,
 		}); err != nil {
 			return err
 		}
@@ -119,25 +220,29 @@ func run(ctx context.Context, addr string, windowDays int, remodelInterval time.
 	stream := city.LogSource(series, synth.LogOptions{TimeMajor: true})
 	defer stream.Close()
 	srv, err := serve.New(serve.Config{
-		Window:          w,
-		Source:          trace.NewReplaySource(ctx, stream, replaySpeed),
-		POIs:            city.POIs,
-		RemodelInterval: remodelInterval,
-		Analyze:         analyze,
-		CleanWindow:     dedupWindow,
-		SnapshotPath:    snapshot,
-		Logf:            log.Printf,
+		Window:              w,
+		Source:              trace.NewReplaySource(ctx, stream, rc.replaySpeed),
+		POIs:                city.POIs,
+		RemodelInterval:     rc.remodelInterval,
+		StaleAfter:          rc.staleAfter,
+		RequestTimeout:      rc.requestTimeout,
+		Analyze:             rc.analyze,
+		CleanWindow:         rc.dedupWindow,
+		SnapshotPath:        rc.snapshot,
+		SnapshotInterval:    rc.snapshotEvery,
+		SnapshotGenerations: rc.snapshotToKeep,
+		Logf:                log.Printf,
 	})
 	if err != nil {
 		return err
 	}
 	srv.Start(ctx)
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: rc.addr, Handler: srv.Handler()}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- httpSrv.ListenAndServe() }()
 	log.Printf("serving on %s: %d towers, %d-day window, re-model every %v, replay speed %gx",
-		addr, towers, windowDays, remodelInterval, replaySpeed)
+		rc.addr, rc.towers, rc.windowDays, rc.remodelInterval, rc.replaySpeed)
 
 	select {
 	case err := <-httpErr:
@@ -148,8 +253,8 @@ func run(ctx context.Context, addr string, windowDays int, remodelInterval time.
 
 	log.Printf("shutting down")
 	// Stop the service first: this drains the ingest and modeling
-	// goroutines, wakes any blocked SSE streams and writes the snapshot,
-	// so the HTTP drain below finishes promptly.
+	// goroutines, wakes any blocked SSE streams and writes the final
+	// snapshot generation, so the HTTP drain below finishes promptly.
 	closeErr := srv.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -157,10 +262,7 @@ func run(ctx context.Context, addr string, windowDays int, remodelInterval time.
 		httpSrv.Close()
 	}
 	if closeErr != nil {
-		return closeErr
-	}
-	if snapshot != "" {
-		log.Printf("window snapshot written to %s", snapshot)
+		return &snapshotIOError{closeErr}
 	}
 	log.Printf("bye")
 	return nil

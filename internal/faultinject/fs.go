@@ -1,0 +1,169 @@
+package faultinject
+
+// fs.go injects faults into the snapshot store's filesystem operations
+// (the snapfs.FS surface): short writes that persist only a prefix,
+// renames that fail without moving the file, silent single-byte
+// corruption of written data, and failing fsyncs. The fault schedule is
+// seed-deterministic in operation order, like the byte-level Reader, so
+// a chaos run can be replayed exactly.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"repro/internal/snapfs"
+)
+
+// ErrInjectedFS is the base error of every injected filesystem fault.
+var ErrInjectedFS = errors.New("faultinject: injected filesystem fault")
+
+// FSProfile configures a faulty filesystem. The zero value injects
+// nothing. Probabilities are per operation.
+type FSProfile struct {
+	// Seed keys the fault schedule; identical seeds over identical
+	// operation sequences inject identical faults.
+	Seed int64
+
+	// ShortWriteProb is the probability that a File.Write persists only a
+	// random prefix of the data and then fails — a crash or disk-full
+	// mid-write, leaving a torn temp file behind.
+	ShortWriteProb float64
+
+	// CorruptProb is the probability that a File.Write flips one byte of
+	// what actually reaches the disk while still reporting success — the
+	// silent bit rot the snapshot checksum exists to catch.
+	CorruptProb float64
+
+	// RenameFailProb is the probability that a Rename fails without
+	// moving anything, so the new generation never appears.
+	RenameFailProb float64
+
+	// SyncFailProb is the probability that File.Sync fails — a device
+	// refusing to flush, which must abort the snapshot before rename.
+	SyncFailProb float64
+}
+
+// FSCounts reports how many faults a faulty filesystem injected.
+type FSCounts struct {
+	ShortWrites int64
+	Corrupted   int64
+	RenameFails int64
+	SyncFails   int64
+}
+
+// FS wraps the real filesystem with the fault schedule of an FSProfile.
+// It implements snapfs.FS. Safe for concurrent use (the store serialises
+// saves, but restores can race a save).
+type FS struct {
+	p      FSProfile
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts FSCounts
+}
+
+// NewFS returns a fault-injecting filesystem over the real one.
+func NewFS(p FSProfile) *FS {
+	return &FS{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Counts returns the faults injected so far.
+func (f *FS) Counts() FSCounts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts
+}
+
+// roll draws one fault decision under the lock.
+func (f *FS) roll(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	hit := f.rng.Float64() < prob
+	f.mu.Unlock()
+	return hit
+}
+
+// CreateTemp implements snapfs.FS.
+func (f *FS) CreateTemp(dir, pattern string) (snapfs.File, error) {
+	file, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, f: file}, nil
+}
+
+// Rename implements snapfs.FS, sometimes failing without renaming.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if f.roll(f.p.RenameFailProb) {
+		f.mu.Lock()
+		f.counts.RenameFails++
+		f.mu.Unlock()
+		return fmt.Errorf("%w: rename %s: device error", ErrInjectedFS, newpath)
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove implements snapfs.FS (never faulted: deletion failures are not a
+// snapshot-safety concern, a leftover file is just garbage).
+func (f *FS) Remove(name string) error { return os.Remove(name) }
+
+// ReadFile implements snapfs.FS. Reads are not faulted here — read-side
+// corruption is what the window checksum and the byte-level Reader cover.
+func (f *FS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements snapfs.FS.
+func (f *FS) ReadDir(dir string) ([]string, error) { return snapfs.OS{}.ReadDir(dir) }
+
+// SyncDir implements snapfs.FS.
+func (f *FS) SyncDir(dir string) error { return snapfs.OS{}.SyncDir(dir) }
+
+// faultyFile injects write-path faults into one temp file.
+type faultyFile struct {
+	fs *FS
+	f  *os.File
+}
+
+// Write implements io.Writer with short-write and corruption faults.
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	if len(p) > 0 && ff.fs.roll(ff.fs.p.ShortWriteProb) {
+		ff.fs.mu.Lock()
+		n := ff.fs.rng.Intn(len(p)) // persist a strict prefix
+		ff.fs.counts.ShortWrites++
+		ff.fs.mu.Unlock()
+		ff.f.Write(p[:n])
+		return n, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjectedFS, n, len(p))
+	}
+	if len(p) > 0 && ff.fs.roll(ff.fs.p.CorruptProb) {
+		ff.fs.mu.Lock()
+		i := ff.fs.rng.Intn(len(p))
+		ff.fs.counts.Corrupted++
+		ff.fs.mu.Unlock()
+		corrupted := make([]byte, len(p))
+		copy(corrupted, p)
+		corrupted[i] ^= 0xff
+		n, err := ff.f.Write(corrupted)
+		return n, err // reported as success: the rot is silent
+	}
+	return ff.f.Write(p)
+}
+
+// Sync implements snapfs.File, sometimes refusing to flush.
+func (ff *faultyFile) Sync() error {
+	if ff.fs.roll(ff.fs.p.SyncFailProb) {
+		ff.fs.mu.Lock()
+		ff.fs.counts.SyncFails++
+		ff.fs.mu.Unlock()
+		return fmt.Errorf("%w: fsync %s: input/output error", ErrInjectedFS, ff.f.Name())
+	}
+	return ff.f.Sync()
+}
+
+// Close implements snapfs.File.
+func (ff *faultyFile) Close() error { return ff.f.Close() }
+
+// Name implements snapfs.File.
+func (ff *faultyFile) Name() string { return ff.f.Name() }

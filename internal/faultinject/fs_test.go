@@ -1,0 +1,154 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFSShortWritePersistsStrictPrefix(t *testing.T) {
+	fs := NewFS(FSProfile{Seed: 1, ShortWriteProb: 1})
+	f, err := fs.CreateTemp(t.TempDir(), "short-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xab}, 1024)
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrInjectedFS) {
+		t.Fatalf("short write err = %v, want ErrInjectedFS", err)
+	}
+	if n < 0 || n >= len(payload) {
+		t.Fatalf("short write reported %d of %d bytes, want a strict prefix", n, len(payload))
+	}
+	f.Close()
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[:n]) {
+		t.Fatalf("on disk: %d bytes, want exactly the reported %d-byte prefix", len(got), n)
+	}
+	if c := fs.Counts().ShortWrites; c != 1 {
+		t.Fatalf("ShortWrites = %d, want 1", c)
+	}
+}
+
+func TestFSCorruptionIsSilentAndSingleByte(t *testing.T) {
+	fs := NewFS(FSProfile{Seed: 2, CorruptProb: 1})
+	f, err := fs.CreateTemp(t.TempDir(), "rot-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x55}, 256)
+	if n, err := f.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("corrupting write reported (%d, %v), want silent success", n, err)
+	}
+	f.Close()
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			diffs++
+			if got[i] != payload[i]^0xff {
+				t.Fatalf("byte %d corrupted to %#x, want %#x", i, got[i], payload[i]^0xff)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("%d bytes corrupted, want exactly 1", diffs)
+	}
+	// The caller's buffer must not have been touched.
+	if !bytes.Equal(payload, bytes.Repeat([]byte{0x55}, 256)) {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+}
+
+func TestFSRenameAndSyncFaults(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(FSProfile{Seed: 3, RenameFailProb: 1, SyncFailProb: 1})
+	f, err := fs.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	if err := f.Sync(); !errors.Is(err, ErrInjectedFS) {
+		t.Fatalf("Sync err = %v, want ErrInjectedFS", err)
+	}
+	f.Close()
+	target := filepath.Join(dir, "target")
+	if err := fs.Rename(f.Name(), target); !errors.Is(err, ErrInjectedFS) {
+		t.Fatalf("Rename err = %v, want ErrInjectedFS", err)
+	}
+	if _, err := os.Stat(target); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("failed rename moved the file anyway")
+	}
+	if _, err := os.Stat(f.Name()); err != nil {
+		t.Fatalf("failed rename lost the source: %v", err)
+	}
+	c := fs.Counts()
+	if c.RenameFails != 1 || c.SyncFails != 1 {
+		t.Fatalf("counts = %+v, want one rename and one sync fault", c)
+	}
+}
+
+func TestFSScheduleIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) (FSCounts, []byte) {
+		fs := NewFS(FSProfile{Seed: seed, ShortWriteProb: 0.3, CorruptProb: 0.3, SyncFailProb: 0.2})
+		f, err := fs.CreateTemp(t.TempDir(), "d-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			f.Write(bytes.Repeat([]byte{byte(i)}, 64))
+			f.Sync()
+		}
+		f.Close()
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs.Counts(), data
+	}
+	c1, d1 := run(7)
+	c2, d2 := run(7)
+	if c1 != c2 || !bytes.Equal(d1, d2) {
+		t.Fatalf("same seed diverged: %+v vs %+v", c1, c2)
+	}
+	if c3, _ := run(8); c3 == c1 {
+		t.Fatalf("different seeds produced the identical schedule %+v", c1)
+	}
+	if c1.ShortWrites == 0 || c1.Corrupted == 0 || c1.SyncFails == 0 {
+		t.Fatalf("schedule never exercised every fault kind: %+v", c1)
+	}
+}
+
+func TestFSZeroProfileIsTransparent(t *testing.T) {
+	fs := NewFS(FSProfile{})
+	f, err := fs.CreateTemp(t.TempDir(), "clean-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("exactly these bytes")
+	if n, err := f.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("zero profile altered the bytes")
+	}
+	if c := fs.Counts(); c != (FSCounts{}) {
+		t.Fatalf("zero profile injected faults: %+v", c)
+	}
+}

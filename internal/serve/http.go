@@ -7,6 +7,8 @@ package serve
 // matter what the re-modeling loop is doing.
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/anomaly"
+	"repro/internal/panicsafe"
 )
 
 // metrics are the service's operational counters, exposed on /metrics.
@@ -24,26 +27,40 @@ import (
 // tests (and embedders) can build any number of Servers in one process
 // without tripping expvar's global re-registration panic.
 type metrics struct {
-	ingestRecords  atomic.Uint64
-	ingestBatches  atomic.Uint64
-	ingestErrors   atomic.Uint64
-	modelCycles    atomic.Uint64
-	modelSkips     atomic.Uint64
-	modelFailures  atomic.Uint64
-	snapshots      atomic.Uint64
-	lastModelNanos atomic.Int64
+	ingestRecords    atomic.Uint64
+	ingestBatches    atomic.Uint64
+	ingestErrors     atomic.Uint64
+	modelCycles      atomic.Uint64
+	modelSkips       atomic.Uint64
+	modelFailures    atomic.Uint64
+	modelConsecFails atomic.Uint64 // failed cycles since the last success
+	snapshots        atomic.Uint64
+	snapshotSkips    atomic.Uint64 // intentional (empty/stale window)
+	snapshotFailures atomic.Uint64
+	lastModelNanos   atomic.Int64
 
-	reqTower   atomic.Uint64
-	reqTowers  atomic.Uint64
-	reqSummary atomic.Uint64
-	reqHealthz atomic.Uint64
-	reqStream  atomic.Uint64
-	reqMetrics atomic.Uint64
+	healthState       atomic.Int32 // last Health the health loop observed
+	healthTransitions atomic.Uint64
+
+	reqTower    atomic.Uint64
+	reqTowers   atomic.Uint64
+	reqSummary  atomic.Uint64
+	reqHealthz  atomic.Uint64
+	reqReadyz   atomic.Uint64
+	reqStream   atomic.Uint64
+	reqMetrics  atomic.Uint64
+	reqRejected atomic.Uint64 // concurrent-request limiter refusals
+	reqTimeouts atomic.Uint64 // requests cut off by RequestTimeout
+	reqPanics   atomic.Uint64 // handler panics converted to 500s
+	sseRejected atomic.Uint64 // /stream refusals over MaxSSEClients
 }
 
 // Handler returns the service's HTTP API:
 //
-//	GET /healthz      liveness + readiness (ready once a model is published)
+//	GET /healthz      liveness only: 200 while the process can answer at
+//	                  all, with the health state in the body
+//	GET /readyz       readiness with load-balancer semantics: 200 while
+//	                  healthy or degraded, 503 + Retry-After once stale
 //	GET /summary      window counters + published model overview
 //	GET /towers       modeled towers with cluster and region labels
 //	GET /towers/{id}  one tower: cluster, region, live window stats,
@@ -51,16 +68,28 @@ type metrics struct {
 //	                  "off" disables a filter), forecast backtest + next day
 //	GET /stream       server-sent events; one "anomaly" event per fresh
 //	                  anomaly as each re-model publishes
-//	GET /metrics      operational counters (JSON)
+//	GET /metrics      operational counters (JSON by default;
+//	                  ?format=prom or "Accept: text/plain" for Prometheus
+//	                  text exposition)
+//
+// Query responses carry the model generation, its age and the current
+// health state, so a client can always tell when it is reading a
+// last-known-good model. The query endpoints (/summary, /towers,
+// /towers/{id}) run hardened: per-request timeout (RequestTimeout),
+// concurrent-request limiter (MaxConcurrent, excess → 429) and handler
+// panic containment; the health and metrics probes bypass the limiter so
+// an overloaded service can still be observed, and /stream is bounded by
+// MaxSSEClients instead.
 //
 // The handler is safe to use before Start and keeps answering after
 // Close (from the last published model).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", counted(&s.met.reqHealthz, s.handleHealthz))
-	mux.HandleFunc("GET /summary", counted(&s.met.reqSummary, s.handleSummary))
-	mux.HandleFunc("GET /towers", counted(&s.met.reqTowers, s.handleTowers))
-	mux.HandleFunc("GET /towers/{id}", counted(&s.met.reqTower, s.handleTower))
+	mux.HandleFunc("GET /readyz", counted(&s.met.reqReadyz, s.handleReadyz))
+	mux.HandleFunc("GET /summary", counted(&s.met.reqSummary, s.hardened(s.handleSummary)))
+	mux.HandleFunc("GET /towers", counted(&s.met.reqTowers, s.hardened(s.handleTowers)))
+	mux.HandleFunc("GET /towers/{id}", counted(&s.met.reqTower, s.hardened(s.handleTower)))
 	mux.HandleFunc("GET /stream", counted(&s.met.reqStream, s.handleStream))
 	mux.HandleFunc("GET /metrics", counted(&s.met.reqMetrics, s.handleMetrics))
 	return mux
@@ -71,6 +100,86 @@ func counted(c *atomic.Uint64, h http.HandlerFunc) http.HandlerFunc {
 		c.Add(1)
 		h(w, r)
 	}
+}
+
+// hardened wraps a query handler with the concurrent-request limiter,
+// the per-request timeout and panic containment.
+func (s *Server) hardened(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.limiter != nil {
+			select {
+			case s.limiter <- struct{}{}:
+				defer func() { <-s.limiter }()
+			default:
+				s.met.reqRejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, "over the concurrent-request limit (%d)", cap(s.limiter))
+				return
+			}
+		}
+		s.timed(h)(w, r)
+	}
+}
+
+// timed enforces RequestTimeout on one request. The handler writes into
+// a buffered response; if it beats the deadline the buffer is flushed to
+// the client, otherwise the client gets 503 and the handler's late write
+// lands in the abandoned buffer. A panicking handler becomes a clean 500
+// instead of a killed connection.
+func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.RequestTimeout <= 0 {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if err := panicsafe.Call(func() error { h(w, r); return nil }); err != nil {
+				s.met.reqPanics.Add(1)
+				s.logf("serve: handler panic on %s: %v", r.URL.Path, err)
+			}
+		}
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		buf := &bufferedResponse{header: make(http.Header), status: http.StatusOK}
+		done := make(chan error, 1)
+		go func() {
+			done <- panicsafe.Call(func() error { h(buf, r.WithContext(ctx)); return nil })
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				s.met.reqPanics.Add(1)
+				s.logf("serve: handler panic on %s: %v", r.URL.Path, err)
+				httpError(w, http.StatusInternalServerError, "internal error")
+				return
+			}
+			buf.flushTo(w)
+		case <-ctx.Done():
+			s.met.reqTimeouts.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "request timed out after %v", s.cfg.RequestTimeout)
+		}
+	}
+}
+
+// bufferedResponse is the in-memory ResponseWriter the timeout wrapper
+// hands to handlers, so a late handler never races the real connection.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header         { return b.header }
+func (b *bufferedResponse) WriteHeader(status int)      { b.status = status }
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+func (b *bufferedResponse) flushTo(w http.ResponseWriter) {
+	for k, vs := range b.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(b.status)
+	w.Write(b.body.Bytes())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -85,12 +194,16 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// handleHealthz is liveness only: it always answers 200 while the
+// process can answer at all. Routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sum := s.cfg.Window.Summary()
 	m := s.model()
+	h, _ := s.healthNow()
 	resp := map[string]any{
 		"status":        "ok",
 		"ready":         m != nil,
+		"health":        h.String(),
 		"towers":        sum.Towers,
 		"complete_days": sum.CompleteDays,
 	}
@@ -100,10 +213,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// modelInfo is the JSON shape of a published model's identity.
+// handleReadyz is readiness with load-balancer semantics: 200 while the
+// service holds a trustworthy (healthy or degraded last-known-good)
+// model, 503 + Retry-After once it is stale, so balancers drain the
+// instance while direct clients can still query the last-good model.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h, reason := s.healthNow()
+	resp := map[string]any{"health": h.String(), "reason": reason}
+	if m := s.model(); m != nil {
+		resp["model_seq"] = m.Seq
+		resp["model_age_seconds"] = time.Since(m.ModeledAt).Seconds()
+	}
+	if h == Stale {
+		resp["status"] = "unready"
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.healthInterval().Seconds())+1))
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	resp["status"] = "ready"
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// modelInfo is the JSON shape of a published model's identity. Age and
+// Stale are computed at response time: they are how a client reading a
+// last-known-good model can tell.
 type modelInfo struct {
 	Seq        uint64    `json:"seq"`
 	ModeledAt  time.Time `json:"modeled_at"`
+	AgeSeconds float64   `json:"age_seconds"`
+	Stale      bool      `json:"stale"`
 	WindowFrom time.Time `json:"window_from"`
 	WindowTo   time.Time `json:"window_to"`
 	Days       int       `json:"days"`
@@ -111,10 +249,13 @@ type modelInfo struct {
 	K          int       `json:"k"`
 }
 
-func (m *model) info() modelInfo {
+func (s *Server) info(m *model) modelInfo {
+	age := time.Since(m.ModeledAt)
 	return modelInfo{
 		Seq:        m.Seq,
 		ModeledAt:  m.ModeledAt,
+		AgeSeconds: age.Seconds(),
+		Stale:      age > s.staleAfter(),
 		WindowFrom: m.ds.Start,
 		WindowTo:   m.WindowEnd,
 		Days:       m.ds.Days,
@@ -125,7 +266,9 @@ func (m *model) info() modelInfo {
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	sum := s.cfg.Window.Summary()
+	h, _ := s.healthNow()
 	resp := map[string]any{
+		"health": h.String(),
 		"window": map[string]any{
 			"towers":          sum.Towers,
 			"ingested":        sum.Ingested,
@@ -163,7 +306,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		resp["model"] = map[string]any{
-			"info":             m.info(),
+			"info":             s.info(m),
 			"clusters":         clusters,
 			"anomalous_towers": anomalous,
 		}
@@ -196,7 +339,8 @@ func (s *Server) handleTowers(w http.ResponseWriter, r *http.Request) {
 			Anomalies: n,
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"model": m.info(), "towers": rows})
+	h, _ := s.healthNow()
+	writeJSON(w, http.StatusOK, map[string]any{"health": h.String(), "model": s.info(m), "towers": rows})
 }
 
 // anomalyJSON is one flagged slot, with the slot resolved to wall time.
@@ -281,11 +425,13 @@ func (s *Server) handleTower(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	h, _ := s.healthNow()
 	resp := map[string]any{
 		"tower":     id,
 		"cluster":   m.res.Assignment.Labels[row],
 		"region":    m.res.TowerRegions[row].String(),
-		"model":     m.info(),
+		"model":     s.info(m),
+		"health":    h.String(),
 		"anomalies": anomalies,
 	}
 	if stats, ok := s.cfg.Window.TowerStats(id); ok {
@@ -308,33 +454,72 @@ func (s *Server) handleTower(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleMetrics exposes the operational counters. JSON by default; the
+// Prometheus text exposition is selected with ?format=prom (or
+// ?format=prometheus) or an Accept header preferring text/plain. The
+// counters themselves are identical either way.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	if wantsPrometheus(r) {
+		s.writePrometheus(w)
+		return
+	}
+	h, _ := s.healthNow()
+	loops := map[string]any{}
+	for _, ls := range []*loopStatus{&s.ingestLoop, &s.remodelLoop, &s.snapshotLoop} {
+		info := map[string]any{
+			"state":    loopStateName(ls.state.Load()),
+			"restarts": ls.restarts.Load(),
+		}
+		if err := ls.LastErr(); err != nil {
+			info["last_error"] = err.Error()
+		}
+		loops[ls.name] = info
+	}
+	resp := map[string]any{
 		"ingest": map[string]uint64{
 			"records": s.met.ingestRecords.Load(),
 			"batches": s.met.ingestBatches.Load(),
 			"errors":  s.met.ingestErrors.Load(),
 		},
 		"model": map[string]any{
-			"cycles":            s.met.modelCycles.Load(),
-			"warmup_skips":      s.met.modelSkips.Load(),
-			"failures":          s.met.modelFailures.Load(),
-			"last_cycle_millis": time.Duration(s.met.lastModelNanos.Load()).Milliseconds(),
+			"cycles":               s.met.modelCycles.Load(),
+			"warmup_skips":         s.met.modelSkips.Load(),
+			"failures":             s.met.modelFailures.Load(),
+			"consecutive_failures": s.met.modelConsecFails.Load(),
+			"last_cycle_millis":    time.Duration(s.met.lastModelNanos.Load()).Milliseconds(),
 		},
 		"requests": map[string]uint64{
-			"healthz": s.met.reqHealthz.Load(),
-			"summary": s.met.reqSummary.Load(),
-			"towers":  s.met.reqTowers.Load(),
-			"tower":   s.met.reqTower.Load(),
-			"stream":  s.met.reqStream.Load(),
-			"metrics": s.met.reqMetrics.Load(),
+			"healthz":  s.met.reqHealthz.Load(),
+			"readyz":   s.met.reqReadyz.Load(),
+			"summary":  s.met.reqSummary.Load(),
+			"towers":   s.met.reqTowers.Load(),
+			"tower":    s.met.reqTower.Load(),
+			"stream":   s.met.reqStream.Load(),
+			"metrics":  s.met.reqMetrics.Load(),
+			"rejected": s.met.reqRejected.Load(),
+			"timeouts": s.met.reqTimeouts.Load(),
+			"panics":   s.met.reqPanics.Load(),
 		},
 		"stream": map[string]any{
-			"clients": s.broker.clientCount(),
-			"dropped": s.broker.droppedCount(),
+			"clients":  s.broker.clientCount(),
+			"dropped":  s.broker.droppedCount(),
+			"rejected": s.met.sseRejected.Load(),
 		},
-		"snapshots": s.met.snapshots.Load(),
-	})
+		"snapshots": map[string]uint64{
+			"saves":    s.met.snapshots.Load(),
+			"skips":    s.met.snapshotSkips.Load(),
+			"failures": s.met.snapshotFailures.Load(),
+		},
+		"health": map[string]any{
+			"state":       h.String(),
+			"transitions": s.met.healthTransitions.Load(),
+		},
+		"loops": loops,
+	}
+	if m := s.model(); m != nil {
+		resp["model"].(map[string]any)["age_seconds"] = time.Since(m.ModeledAt).Seconds()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // anomalyEvent is the payload of one SSE "anomaly" event.
@@ -364,12 +549,17 @@ func newBroker() *broker {
 // subscriberBuffer bounds each SSE client's in-flight event queue.
 const subscriberBuffer = 64
 
-func (b *broker) subscribe() chan []byte {
-	ch := make(chan []byte, subscriberBuffer)
+// subscribe registers a new client unless max clients (0 = unlimited)
+// are already connected.
+func (b *broker) subscribe(max int) (chan []byte, bool) {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	if max > 0 && len(b.clients) >= max {
+		return nil, false
+	}
+	ch := make(chan []byte, subscriberBuffer)
 	b.clients[ch] = struct{}{}
-	b.mu.Unlock()
-	return ch
+	return ch, true
 }
 
 func (b *broker) unsubscribe(ch chan []byte) {
@@ -408,7 +598,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
-	ch := s.broker.subscribe()
+	ch, ok := s.broker.subscribe(s.cfg.MaxSSEClients)
+	if !ok {
+		s.met.sseRejected.Add(1)
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "over the SSE client limit (%d)", s.cfg.MaxSSEClients)
+		return
+	}
 	defer s.broker.unsubscribe(ch)
 
 	w.Header().Set("Content-Type", "text/event-stream")

@@ -1,0 +1,104 @@
+package serve
+
+// prom.go renders /metrics in the Prometheus text exposition format
+// (version 0.0.4) without taking a client library dependency: the
+// format is line-oriented text, and the service's counters are already
+// plain atomics. JSON remains the default; Prometheus is selected with
+// ?format=prom or content negotiation (see wantsPrometheus).
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// wantsPrometheus reports whether the request asked for the Prometheus
+// text exposition: explicitly via ?format=prom|prometheus, or through an
+// Accept header that prefers text/plain and never mentions JSON (the
+// Prometheus scraper sends "text/plain;version=0.0.4" variants).
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}
+
+// writePrometheus renders every counter from /metrics as a repro_*
+// metric family with TYPE metadata. Gauges (health state, loop states)
+// are encoded as one-hot labeled series so dashboards can match on the
+// label instead of decoding an enum.
+func (s *Server) writePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("repro_ingest_records_total", "Trace records ingested into the sliding window.", s.met.ingestRecords.Load())
+	counter("repro_ingest_batches_total", "Trace batches ingested.", s.met.ingestBatches.Load())
+	counter("repro_ingest_errors_total", "Ingest loop failures (supervised restarts included).", s.met.ingestErrors.Load())
+
+	counter("repro_model_cycles_total", "Modeling cycles that published a model.", s.met.modelCycles.Load())
+	counter("repro_model_warmup_skips_total", "Modeling cycles skipped while the window warms up.", s.met.modelSkips.Load())
+	counter("repro_model_failures_total", "Modeling cycles that failed.", s.met.modelFailures.Load())
+	fmt.Fprintf(w, "# HELP repro_model_consecutive_failures Failed modeling cycles since the last success.\n# TYPE repro_model_consecutive_failures gauge\nrepro_model_consecutive_failures %d\n",
+		s.met.modelConsecFails.Load())
+	fmt.Fprintf(w, "# HELP repro_model_last_cycle_seconds Duration of the last modeling cycle.\n# TYPE repro_model_last_cycle_seconds gauge\nrepro_model_last_cycle_seconds %g\n",
+		time.Duration(s.met.lastModelNanos.Load()).Seconds())
+	if m := s.model(); m != nil {
+		fmt.Fprintf(w, "# HELP repro_model_seq Generation number of the published model.\n# TYPE repro_model_seq gauge\nrepro_model_seq %d\n", m.Seq)
+		fmt.Fprintf(w, "# HELP repro_model_age_seconds Age of the published model.\n# TYPE repro_model_age_seconds gauge\nrepro_model_age_seconds %g\n",
+			time.Since(m.ModeledAt).Seconds())
+	}
+
+	fmt.Fprintf(w, "# HELP repro_requests_total HTTP requests by endpoint.\n# TYPE repro_requests_total counter\n")
+	for _, e := range []struct {
+		name string
+		v    uint64
+	}{
+		{"healthz", s.met.reqHealthz.Load()},
+		{"readyz", s.met.reqReadyz.Load()},
+		{"summary", s.met.reqSummary.Load()},
+		{"towers", s.met.reqTowers.Load()},
+		{"tower", s.met.reqTower.Load()},
+		{"stream", s.met.reqStream.Load()},
+		{"metrics", s.met.reqMetrics.Load()},
+	} {
+		fmt.Fprintf(w, "repro_requests_total{endpoint=%q} %d\n", e.name, e.v)
+	}
+	counter("repro_requests_rejected_total", "Requests refused by the concurrent-request limiter.", s.met.reqRejected.Load())
+	counter("repro_requests_timeout_total", "Requests cut off by the per-request timeout.", s.met.reqTimeouts.Load())
+	counter("repro_requests_panic_total", "Handler panics converted to 500s.", s.met.reqPanics.Load())
+
+	fmt.Fprintf(w, "# HELP repro_stream_clients Connected SSE clients.\n# TYPE repro_stream_clients gauge\nrepro_stream_clients %d\n", s.broker.clientCount())
+	counter("repro_stream_dropped_total", "SSE events dropped on slow clients.", s.broker.droppedCount())
+	counter("repro_stream_rejected_total", "SSE connections refused over the client cap.", s.met.sseRejected.Load())
+
+	counter("repro_snapshot_saves_total", "Snapshot generations written and verified.", s.met.snapshots.Load())
+	counter("repro_snapshot_skips_total", "Snapshots skipped on purpose (empty or stale window).", s.met.snapshotSkips.Load())
+	counter("repro_snapshot_failures_total", "Snapshot attempts that failed.", s.met.snapshotFailures.Load())
+
+	h, _ := s.healthNow()
+	fmt.Fprintf(w, "# HELP repro_health One-hot health state of the service.\n# TYPE repro_health gauge\n")
+	for _, st := range []Health{Healthy, Degraded, Stale} {
+		v := 0
+		if st == h {
+			v = 1
+		}
+		fmt.Fprintf(w, "repro_health{state=%q} %d\n", st, v)
+	}
+	counter("repro_health_transitions_total", "Health state transitions observed by the health loop.", s.met.healthTransitions.Load())
+
+	fmt.Fprintf(w, "# HELP repro_loop_up One-hot state of each supervised loop.\n# TYPE repro_loop_up gauge\n")
+	fmt.Fprintf(w, "# HELP repro_loop_restarts_total Supervised restarts per loop.\n# TYPE repro_loop_restarts_total counter\n")
+	for _, ls := range []*loopStatus{&s.ingestLoop, &s.remodelLoop, &s.snapshotLoop} {
+		fmt.Fprintf(w, "repro_loop_up{loop=%q,state=%q} 1\n", ls.name, loopStateName(ls.state.Load()))
+		fmt.Fprintf(w, "repro_loop_restarts_total{loop=%q} %d\n", ls.name, ls.restarts.Load())
+	}
+}

@@ -15,6 +15,24 @@
 // ingest and re-modeling goroutines, Close (or cancelling ctx) drains
 // them and, when a snapshot path is configured, persists the window so a
 // restarted process resumes the identical sliding window.
+//
+// The service is built to survive without an operator:
+//
+//   - Snapshots are generational and crash-safe (see SnapshotStore): a
+//     new checksummed generation every SnapshotInterval, written temp
+//     file + fsync + rename and verified by read-back before retention
+//     prunes older ones; restore falls back to the newest intact
+//     generation past any torn or corrupt file.
+//   - The ingest, re-modeling and snapshot loops run under a panicsafe
+//     supervisor (see supervise.go) that restarts them after panics and
+//     transient errors with bounded exponential backoff and a restart
+//     budget.
+//   - An explicit health state machine (healthy / degraded / stale, see
+//     health.go) drives /readyz with load-balancer semantics — 503 +
+//     Retry-After once the model is stale — while the query endpoints
+//     keep serving the last-known-good model, labelled as such.
+//   - The HTTP plane carries per-request timeouts, a concurrent-request
+//     limiter and an SSE subscriber cap (see http.go).
 package serve
 
 import (
@@ -30,6 +48,7 @@ import (
 	"repro/internal/forecast"
 	"repro/internal/pipeline"
 	"repro/internal/poi"
+	"repro/internal/snapfs"
 	"repro/internal/trace"
 	"repro/internal/window"
 )
@@ -64,9 +83,43 @@ type Config struct {
 	// CleanWindow bounds the streaming cleaner's dedup state (see
 	// trace.NewCleanerWindow); zero keeps exact, unbounded state.
 	CleanWindow int
-	// SnapshotPath, when non-empty, is where Close persists the window
-	// (atomically, via window.Save).
+	// SnapshotPath, when non-empty, is the base path of the generational
+	// snapshot store: the window is persisted as <path>.1, <path>.2, ...
+	// (higher is newer) every SnapshotInterval and once more on Close,
+	// with SnapshotGenerations of retention. See SnapshotStore.
 	SnapshotPath string
+	// SnapshotInterval is the pause between periodic snapshots; zero
+	// snapshots only on Close (the PR 8 behaviour).
+	SnapshotInterval time.Duration
+	// SnapshotGenerations is how many generations to retain (default 3).
+	SnapshotGenerations int
+	// SnapshotFS overrides the filesystem the snapshot store writes
+	// through; nil means the real one. Chaos tests inject faults here.
+	SnapshotFS snapfs.FS
+	// Restart bounds the supervisor that keeps the background loops
+	// alive: MaxAttempts is the restart budget per unstable stretch
+	// (0 = default 5, negative = no restarts), Backoff/MaxBackoff the
+	// exponential backoff between restarts — trace.RetryPolicy semantics.
+	Restart trace.RetryPolicy
+	// StaleAfter is the model age at which the service reports itself
+	// stale (readyz 503). Zero means 3×RemodelInterval.
+	StaleAfter time.Duration
+	// HealthInterval is the health re-evaluation (and transition-logging)
+	// cadence. Zero means RemodelInterval/4 clamped to [1s, 15s].
+	HealthInterval time.Duration
+	// RemodelTimeout bounds one modeling cycle; a cycle that exceeds it
+	// is cancelled and counted as a failure, so a wedged dependency
+	// degrades the service instead of freezing the loop. Zero disables.
+	RemodelTimeout time.Duration
+	// RequestTimeout bounds one non-streaming HTTP request (default 15s,
+	// negative disables). Requests that exceed it get 503.
+	RequestTimeout time.Duration
+	// MaxConcurrent caps in-flight non-streaming requests (default 64,
+	// negative unlimited); excess requests get 429 + Retry-After.
+	MaxConcurrent int
+	// MaxSSEClients caps concurrent /stream subscribers (default 32,
+	// negative unlimited); excess subscribers get 503 + Retry-After.
+	MaxSSEClients int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -100,11 +153,22 @@ type model struct {
 
 // Server is the running analysis service. Create with New.
 type Server struct {
-	cfg    Config
-	cur    atomic.Pointer[model]
-	met    metrics
-	broker *broker
-	done   chan struct{} // closed by Close; unblocks SSE writers
+	cfg     Config
+	cur     atomic.Pointer[model]
+	met     metrics
+	broker  *broker
+	done    chan struct{} // closed by Close; unblocks SSE writers
+	store   *SnapshotStore
+	limiter chan struct{} // concurrent-request semaphore; nil = unlimited
+
+	ingestLoop   loopStatus
+	remodelLoop  loopStatus
+	snapshotLoop loopStatus
+
+	// testRemodelHook, when set by a test, runs at the top of every
+	// modeling cycle — the seam chaos tests use to wedge or crash the
+	// remodel loop on demand.
+	testRemodelHook func()
 
 	mu      sync.Mutex
 	started bool
@@ -123,12 +187,36 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RemodelInterval <= 0 {
 		cfg.RemodelInterval = time.Minute
 	}
-	return &Server{
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 15 * time.Second
+	}
+	if cfg.MaxConcurrent == 0 {
+		cfg.MaxConcurrent = 64
+	}
+	if cfg.MaxSSEClients == 0 {
+		cfg.MaxSSEClients = 32
+	}
+	s := &Server{
 		cfg:    cfg,
 		broker: newBroker(),
 		done:   make(chan struct{}),
-	}, nil
+	}
+	s.ingestLoop.name = "ingest"
+	s.remodelLoop.name = "remodel"
+	s.snapshotLoop.name = "snapshot"
+	if cfg.SnapshotPath != "" {
+		s.store = NewSnapshotStore(cfg.SnapshotPath, cfg.SnapshotGenerations, cfg.SnapshotFS, s.logf)
+	}
+	if cfg.MaxConcurrent > 0 {
+		s.limiter = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	s.met.healthState.Store(int32(Stale)) // nothing published yet
+	return s, nil
 }
+
+// Store returns the server's generational snapshot store, nil when no
+// SnapshotPath is configured.
+func (s *Server) Store() *SnapshotStore { return s.store }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -136,9 +224,9 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Start launches the ingest and re-modeling goroutines. They stop when
-// ctx is cancelled or Close is called, whichever comes first. Start is
-// idempotent after the first call.
+// Start launches the supervised ingest, re-modeling, snapshot and health
+// goroutines. They stop when ctx is cancelled or Close is called,
+// whichever comes first. Start is idempotent after the first call.
 func (s *Server) Start(ctx context.Context) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -149,16 +237,32 @@ func (s *Server) Start(ctx context.Context) {
 	ctx, s.cancel = context.WithCancel(ctx)
 	if s.cfg.Source != nil {
 		s.wg.Add(1)
-		go s.ingest(ctx)
+		go s.supervise(ctx, &s.ingestLoop, s.runIngest, func(error) {
+			s.met.ingestErrors.Add(1)
+		})
 	}
 	s.wg.Add(1)
-	go s.remodelLoop(ctx)
+	go s.supervise(ctx, &s.remodelLoop, s.runRemodelLoop, func(error) {
+		// An error surfacing here escaped RemodelNow's own accounting
+		// (a panic in the loop body), so count it as a failed cycle too.
+		s.met.modelFailures.Add(1)
+		s.met.modelConsecFails.Add(1)
+	})
+	if s.store != nil && s.cfg.SnapshotInterval > 0 {
+		s.wg.Add(1)
+		go s.supervise(ctx, &s.snapshotLoop, s.runSnapshotLoop, nil)
+	}
+	s.wg.Add(1)
+	go s.healthLoop(ctx)
 }
 
 // Close stops the background goroutines, waits for them to drain, wakes
-// any blocked SSE writers, and persists the window when SnapshotPath is
-// configured. Safe to call more than once; only the first call does the
-// work.
+// any blocked SSE writers, and persists a final snapshot generation when
+// SnapshotPath is configured. The store's own guards make the final save
+// harmless in every failure posture: an empty window writes nothing, and
+// a window older than the newest durable generation (a restart that
+// never caught up) never displaces it. Safe to call more than once; only
+// the first call does the work.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -174,35 +278,41 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	close(s.done)
-	if s.cfg.SnapshotPath != "" {
-		// An empty window has nothing worth persisting — and a service
-		// that died before ingesting anything (bad flag, bind failure)
-		// must not overwrite the previous run's good snapshot with it.
-		if s.cfg.Window.Summary().Ingested == 0 {
-			s.logf("serve: window is empty; leaving %s untouched", s.cfg.SnapshotPath)
-			return nil
-		}
-		if err := s.cfg.Window.Save(s.cfg.SnapshotPath); err != nil {
+	if s.store != nil {
+		if err := s.saveSnapshot(); err != nil {
 			return fmt.Errorf("serve: final snapshot: %w", err)
 		}
-		s.met.snapshots.Add(1)
 	}
 	return nil
 }
 
-// ingest drains the configured source through the streaming cleaner into
-// the window. Feed exhaustion (io.EOF) is not an error — the service
-// keeps serving the window it has. A panicking source (fault injection,
-// broken decoder) is contained to this goroutine and counted, not
-// propagated to the process.
-func (s *Server) ingest(ctx context.Context) {
-	defer s.wg.Done()
-	defer func() {
-		if r := recover(); r != nil {
-			s.met.ingestErrors.Add(1)
-			s.logf("serve: ingest panic contained: %v", r)
-		}
-	}()
+// saveSnapshot persists one generation through the store, folding the
+// intentional-skip sentinels into the metrics instead of errors.
+func (s *Server) saveSnapshot() error {
+	path, err := s.store.Save(s.cfg.Window)
+	switch {
+	case err == nil:
+		s.met.snapshots.Add(1)
+		s.logf("serve: window snapshot written to %s", path)
+		return nil
+	case errors.Is(err, ErrSnapshotEmpty) || errors.Is(err, ErrSnapshotStale):
+		s.met.snapshotSkips.Add(1)
+		s.logf("%v", err)
+		return nil
+	default:
+		s.met.snapshotFailures.Add(1)
+		return err
+	}
+}
+
+// runIngest drains the configured source through the streaming cleaner
+// into the window; it is one supervised attempt. Feed exhaustion
+// (io.EOF) is a clean return — the service keeps serving the window it
+// has. Errors and panics (a broken decoder, a faulty disk past the retry
+// budget) surface to the supervisor, which restarts the loop with
+// backoff: a restart re-reads from wherever the source is, with a fresh
+// dedup window.
+func (s *Server) runIngest(ctx context.Context) error {
 	cleaned := trace.CleanSourceWindowContext(ctx, s.cfg.Source, s.cfg.CleanWindow)
 	err := trace.ForEachBatchContext(ctx, cleaned, func(batch []trace.Record) error {
 		s.cfg.Window.AddBatch(batch)
@@ -213,37 +323,68 @@ func (s *Server) ingest(ctx context.Context) {
 	switch {
 	case err == nil:
 		s.logf("serve: ingest feed exhausted; serving last window")
+		return nil
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		// Shutdown.
+		return err // shutdown; the supervisor sees ctx.Err() and stops
 	default:
-		s.met.ingestErrors.Add(1)
 		s.logf("serve: ingest stopped: %v", err)
+		return err
 	}
 }
 
-// remodelLoop runs one modeling cycle immediately, then one per
-// RemodelInterval tick, until ctx ends.
-func (s *Server) remodelLoop(ctx context.Context) {
-	defer s.wg.Done()
+// runRemodelLoop runs one modeling cycle immediately, then one per
+// RemodelInterval tick; it is one supervised attempt, so a panic in the
+// cycle restarts the loop (and the immediate first cycle re-runs).
+func (s *Server) runRemodelLoop(ctx context.Context) error {
 	s.remodelOnce(ctx)
 	ticker := time.NewTicker(s.cfg.RemodelInterval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
-			return
+			return nil
 		case <-ticker.C:
 			s.remodelOnce(ctx)
 		}
 	}
 }
 
+// runSnapshotLoop persists one generation per SnapshotInterval tick.
+// Failed saves are counted and logged; the loop itself only dies on a
+// panic (which the supervisor restarts).
+func (s *Server) runSnapshotLoop(ctx context.Context) error {
+	ticker := time.NewTicker(s.cfg.SnapshotInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			if err := s.saveSnapshot(); err != nil {
+				s.logf("serve: periodic snapshot failed: %v", err)
+			}
+		}
+	}
+}
+
+// remodelOnce runs one modeling cycle, bounded by RemodelTimeout when
+// configured so a wedged dependency fails the cycle instead of freezing
+// the loop.
 func (s *Server) remodelOnce(ctx context.Context) {
-	if err := s.RemodelNow(ctx); err != nil {
+	cctx := ctx
+	if s.cfg.RemodelTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, s.cfg.RemodelTimeout)
+		defer cancel()
+	}
+	if err := s.RemodelNow(cctx); err != nil {
 		switch {
 		case errors.Is(err, window.ErrWarmingUp):
 			// Expected while the feed fills the first week.
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		case ctx.Err() != nil:
+			// Shutdown, not a cycle failure.
+		case errors.Is(err, context.DeadlineExceeded):
+			s.logf("serve: modeling cycle timed out after %v", s.cfg.RemodelTimeout)
 		default:
 			s.logf("serve: modeling cycle failed: %v", err)
 		}
@@ -257,23 +398,29 @@ func (s *Server) remodelOnce(ctx context.Context) {
 // window.ErrWarmingUp while the window covers less than one whole week.
 func (s *Server) RemodelNow(ctx context.Context) error {
 	began := time.Now()
+	if s.testRemodelHook != nil {
+		s.testRemodelHook()
+	}
 	ds, err := s.cfg.Window.Dataset()
 	if err != nil {
 		if errors.Is(err, window.ErrWarmingUp) {
 			s.met.modelSkips.Add(1)
 		} else {
 			s.met.modelFailures.Add(1)
+			s.met.modelConsecFails.Add(1)
 		}
 		return err
 	}
 	res, err := core.AnalyzeContext(ctx, ds, s.cfg.POIs, s.cfg.Analyze)
 	if err != nil {
 		s.met.modelFailures.Add(1)
+		s.met.modelConsecFails.Add(1)
 		return fmt.Errorf("serve: analyze: %w", err)
 	}
 	reports, err := anomaly.DetectAll(ds.Raw, ds.Days, s.cfg.Anomaly)
 	if err != nil {
 		s.met.modelFailures.Add(1)
+		s.met.modelConsecFails.Add(1)
 		return fmt.Errorf("serve: anomaly sweep: %w", err)
 	}
 	forecasts := s.buildForecasts(ds)
@@ -294,6 +441,7 @@ func (s *Server) RemodelNow(ctx context.Context) error {
 	}
 	prev := s.cur.Swap(next)
 	s.met.modelCycles.Add(1)
+	s.met.modelConsecFails.Store(0)
 	s.met.lastModelNanos.Store(int64(time.Since(began)))
 	s.publishAnomalies(prev, next)
 	s.logf("serve: model #%d published: %d towers, %d days, k=%d (%v)",

@@ -366,10 +366,17 @@ func TestServerSnapshotRestartResumesIdenticalModel(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// "Restart": a fresh process loads the snapshot and re-models.
-	w2, err := window.Load(snapshot)
+	// "Restart": a fresh process restores the newest snapshot generation
+	// and re-models.
+	w2, from, err := NewSnapshotStore(snapshot, 0, nil, t.Logf).Restore()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if w2 == nil {
+		t.Fatal("no snapshot generation restored")
+	}
+	if want := snapshot + ".1"; from != want {
+		t.Fatalf("restored from %s, want %s", from, want)
 	}
 	w2.SetLocations(city.TowerInfos())
 	srv2, err := New(testConfig(city, w2))

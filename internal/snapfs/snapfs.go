@@ -1,0 +1,87 @@
+// Package snapfs is the narrow filesystem surface the snapshot store
+// writes through: temp-file creation, fsync, rename, read-back and
+// directory listing. Production code uses OS (the real filesystem);
+// chaos tests substitute a fault-injecting implementation (see
+// internal/faultinject) to prove that short writes, failed renames and
+// bit corruption during a snapshot never leave the service unable to
+// restore an intact generation.
+package snapfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is one writable snapshot temp file.
+type File interface {
+	io.Writer
+	// Sync flushes the written bytes to stable storage.
+	Sync() error
+	Close() error
+	// Name returns the file's path.
+	Name() string
+}
+
+// FS is the filesystem surface of the snapshot store.
+type FS interface {
+	// CreateTemp creates a new unique temp file in dir (pattern as in
+	// os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadFile returns a file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the file names (not paths) in a directory.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs a directory so renamed entries are durable. Best
+	// effort: implementations may ignore filesystems that reject it.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// SyncDir implements FS. Errors are swallowed: directory fsync is not
+// portable, and the file data itself was already synced.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	d.Sync()
+	d.Close()
+	return nil
+}

@@ -109,6 +109,105 @@ func TestReplayCancellationWakesSleep(t *testing.T) {
 	}
 }
 
+func TestReplayNegativeSpeedPassthrough(t *testing.T) {
+	// Negative speed, like zero, disables pacing entirely rather than
+	// reversing time or dividing by a negative factor.
+	recs := replayRecords(2000, time.Hour)
+	rs := NewReplaySource(context.Background(), SliceSource(recs), -3)
+	start := time.Now()
+	got, err := Collect(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("collected %d of %d records", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("negative-speed replay paced anyway: took %v", elapsed)
+	}
+}
+
+func TestReplayOutOfOrderTimestampsNoExtraDelay(t *testing.T) {
+	// Timestamps that jump backwards (or are missing entirely) must be
+	// delivered without delay and without rewinding the replay clock —
+	// at real-time speed, none of these may trigger an hour-long sleep.
+	base := time.Date(2014, 8, 1, 12, 0, 0, 0, time.UTC)
+	recs := replayRecords(6, 0)
+	recs[0].Start = base
+	recs[1].Start = base.Add(-time.Hour)   // before the anchor
+	recs[2].Start = base.Add(-time.Minute) // still behind
+	recs[3].Start = time.Time{}            // no timestamp at all
+	recs[4].Start = base                   // back to the anchor exactly
+	recs[5].Start = base.Add(-2 * time.Hour)
+	rs := NewReplaySource(context.Background(), SliceSource(recs), 1)
+	start := time.Now()
+	got, err := Collect(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("collected %d of %d records", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d reordered or altered", i)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("out-of-order records slept anyway: took %v", elapsed)
+	}
+}
+
+func TestReplayCancelDuringFirstPacingSleep(t *testing.T) {
+	testutil.CheckNoGoroutineLeak(t)
+	// The very first pacing sleep: the anchor record never sleeps, so the
+	// second delivery is the first call that can block — cancel while it
+	// is blocked there and the scalar path must fail promptly and stay
+	// failed.
+	recs := replayRecords(3, time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	rs := NewReplaySource(ctx, SliceSource(recs), 1)
+	if _, err := rs.Next(); err != nil { // the anchor: no sleep
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := rs.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("cancellation took %v to wake the first pacing sleep", waited)
+	}
+	// The error is sticky: later pulls fail without touching the source.
+	if _, err := rs.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel err = %v, want sticky context.Canceled", err)
+	}
+}
+
+func TestReplayCancelledBeforeFirstPull(t *testing.T) {
+	// A context cancelled before any delivery fails the very first call
+	// without consuming anything from the wrapped source.
+	recs := replayRecords(3, time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs := NewReplaySource(ctx, SliceSource(recs), 1)
+	if _, err := rs.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next err = %v, want context.Canceled", err)
+	}
+	var buf [4]Record
+	if n, err := rs.NextBatch(buf[:]); n != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("NextBatch = (%d, %v), want (0, context.Canceled)", n, err)
+	}
+}
+
 func TestReplayScalarNext(t *testing.T) {
 	recs := replayRecords(8, time.Second)
 	rs := NewReplaySource(context.Background(), SliceSource(recs), 1000)

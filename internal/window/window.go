@@ -14,18 +14,23 @@
 // re-modeling loop run the unchanged batch pipeline (core.AnalyzeContext)
 // over live state.
 //
-// WriteSnapshot/ReadSnapshot persist the full window state in a versioned
-// gob frame so a restarted service resumes with the identical window
-// instead of warming up from nothing.
+// WriteSnapshot/ReadSnapshot persist the full window state in a versioned,
+// CRC-32C-checksummed gob frame so a restarted service resumes with the
+// identical window instead of warming up from nothing, and a truncated or
+// bit-rotted snapshot is rejected (ErrBadSnapshot) rather than silently
+// restored wrong. Version-1 snapshots (pre-checksum) remain readable.
 //
 // All methods are safe for concurrent use: the ingest goroutine appends
 // batches while the re-modeling loop and HTTP handlers read.
 package window
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -351,7 +356,14 @@ func (w *Window) Dataset() (*pipeline.Dataset, error) {
 
 // snapshotVersion is the on-disk format version. Bump it when the frame
 // layout changes; ReadSnapshot rejects versions it does not know.
-const snapshotVersion = 1
+//
+// Version history:
+//
+//	1  a bare gob snapshotFrame (PR 8). Still readable.
+//	2  a fixed binary header (magic, CRC-32C and length of the body)
+//	   followed by the gob frame, so restore detects truncation and bit
+//	   corruption instead of rebuilding a silently wrong window.
+const snapshotVersion = 2
 
 // snapshotMagic guards against feeding an arbitrary gob stream (or an
 // arbitrary file) to ReadSnapshot.
@@ -377,13 +389,25 @@ type towerSnapshot struct {
 	Sum, SumSq float64
 }
 
-// WriteSnapshot serialises the full window state (a versioned gob frame)
-// so a restarted process can resume the identical window. Tower rings are
+// The v2 header: the magic string and a version tag in clear ASCII, then
+// a little-endian CRC-32C and byte length of the gob body. A v1 file is a
+// bare gob stream, which cannot begin with these bytes.
+var snapshotHeaderMagic = []byte(snapshotMagic + "\x00v2")
+
+const snapshotHeaderSize = len(snapshotMagic) + 3 + 4 + 8 // magic + "\x00v2" + crc32 + length
+
+// snapshotCRC is the checksum of snapshot bodies: CRC-32C (Castagnoli),
+// the polynomial with hardware support on amd64/arm64.
+var snapshotCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteSnapshot serialises the full window state — a checksummed header
+// followed by a versioned gob frame — so a restarted process can resume
+// the identical window and a torn or bit-rotted file is detected at
+// restore instead of rebuilding a silently wrong window. Tower rings are
 // canonicalised (advanced to the newest slot) first, and towers are
 // written in ID order, so equal window states produce identical bytes.
 func (w *Window) WriteSnapshot(out io.Writer) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	frame := snapshotFrame{
 		Magic:       snapshotMagic,
 		Version:     snapshotVersion,
@@ -404,24 +428,68 @@ func (w *Window) WriteSnapshot(out io.Writer) error {
 			SumSq: ts.sumsq,
 		})
 	}
-	return gob.NewEncoder(out).Encode(&frame)
+	var body bytes.Buffer
+	err := gob.NewEncoder(&body).Encode(&frame)
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	header := make([]byte, 0, snapshotHeaderSize)
+	header = append(header, snapshotHeaderMagic...)
+	header = binary.LittleEndian.AppendUint32(header, crc32.Checksum(body.Bytes(), snapshotCRCTable))
+	header = binary.LittleEndian.AppendUint64(header, uint64(body.Len()))
+	if _, err := out.Write(header); err != nil {
+		return err
+	}
+	_, err = out.Write(body.Bytes())
+	return err
 }
 
-// ReadSnapshot rebuilds a window from a WriteSnapshot stream. The restored
-// window is state-identical to the snapshotted one: the same rings, the
-// same incremental moments bit for bit, the same counters — so the first
-// re-model after a restart produces the dataset the crashed process would
-// have. Re-supply tower locations with SetLocations afterwards.
-func ReadSnapshot(in io.Reader) (*Window, error) {
+// DecodeSnapshot rebuilds a window from the bytes of a WriteSnapshot
+// stream. The restored window is state-identical to the snapshotted one:
+// the same rings, the same incremental moments bit for bit, the same
+// counters — so the first re-model after a restart produces the dataset
+// the crashed process would have. Re-supply tower locations with
+// SetLocations afterwards.
+//
+// Both snapshot versions are readable: a v2 stream has its header length
+// and CRC-32C verified (truncation and corruption surface as
+// ErrBadSnapshot), a v1 stream is decoded as the bare gob frame it is.
+func DecodeSnapshot(data []byte) (*Window, error) {
+	if bytes.HasPrefix(data, snapshotHeaderMagic) {
+		if len(data) < snapshotHeaderSize {
+			return nil, fmt.Errorf("%w: truncated header (%d of %d bytes)", ErrBadSnapshot, len(data), snapshotHeaderSize)
+		}
+		sum := binary.LittleEndian.Uint32(data[len(snapshotHeaderMagic):])
+		bodyLen := binary.LittleEndian.Uint64(data[len(snapshotHeaderMagic)+4:])
+		body := data[snapshotHeaderSize:]
+		if uint64(len(body)) < bodyLen {
+			return nil, fmt.Errorf("%w: truncated body (%d of %d bytes)", ErrBadSnapshot, len(body), bodyLen)
+		}
+		if uint64(len(body)) > bodyLen {
+			return nil, fmt.Errorf("%w: %d trailing bytes after the body", ErrBadSnapshot, uint64(len(body))-bodyLen)
+		}
+		if got := crc32.Checksum(body, snapshotCRCTable); got != sum {
+			return nil, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x)", ErrBadSnapshot, sum, got)
+		}
+		return decodeFrame(body, snapshotVersion)
+	}
+	// No v2 header: a version-1 file, a bare gob frame with no checksum.
+	return decodeFrame(data, 1)
+}
+
+// decodeFrame decodes the gob frame of a snapshot body and rebuilds the
+// window, requiring the frame to carry wantVersion.
+func decodeFrame(body []byte, wantVersion int) (*Window, error) {
 	var frame snapshotFrame
-	if err := gob.NewDecoder(in).Decode(&frame); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&frame); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	if frame.Magic != snapshotMagic {
 		return nil, fmt.Errorf("%w: not a window snapshot", ErrBadSnapshot)
 	}
-	if frame.Version != snapshotVersion {
-		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrBadSnapshot, frame.Version, snapshotVersion)
+	if frame.Version != wantVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d here", ErrBadSnapshot, frame.Version, wantVersion)
 	}
 	w, err := New(Options{Start: frame.Start, SlotMinutes: frame.SlotMinutes, Days: frame.Days})
 	if err != nil {
@@ -447,8 +515,21 @@ func ReadSnapshot(in io.Reader) (*Window, error) {
 	return w, nil
 }
 
-// Save writes the snapshot to path atomically (temp file + rename), so a
-// crash mid-write never truncates the previous snapshot.
+// ReadSnapshot rebuilds a window from a WriteSnapshot stream. See
+// DecodeSnapshot; the stream is read to EOF first, since verifying the
+// checksum needs every byte anyway.
+func ReadSnapshot(in io.Reader) (*Window, error) {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return DecodeSnapshot(data)
+}
+
+// Save writes the snapshot to path atomically and durably: temp file,
+// fsync, rename, then a best-effort fsync of the directory — so a crash
+// at any point leaves either the previous snapshot or the new one, never
+// a truncated hybrid.
 func (w *Window) Save(path string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".window-snapshot-*")
@@ -460,18 +541,35 @@ func (w *Window) Save(path string) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Best effort: some filesystems reject directory fsync, and the
+// data itself was already synced.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // Load reads a snapshot written by Save.
 func Load(path string) (*Window, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadSnapshot(f)
+	return DecodeSnapshot(data)
 }

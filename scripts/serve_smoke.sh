@@ -48,12 +48,20 @@ tower=$(curl -fsS "http://$ADDR/towers" | grep -o '"tower": [0-9]*' | head -1 | 
 curl -fsS "http://$ADDR/towers/$tower" | grep -q '"region"' || fail "/towers/$tower has no region"
 curl -sS -o /dev/null -w '%{http_code}' "http://$ADDR/towers/999999" | grep -q 404 || fail "unknown tower did not 404"
 curl -fsS "http://$ADDR/metrics" | grep -q '"cycles"' || fail "/metrics has no model cycles"
+curl -fsS "http://$ADDR/readyz" | grep -q '"status": "ready"' || fail "/readyz not ready with a fresh model"
+curl -fsS "http://$ADDR/metrics?format=prom" | grep -q '# TYPE repro_model_cycles_total counter' \
+  || fail "/metrics?format=prom is not Prometheus text"
+
+echo "==> rejecting bad flags (usage exit code 2)"
+code=0
+"$WORKDIR/served" -window-days 0 >/dev/null 2>&1 || code=$?
+[ "$code" -eq 2 ] || fail "-window-days 0 exited with $code, want 2"
 
 echo "==> graceful shutdown (SIGTERM)"
 kill -TERM "$PID"
 code=0
 wait "$PID" || code=$?
 [ "$code" -eq 0 ] || fail "served exited with code $code"
-[ -s "$WORKDIR/window.snap" ] || fail "no window snapshot written on shutdown"
+ls "$WORKDIR"/window.snap.* >/dev/null 2>&1 || fail "no window snapshot generation written on shutdown"
 
-echo "==> OK: clean exit, snapshot $(wc -c <"$WORKDIR/window.snap") bytes"
+echo "==> OK: clean exit, snapshot generations:" "$(ls "$WORKDIR"/window.snap.* | xargs -n1 basename | tr '\n' ' ')"
