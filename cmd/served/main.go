@@ -10,7 +10,18 @@
 // Endpoints (see internal/serve): /healthz (liveness), /readyz
 // (readiness with load-balancer semantics: 503 + Retry-After once the
 // model is stale), /summary, /towers, /towers/{id}, /stream, /metrics
-// (JSON, or Prometheus text with ?format=prom).
+// (JSON, or Prometheus text with ?format=prom), /models (the accepted
+// generation history) and POST /models/rollback (operator rollback).
+//
+// Every candidate model passes an admission gate before publication
+// (-min-coverage, -min-completeness, -max-validity-drift,
+// -max-backtest-regress); rejected candidates leave the live model
+// untouched, and -auto-rollback can republish an older generation after
+// a rejection streak. The window itself defends its feed: records
+// timestamped further than -max-future-skew ahead of the data-driven
+// clock are dropped, and towers whose traffic jumps beyond -quarantine-z
+// robust z-scores are quarantined out of modeling until they stabilize.
+// -api-token and -rate-limit harden the query API.
 //
 // With -snapshot the window is persisted as checksummed generations
 // (<path>.1, <path>.2, ... — higher is newer, -snapshot-generations of
@@ -85,6 +96,18 @@ func main() {
 		snapshotEvery  = flag.Duration("snapshot-interval", time.Minute, "pause between periodic snapshot generations (0 = only on shutdown)")
 		snapshotToKeep = flag.Int("snapshot-generations", 3, "snapshot generations to retain (> 0)")
 
+		minCoverage     = flag.Float64("min-coverage", 0.5, "admission gate: minimum candidate/accepted tower-coverage ratio, in (0, 1] (0 disables)")
+		minCompleteness = flag.Float64("min-completeness", 0, "admission gate: minimum median per-tower fraction of non-empty slots, in (0, 1] (0 disables)")
+		maxDrift        = flag.Float64("max-validity-drift", 0.5, "admission gate: maximum clustering-validity degradation vs the last accepted model (0 disables)")
+		maxRegress      = flag.Float64("max-backtest-regress", 0.5, "admission gate: maximum relative backtest-NRMSE regression vs the last accepted model (0 disables)")
+		modelHistory    = flag.Int("model-history", 4, "accepted model generations retained for rollback (> 0)")
+		autoRollback    = flag.Int("auto-rollback", 0, "roll back one generation after this many consecutive gate rejections (0 disables)")
+		quarantineZ     = flag.Float64("quarantine-z", 8, "robust z-score beyond which a tower's slot counts as an outlier toward quarantine (0 disables)")
+		maxFutureSkew   = flag.Duration("max-future-skew", 24*time.Hour, "drop records timestamped further than this ahead of the window's data-driven clock (0 disables)")
+		apiToken        = flag.String("api-token", "", "when set, require 'Authorization: Bearer <token>' on the query and operator endpoints")
+		rateLimit       = flag.Float64("rate-limit", 0, "per-client requests/second on the query endpoints (0 disables)")
+		rateBurst       = flag.Int("rate-burst", 0, "per-client rate-limit burst capacity (0 = 2x -rate-limit)")
+
 		towers      = flag.Int("towers", 200, "towers in the synthetic city feeding the service (> 0)")
 		days        = flag.Int("days", 28, "days of synthetic traffic to replay (> 0)")
 		seed        = flag.Int64("seed", 1, "synthetic city seed")
@@ -114,6 +137,26 @@ func main() {
 		usageErrorf("-replay-speed %g: must not be negative (0 disables pacing)", *replaySpeed)
 	case *dedupWindow < 0:
 		usageErrorf("-dedup-window %d: must not be negative", *dedupWindow)
+	case *minCoverage < 0 || *minCoverage > 1:
+		usageErrorf("-min-coverage %g: must be in [0, 1]", *minCoverage)
+	case *minCompleteness < 0 || *minCompleteness > 1:
+		usageErrorf("-min-completeness %g: must be in [0, 1]", *minCompleteness)
+	case *maxDrift < 0:
+		usageErrorf("-max-validity-drift %g: must not be negative", *maxDrift)
+	case *maxRegress < 0:
+		usageErrorf("-max-backtest-regress %g: must not be negative", *maxRegress)
+	case *modelHistory <= 0:
+		usageErrorf("-model-history %d: must be positive", *modelHistory)
+	case *autoRollback < 0:
+		usageErrorf("-auto-rollback %d: must not be negative (0 disables)", *autoRollback)
+	case *quarantineZ < 0:
+		usageErrorf("-quarantine-z %g: must not be negative (0 disables)", *quarantineZ)
+	case *maxFutureSkew < 0:
+		usageErrorf("-max-future-skew %v: must not be negative (0 disables)", *maxFutureSkew)
+	case *rateLimit < 0:
+		usageErrorf("-rate-limit %g: must not be negative (0 disables)", *rateLimit)
+	case *rateBurst < 0:
+		usageErrorf("-rate-burst %d: must not be negative", *rateBurst)
 	}
 	opts := core.Options{Workers: *workers, Seed: *seed}
 	switch *precision {
@@ -142,6 +185,19 @@ func main() {
 		seed:            *seed,
 		replaySpeed:     *replaySpeed,
 		dedupWindow:     *dedupWindow,
+		admission: serve.AdmitConfig{
+			MinCoverage:        *minCoverage,
+			MinCompleteness:    *minCompleteness,
+			MaxValidityDrift:   *maxDrift,
+			MaxBacktestRegress: *maxRegress,
+		},
+		modelHistory:  *modelHistory,
+		autoRollback:  *autoRollback,
+		quarantineZ:   *quarantineZ,
+		maxFutureSkew: *maxFutureSkew,
+		apiToken:      *apiToken,
+		rateLimit:     *rateLimit,
+		rateBurst:     *rateBurst,
 	}); err != nil {
 		log.Print(err)
 		var ioErr *snapshotIOError
@@ -173,6 +229,14 @@ type runConfig struct {
 	seed            int64
 	replaySpeed     float64
 	dedupWindow     int
+	admission       serve.AdmitConfig
+	modelHistory    int
+	autoRollback    int
+	quarantineZ     float64
+	maxFutureSkew   time.Duration
+	apiToken        string
+	rateLimit       float64
+	rateBurst       int
 }
 
 func run(ctx context.Context, rc runConfig) error {
@@ -216,6 +280,12 @@ func run(ctx context.Context, rc runConfig) error {
 		}
 	}
 	w.SetLocations(city.TowerInfos())
+	// Guards are construction-time configuration, not snapshot state: they
+	// must be (re-)applied whether the window was restored or fresh.
+	w.SetGuards(window.Guards{
+		MaxFutureSkew: rc.maxFutureSkew,
+		Quarantine:    window.QuarantineOptions{ZThreshold: rc.quarantineZ},
+	})
 
 	stream := city.LogSource(series, synth.LogOptions{TimeMajor: true})
 	defer stream.Close()
@@ -231,6 +301,12 @@ func run(ctx context.Context, rc runConfig) error {
 		SnapshotPath:        rc.snapshot,
 		SnapshotInterval:    rc.snapshotEvery,
 		SnapshotGenerations: rc.snapshotToKeep,
+		Admission:           rc.admission,
+		ModelHistory:        rc.modelHistory,
+		AutoRollback:        rc.autoRollback,
+		APIToken:            rc.apiToken,
+		RateLimit:           rc.rateLimit,
+		RateBurst:           rc.rateBurst,
 		Logf:                log.Printf,
 	})
 	if err != nil {

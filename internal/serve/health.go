@@ -108,6 +108,9 @@ func (s *Server) healthNow() (Health, string) {
 	if n := s.met.modelConsecFails.Load(); n > 0 {
 		return Degraded, fmt.Sprintf("last %d modeling cycle(s) failed; serving model #%d", n, m.Seq)
 	}
+	if n := s.met.modelConsecRejects.Load(); n > 0 {
+		return Degraded, fmt.Sprintf("last %d candidate model(s) rejected by admission; serving model #%d", n, m.Seq)
+	}
 	return Healthy, "ok"
 }
 

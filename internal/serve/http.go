@@ -34,25 +34,56 @@ type metrics struct {
 	modelSkips       atomic.Uint64
 	modelFailures    atomic.Uint64
 	modelConsecFails atomic.Uint64 // failed cycles since the last success
-	snapshots        atomic.Uint64
-	snapshotSkips    atomic.Uint64 // intentional (empty/stale window)
-	snapshotFailures atomic.Uint64
-	lastModelNanos   atomic.Int64
+
+	// Admission-gate accounting: candidates refused (total and per failed
+	// check), the consecutive-rejection streak (reset by an acceptance or
+	// a rollback) and rollbacks by kind.
+	modelRejected      atomic.Uint64
+	rejCoverage        atomic.Uint64
+	rejCompleteness    atomic.Uint64
+	rejValidity        atomic.Uint64
+	rejBacktest        atomic.Uint64
+	modelConsecRejects atomic.Uint64
+	rollbackAuto       atomic.Uint64
+	rollbackManual     atomic.Uint64
+	snapshots          atomic.Uint64
+	snapshotSkips      atomic.Uint64 // intentional (empty/stale window)
+	snapshotFailures   atomic.Uint64
+	lastModelNanos     atomic.Int64
 
 	healthState       atomic.Int32 // last Health the health loop observed
 	healthTransitions atomic.Uint64
 
-	reqTower    atomic.Uint64
-	reqTowers   atomic.Uint64
-	reqSummary  atomic.Uint64
-	reqHealthz  atomic.Uint64
-	reqReadyz   atomic.Uint64
-	reqStream   atomic.Uint64
-	reqMetrics  atomic.Uint64
-	reqRejected atomic.Uint64 // concurrent-request limiter refusals
-	reqTimeouts atomic.Uint64 // requests cut off by RequestTimeout
-	reqPanics   atomic.Uint64 // handler panics converted to 500s
-	sseRejected atomic.Uint64 // /stream refusals over MaxSSEClients
+	reqTower        atomic.Uint64
+	reqTowers       atomic.Uint64
+	reqSummary      atomic.Uint64
+	reqHealthz      atomic.Uint64
+	reqReadyz       atomic.Uint64
+	reqStream       atomic.Uint64
+	reqMetrics      atomic.Uint64
+	reqModels       atomic.Uint64
+	reqRollback     atomic.Uint64
+	reqRejected     atomic.Uint64 // concurrent-request limiter refusals
+	reqTimeouts     atomic.Uint64 // requests cut off by RequestTimeout
+	reqPanics       atomic.Uint64 // handler panics converted to 500s
+	reqUnauthorized atomic.Uint64 // bearer-auth refusals
+	reqRateLimited  atomic.Uint64 // per-client rate-limit refusals
+	sseRejected     atomic.Uint64 // /stream refusals over MaxSSEClients
+}
+
+// rejectCounter maps a reject reason to its counter (nil for unknown).
+func (m *metrics) rejectCounter(r RejectReason) *atomic.Uint64 {
+	switch r {
+	case RejectCoverage:
+		return &m.rejCoverage
+	case RejectCompleteness:
+		return &m.rejCompleteness
+	case RejectValidity:
+		return &m.rejValidity
+	case RejectBacktest:
+		return &m.rejBacktest
+	}
+	return nil
 }
 
 // Handler returns the service's HTTP API:
@@ -71,6 +102,11 @@ type metrics struct {
 //	GET /metrics      operational counters (JSON by default;
 //	                  ?format=prom or "Accept: text/plain" for Prometheus
 //	                  text exposition)
+//	GET /models       the accepted-generation history with acceptance
+//	                  stats and the admission/rollback counters
+//	POST /models/rollback   republish an older accepted generation
+//	                  (?to=seq selects one; default one step back);
+//	                  409 when nothing older is retained
 //
 // Query responses carry the model generation, its age and the current
 // health state, so a client can always tell when it is reading a
@@ -81,17 +117,28 @@ type metrics struct {
 // an overloaded service can still be observed, and /stream is bounded by
 // MaxSSEClients instead.
 //
+// When Config.APIToken is set, the query and operator endpoints require
+// "Authorization: Bearer <token>"; when Config.RateLimit is set, the
+// query endpoints are additionally rate-limited per client IP (429 +
+// Retry-After). /healthz, /readyz and /metrics are exempt from both so
+// probes and scrapers never lose sight of the service. The rollback
+// endpoint is authenticated but never rate-limited: an operator
+// recovering from a bad model must not be throttled by the incident's
+// own traffic.
+//
 // The handler is safe to use before Start and keeps answering after
 // Close (from the last published model).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", counted(&s.met.reqHealthz, s.handleHealthz))
 	mux.HandleFunc("GET /readyz", counted(&s.met.reqReadyz, s.handleReadyz))
-	mux.HandleFunc("GET /summary", counted(&s.met.reqSummary, s.hardened(s.handleSummary)))
-	mux.HandleFunc("GET /towers", counted(&s.met.reqTowers, s.hardened(s.handleTowers)))
-	mux.HandleFunc("GET /towers/{id}", counted(&s.met.reqTower, s.hardened(s.handleTower)))
-	mux.HandleFunc("GET /stream", counted(&s.met.reqStream, s.handleStream))
+	mux.HandleFunc("GET /summary", counted(&s.met.reqSummary, s.authed(s.rateLimited(s.hardened(s.handleSummary)))))
+	mux.HandleFunc("GET /towers", counted(&s.met.reqTowers, s.authed(s.rateLimited(s.hardened(s.handleTowers)))))
+	mux.HandleFunc("GET /towers/{id}", counted(&s.met.reqTower, s.authed(s.rateLimited(s.hardened(s.handleTower)))))
+	mux.HandleFunc("GET /stream", counted(&s.met.reqStream, s.authed(s.rateLimited(s.handleStream))))
 	mux.HandleFunc("GET /metrics", counted(&s.met.reqMetrics, s.handleMetrics))
+	mux.HandleFunc("GET /models", counted(&s.met.reqModels, s.authed(s.rateLimited(s.hardened(s.handleModels)))))
+	mux.HandleFunc("POST /models/rollback", counted(&s.met.reqRollback, s.authed(s.hardened(s.handleRollback))))
 	return mux
 }
 
@@ -270,11 +317,15 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{
 		"health": h.String(),
 		"window": map[string]any{
-			"towers":          sum.Towers,
-			"ingested":        sum.Ingested,
-			"dropped":         sum.Dropped,
-			"latest_slot_end": sum.LatestSlotEnd,
-			"complete_days":   sum.CompleteDays,
+			"towers":              sum.Towers,
+			"ingested":            sum.Ingested,
+			"dropped":             sum.Dropped,
+			"dropped_future":      sum.DroppedFuture,
+			"latest_slot_end":     sum.LatestSlotEnd,
+			"complete_days":       sum.CompleteDays,
+			"quarantined":         sum.Quarantined,
+			"quarantine_events":   sum.QuarantineEvents,
+			"quarantine_releases": sum.QuarantineReleases,
 		},
 	}
 	if m := s.model(); m != nil {
@@ -488,17 +539,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"consecutive_failures": s.met.modelConsecFails.Load(),
 			"last_cycle_millis":    time.Duration(s.met.lastModelNanos.Load()).Milliseconds(),
 		},
+		"admission": map[string]any{
+			"accepted":            s.met.modelCycles.Load(),
+			"rejected":            s.met.modelRejected.Load(),
+			"consecutive_rejects": s.met.modelConsecRejects.Load(),
+			"rejected_by_reason": map[string]uint64{
+				string(RejectCoverage):     s.met.rejCoverage.Load(),
+				string(RejectCompleteness): s.met.rejCompleteness.Load(),
+				string(RejectValidity):     s.met.rejValidity.Load(),
+				string(RejectBacktest):     s.met.rejBacktest.Load(),
+			},
+			"rollbacks": map[string]uint64{
+				"auto":   s.met.rollbackAuto.Load(),
+				"manual": s.met.rollbackManual.Load(),
+			},
+		},
 		"requests": map[string]uint64{
-			"healthz":  s.met.reqHealthz.Load(),
-			"readyz":   s.met.reqReadyz.Load(),
-			"summary":  s.met.reqSummary.Load(),
-			"towers":   s.met.reqTowers.Load(),
-			"tower":    s.met.reqTower.Load(),
-			"stream":   s.met.reqStream.Load(),
-			"metrics":  s.met.reqMetrics.Load(),
-			"rejected": s.met.reqRejected.Load(),
-			"timeouts": s.met.reqTimeouts.Load(),
-			"panics":   s.met.reqPanics.Load(),
+			"healthz":      s.met.reqHealthz.Load(),
+			"readyz":       s.met.reqReadyz.Load(),
+			"summary":      s.met.reqSummary.Load(),
+			"towers":       s.met.reqTowers.Load(),
+			"tower":        s.met.reqTower.Load(),
+			"stream":       s.met.reqStream.Load(),
+			"metrics":      s.met.reqMetrics.Load(),
+			"models":       s.met.reqModels.Load(),
+			"rollback":     s.met.reqRollback.Load(),
+			"rejected":     s.met.reqRejected.Load(),
+			"timeouts":     s.met.reqTimeouts.Load(),
+			"panics":       s.met.reqPanics.Load(),
+			"unauthorized": s.met.reqUnauthorized.Load(),
+			"ratelimited":  s.met.reqRateLimited.Load(),
 		},
 		"stream": map[string]any{
 			"clients":  s.broker.clientCount(),
@@ -520,6 +590,99 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		resp["model"].(map[string]any)["age_seconds"] = time.Since(m.ModeledAt).Seconds()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// generationJSON is one entry of the /models history listing.
+type generationJSON struct {
+	Seq        uint64         `json:"seq"`
+	AcceptedAt time.Time      `json:"accepted_at"`
+	AgeSeconds float64        `json:"age_seconds"`
+	Current    bool           `json:"current"`
+	Towers     int            `json:"towers"`
+	Days       int            `json:"days"`
+	K          int            `json:"k"`
+	Stats      map[string]any `json:"stats"`
+}
+
+func generationsJSON(gens []*generation, cur *model) []generationJSON {
+	out := make([]generationJSON, 0, len(gens))
+	for _, g := range gens {
+		out = append(out, generationJSON{
+			Seq:        g.m.Seq,
+			AcceptedAt: g.acceptedAt,
+			AgeSeconds: time.Since(g.m.ModeledAt).Seconds(),
+			Current:    cur != nil && g.m.Seq == cur.Seq,
+			Towers:     g.m.ds.NumTowers(),
+			Days:       g.m.ds.Days,
+			K:          g.m.res.OptimalK,
+			Stats: map[string]any{
+				"completeness":   g.stats.Completeness,
+				"dbi":            jsonFloat(g.stats.DBI),
+				"silhouette":     jsonFloat(g.stats.Silhouette),
+				"backtest_nrmse": jsonFloat(g.stats.BacktestNRMSE),
+			},
+		})
+	}
+	return out
+}
+
+// handleModels lists the retained accepted generations, newest first,
+// with their acceptance stats and the admission/rollback counters —
+// what an operator reads before deciding whether (and where) to roll
+// back.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.admMu.Lock()
+	gens := s.hist.list()
+	s.admMu.Unlock()
+	cur := s.model()
+	resp := map[string]any{
+		"accepted":            s.met.modelCycles.Load(),
+		"rejected":            s.met.modelRejected.Load(),
+		"consecutive_rejects": s.met.modelConsecRejects.Load(),
+		"rollbacks": map[string]uint64{
+			"auto":   s.met.rollbackAuto.Load(),
+			"manual": s.met.rollbackManual.Load(),
+		},
+		"generations": generationsJSON(gens, cur),
+	}
+	if cur != nil {
+		resp["current_seq"] = cur.Seq
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRollback republishes an older accepted generation: ?to=seq
+// selects one, the default steps back exactly one generation. The swap
+// runs under the admission mutex so it cannot race an in-flight
+// publication; it also clears the consecutive-rejection streak, since
+// the operator has explicitly chosen what to serve.
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	var toSeq uint64
+	if v := r.URL.Query().Get("to"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			httpError(w, http.StatusBadRequest, "bad to=%q: want a positive generation seq", v)
+			return
+		}
+		toSeq = n
+	}
+	s.admMu.Lock()
+	g, err := s.hist.rollback(toSeq)
+	if err == nil {
+		s.cur.Store(g.m)
+		s.met.rollbackManual.Add(1)
+		s.met.modelConsecRejects.Store(0)
+	}
+	s.admMu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.logf("serve: manual rollback to model #%d (modeled %s)", g.m.Seq, g.m.ModeledAt.Format(time.RFC3339))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "rolled back",
+		"serving": s.info(g.m),
+	})
 }
 
 // anomalyEvent is the payload of one SSE "anomaly" event.

@@ -57,6 +57,22 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 			time.Since(m.ModeledAt).Seconds())
 	}
 
+	fmt.Fprintf(w, "# HELP repro_model_rejected_total Candidate models refused by the admission gate, by failed check.\n# TYPE repro_model_rejected_total counter\n")
+	for _, rr := range rejectReasons {
+		fmt.Fprintf(w, "repro_model_rejected_total{reason=%q} %d\n", rr, s.met.rejectCounter(rr).Load())
+	}
+	fmt.Fprintf(w, "# HELP repro_model_consecutive_rejects Consecutive candidate rejections since the last acceptance or rollback.\n# TYPE repro_model_consecutive_rejects gauge\nrepro_model_consecutive_rejects %d\n",
+		s.met.modelConsecRejects.Load())
+	fmt.Fprintf(w, "# HELP repro_model_rollback_total Model rollbacks by kind.\n# TYPE repro_model_rollback_total counter\n")
+	fmt.Fprintf(w, "repro_model_rollback_total{kind=\"auto\"} %d\n", s.met.rollbackAuto.Load())
+	fmt.Fprintf(w, "repro_model_rollback_total{kind=\"manual\"} %d\n", s.met.rollbackManual.Load())
+
+	sum := s.cfg.Window.Summary()
+	fmt.Fprintf(w, "# HELP repro_window_quarantined_towers Towers currently quarantined by the ingest guard.\n# TYPE repro_window_quarantined_towers gauge\nrepro_window_quarantined_towers %d\n", sum.Quarantined)
+	counter("repro_window_quarantine_events_total", "Tower quarantine entries since start.", sum.QuarantineEvents)
+	counter("repro_window_quarantine_releases_total", "Tower quarantine releases since start.", sum.QuarantineReleases)
+	counter("repro_window_dropped_future_total", "Records dropped by the clock-skew guard.", sum.DroppedFuture)
+
 	fmt.Fprintf(w, "# HELP repro_requests_total HTTP requests by endpoint.\n# TYPE repro_requests_total counter\n")
 	for _, e := range []struct {
 		name string
@@ -69,12 +85,16 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		{"tower", s.met.reqTower.Load()},
 		{"stream", s.met.reqStream.Load()},
 		{"metrics", s.met.reqMetrics.Load()},
+		{"models", s.met.reqModels.Load()},
+		{"rollback", s.met.reqRollback.Load()},
 	} {
 		fmt.Fprintf(w, "repro_requests_total{endpoint=%q} %d\n", e.name, e.v)
 	}
 	counter("repro_requests_rejected_total", "Requests refused by the concurrent-request limiter.", s.met.reqRejected.Load())
 	counter("repro_requests_timeout_total", "Requests cut off by the per-request timeout.", s.met.reqTimeouts.Load())
 	counter("repro_requests_panic_total", "Handler panics converted to 500s.", s.met.reqPanics.Load())
+	counter("repro_requests_unauthorized_total", "Requests refused by bearer-token auth.", s.met.reqUnauthorized.Load())
+	counter("repro_requests_ratelimited_total", "Requests refused by the per-client rate limiter.", s.met.reqRateLimited.Load())
 
 	fmt.Fprintf(w, "# HELP repro_stream_clients Connected SSE clients.\n# TYPE repro_stream_clients gauge\nrepro_stream_clients %d\n", s.broker.clientCount())
 	counter("repro_stream_dropped_total", "SSE events dropped on slow clients.", s.broker.droppedCount())

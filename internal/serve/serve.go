@@ -120,6 +120,27 @@ type Config struct {
 	// MaxSSEClients caps concurrent /stream subscribers (default 32,
 	// negative unlimited); excess subscribers get 503 + Retry-After.
 	MaxSSEClients int
+	// Admission are the model admission-gate thresholds (see admit.go).
+	// The zero value disables the gate: every candidate publishes, the
+	// pre-gate behaviour.
+	Admission AdmitConfig
+	// ModelHistory is how many accepted generations to retain for
+	// rollback (default 4, minimum 1 — the live model itself).
+	ModelHistory int
+	// AutoRollback rolls the service back one accepted generation after
+	// this many consecutive gate rejections (then the streak counter
+	// resets, so a persistent bad feed walks back one generation per
+	// streak, not all the way in one step). Zero disables.
+	AutoRollback int
+	// APIToken, when non-empty, requires "Authorization: Bearer <token>"
+	// on the query and operator endpoints. Probes (/healthz, /readyz)
+	// and /metrics stay open.
+	APIToken string
+	// RateLimit is the per-client request rate (requests/second) on the
+	// query endpoints; zero disables. RateBurst is the bucket depth
+	// (default 2×RateLimit, minimum 1).
+	RateLimit float64
+	RateBurst int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -160,6 +181,16 @@ type Server struct {
 	done    chan struct{} // closed by Close; unblocks SSE writers
 	store   *SnapshotStore
 	limiter chan struct{} // concurrent-request semaphore; nil = unlimited
+	rl      *rateLimiter  // per-client rate limiter; nil = unlimited
+
+	// admMu serialises the publication path: admission decision, history
+	// mutation and pointer swap move together, so a rollback can never
+	// interleave with an acceptance. pubSeq is the monotone generation
+	// counter — it only advances on acceptance, so a gated-out candidate
+	// leaves no gap and a rollback never reuses a number.
+	admMu  sync.Mutex
+	pubSeq atomic.Uint64
+	hist   *modelHistory
 
 	ingestLoop   loopStatus
 	remodelLoop  loopStatus
@@ -196,10 +227,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxSSEClients == 0 {
 		cfg.MaxSSEClients = 32
 	}
+	if cfg.ModelHistory == 0 {
+		cfg.ModelHistory = 4
+	}
+	if cfg.ModelHistory < 1 {
+		cfg.ModelHistory = 1
+	}
+	if cfg.RateLimit > 0 && cfg.RateBurst <= 0 {
+		cfg.RateBurst = max(1, int(2*cfg.RateLimit))
+	}
 	s := &Server{
 		cfg:    cfg,
 		broker: newBroker(),
 		done:   make(chan struct{}),
+		hist:   newModelHistory(cfg.ModelHistory),
+	}
+	if cfg.RateLimit > 0 {
+		s.rl = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
 	}
 	s.ingestLoop.name = "ingest"
 	s.remodelLoop.name = "remodel"
@@ -378,9 +422,13 @@ func (s *Server) remodelOnce(ctx context.Context) {
 		defer cancel()
 	}
 	if err := s.RemodelNow(cctx); err != nil {
+		var rej *RejectionError
 		switch {
 		case errors.Is(err, window.ErrWarmingUp):
 			// Expected while the feed fills the first week.
+		case errors.As(err, &rej):
+			// Not a failure: the cycle completed and the gate held the
+			// line. RemodelNow already logged the full verdict.
 		case ctx.Err() != nil:
 			// Shutdown, not a cycle failure.
 		case errors.Is(err, context.DeadlineExceeded):
@@ -393,9 +441,13 @@ func (s *Server) remodelOnce(ctx context.Context) {
 
 // RemodelNow runs one full modeling cycle synchronously — snapshot the
 // window into a dataset, run the analysis pipeline, the anomaly sweep
-// and the forecasting stage — and publishes the result with an atomic
-// pointer swap. Queries are never blocked while this runs. It returns
-// window.ErrWarmingUp while the window covers less than one whole week.
+// and the forecasting stage — routes the candidate through the
+// admission gate, and on acceptance publishes it with an atomic pointer
+// swap. Queries are never blocked while this runs. It returns
+// window.ErrWarmingUp while the window covers less than one whole week,
+// and a *RejectionError when the gate refuses the candidate (the live
+// model is untouched; AutoRollback may additionally republish an older
+// generation).
 func (s *Server) RemodelNow(ctx context.Context) error {
 	began := time.Now()
 	if s.testRemodelHook != nil {
@@ -424,13 +476,37 @@ func (s *Server) RemodelNow(ctx context.Context) error {
 		return fmt.Errorf("serve: anomaly sweep: %w", err)
 	}
 	forecasts := s.buildForecasts(ds)
+	stats := admissionStats(ds, res.Assignment, forecasts, s.cfg.Analyze.Workers)
 
 	rowByID := make(map[int]int, len(ds.TowerIDs))
 	for row, id := range ds.TowerIDs {
 		rowByID[id] = row
 	}
+
+	// The publication path: gate verdict, history mutation and pointer
+	// swap move under admMu so a concurrent rollback cannot interleave.
+	s.admMu.Lock()
+	var prevStats *AdmissionStats
+	if head := s.hist.head(); head != nil {
+		ps := head.stats
+		prevStats = &ps
+	}
+	if s.cfg.Admission.enabled() {
+		if reasons, details := admit(s.cfg.Admission, prevStats, stats); len(reasons) > 0 {
+			s.noteRejectionLocked(reasons)
+			rolledTo := s.maybeAutoRollbackLocked()
+			s.admMu.Unlock()
+			s.met.lastModelNanos.Store(int64(time.Since(began)))
+			err := &RejectionError{Reasons: reasons, Details: details}
+			s.logf("%v", err)
+			if rolledTo != nil {
+				s.logf("serve: auto-rollback after %d consecutive rejections: serving model #%d again", s.cfg.AutoRollback, rolledTo.m.Seq)
+			}
+			return err
+		}
+	}
 	next := &model{
-		Seq:       s.met.modelCycles.Load() + 1,
+		Seq:       s.pubSeq.Add(1),
 		ModeledAt: time.Now(),
 		WindowEnd: ds.SlotTime(ds.NumSlots()),
 		ds:        ds,
@@ -440,13 +516,48 @@ func (s *Server) RemodelNow(ctx context.Context) error {
 		rowByID:   rowByID,
 	}
 	prev := s.cur.Swap(next)
+	s.hist.push(&generation{m: next, stats: stats, acceptedAt: next.ModeledAt})
 	s.met.modelCycles.Add(1)
 	s.met.modelConsecFails.Store(0)
+	s.met.modelConsecRejects.Store(0)
+	s.admMu.Unlock()
 	s.met.lastModelNanos.Store(int64(time.Since(began)))
 	s.publishAnomalies(prev, next)
 	s.logf("serve: model #%d published: %d towers, %d days, k=%d (%v)",
 		next.Seq, ds.NumTowers(), ds.Days, res.OptimalK, time.Since(began).Round(time.Millisecond))
 	return nil
+}
+
+// noteRejectionLocked ticks the rejection counters (total, per reason,
+// and the consecutive streak). Callers hold admMu.
+func (s *Server) noteRejectionLocked(reasons []RejectReason) {
+	s.met.modelRejected.Add(1)
+	s.met.modelConsecRejects.Add(1)
+	for _, r := range reasons {
+		if c := s.met.rejectCounter(r); c != nil {
+			c.Add(1)
+		}
+	}
+}
+
+// maybeAutoRollbackLocked rolls back one accepted generation when the
+// consecutive-rejection streak has reached Config.AutoRollback,
+// returning the generation now serving (nil when no rollback happened).
+// The streak resets afterwards, so a feed that stays bad walks back one
+// generation per streak rather than unwinding the whole history at
+// once. Callers hold admMu.
+func (s *Server) maybeAutoRollbackLocked() *generation {
+	if s.cfg.AutoRollback <= 0 || s.met.modelConsecRejects.Load() < uint64(s.cfg.AutoRollback) {
+		return nil
+	}
+	g, err := s.hist.rollback(0)
+	if err != nil {
+		return nil // nothing older to fall back to; keep serving the head
+	}
+	s.cur.Store(g.m)
+	s.met.rollbackAuto.Add(1)
+	s.met.modelConsecRejects.Store(0)
+	return g
 }
 
 // buildForecasts backtests a spectral forecaster per tower on the

@@ -103,6 +103,21 @@ type towerState struct {
 	// sum and sumsq are Σv and Σv² over the ring, maintained
 	// incrementally on every add and eviction.
 	sum, sumsq float64
+
+	// Quarantine bookkeeping (guards.go). born is the slot at which the
+	// tower first appeared and judged the newest completed slot already
+	// scored. baseMed/baseScale cache the per-slot-of-day robust baseline,
+	// recomputed when a judged slot is spd past statsAt (-1 = never
+	// computed). outlierRun/calmRun are the consecutive-slot counters that
+	// trip and release quarantine.
+	born        int64
+	judged      int64
+	statsAt     int64
+	baseMed     []float64
+	baseScale   []float64
+	outlierRun  int
+	calmRun     int
+	quarantined bool
 }
 
 // Window is the concurrent sliding-window accumulator. See the package
@@ -118,6 +133,18 @@ type Window struct {
 	latest    int64 // highest absolute slot observed; -1 before any record
 	ingested  uint64
 	dropped   uint64
+
+	// Feed-quality guards (guards.go). skewSlots is Guards.MaxFutureSkew
+	// in slots (0 = unguarded); quarCount is the live quarantined-tower
+	// gauge; the remaining counters are monotone accounting surfaced in
+	// Summary. scratch is the baseline median scratch buffer.
+	guards        Guards
+	skewSlots     int64
+	quarCount     int
+	quarEvents    uint64
+	quarReleases  uint64
+	droppedFuture uint64
+	scratch       []float64
 }
 
 // New returns an empty window.
@@ -187,15 +214,25 @@ func (w *Window) add(rec trace.Record) {
 		w.dropped++
 		return
 	}
+	if w.skewSlots > 0 && w.latest >= 0 && slot > w.latest+w.skewSlots {
+		// Further ahead of the data-driven clock than the skew guard
+		// allows: a corrupt timestamp, not a legitimate jump. Admitting it
+		// would wedge the clock forward and mass-evict history. The first
+		// record is exempt (w.latest < 0): it establishes the clock.
+		w.dropped++
+		w.droppedFuture++
+		return
+	}
 	if slot > w.latest {
 		w.latest = slot
 	}
 	ts := w.towers[rec.TowerID]
 	if ts == nil {
-		ts = &towerState{ring: make([]float64, w.ringSlots), upTo: w.latest}
+		ts = &towerState{ring: make([]float64, w.ringSlots), upTo: w.latest, born: w.latest, judged: w.latest - 1, statsAt: -1}
 		w.towers[rec.TowerID] = ts
 	}
 	w.advance(ts, w.latest)
+	w.judgeLocked(ts)
 	i := slot % int64(w.ringSlots)
 	old := ts.ring[i]
 	ts.ring[i] = old + float64(rec.Bytes)
@@ -230,6 +267,9 @@ type TowerStats struct {
 	LastSlotBytes float64
 	// Slots is the ring extent the moments cover.
 	Slots int
+	// Quarantined reports whether the tower is currently excluded from
+	// the Dataset handoff by the quarantine guard.
+	Quarantined bool
 }
 
 // TowerStats returns the live window statistics of one tower, and whether
@@ -242,6 +282,7 @@ func (w *Window) TowerStats(id int) (TowerStats, bool) {
 		return TowerStats{}, false
 	}
 	w.advance(ts, w.latest)
+	w.judgeLocked(ts)
 	n := float64(w.ringSlots)
 	mean := ts.sum / n
 	variance := ts.sumsq/n - mean*mean
@@ -253,6 +294,7 @@ func (w *Window) TowerStats(id int) (TowerStats, bool) {
 		Std:           math.Sqrt(variance),
 		LastSlotBytes: ts.ring[w.latest%int64(w.ringSlots)],
 		Slots:         w.ringSlots,
+		Quarantined:   ts.quarantined,
 	}, true
 }
 
@@ -285,6 +327,15 @@ type Summary struct {
 	// CompleteDays is the number of whole days of complete slots observed,
 	// the warm-up gauge: modeling starts at 7.
 	CompleteDays int
+	// Quarantined is the number of towers currently excluded from the
+	// Dataset handoff by the quarantine guard; QuarantineEvents and
+	// QuarantineReleases count quarantine entries and exits over the
+	// window's lifetime.
+	Quarantined                          int
+	QuarantineEvents, QuarantineReleases uint64
+	// DroppedFuture counts records dropped by the clock-skew guard
+	// (a subset of Dropped).
+	DroppedFuture uint64
 }
 
 // Summary returns the global window state.
@@ -292,9 +343,13 @@ func (w *Window) Summary() Summary {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	s := Summary{
-		Towers:   len(w.towers),
-		Ingested: w.ingested,
-		Dropped:  w.dropped,
+		Towers:             len(w.towers),
+		Ingested:           w.ingested,
+		Dropped:            w.dropped,
+		Quarantined:        w.quarCount,
+		QuarantineEvents:   w.quarEvents,
+		QuarantineReleases: w.quarReleases,
+		DroppedFuture:      w.droppedFuture,
 	}
 	if w.latest >= 0 {
 		s.LatestSlotEnd = w.opts.Start.Add(time.Duration(w.latest+1) * w.slotDur)
@@ -308,8 +363,10 @@ func (w *Window) Summary() Summary {
 // most recent complete day boundary (the slot currently accumulating and
 // its day are excluded). Towers whose extracted window carries no traffic
 // at all are filtered out, exactly as the batch vectorizer's
-// MinActiveSlots does. It returns ErrWarmingUp until a whole week of
-// complete days has been observed.
+// MinActiveSlots does, and so are towers currently held in quarantine by
+// the feed-quality guards (Summary.Quarantined accounts for them). It
+// returns ErrWarmingUp until a whole week of complete days has been
+// observed.
 func (w *Window) Dataset() (*pipeline.Dataset, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -336,6 +393,12 @@ func (w *Window) Dataset() (*pipeline.Dataset, error) {
 	for _, id := range w.sortedIDsLocked() {
 		ts := w.towers[id]
 		w.advance(ts, w.latest)
+		// Judge before the handoff so even towers whose feed went fully
+		// silent (no add() calls to score them) are evaluated here.
+		w.judgeLocked(ts)
+		if ts.quarantined {
+			continue
+		}
 		bytes := make([]float64, slots)
 		for k := range bytes {
 			bytes[k] = ts.ring[(startSlot+int64(k))%int64(w.ringSlots)]
@@ -380,6 +443,12 @@ type snapshotFrame struct {
 	Ingested    uint64
 	Dropped     uint64
 	Towers      []towerSnapshot
+	// Guard accounting (zero in snapshots from before the feed-quality
+	// guards; gob tolerates the missing fields, so the frame stays
+	// version 2 and older v2 snapshots remain restorable).
+	DroppedFuture      uint64
+	QuarantineEvents   uint64
+	QuarantineReleases uint64
 }
 
 // towerSnapshot is the serialised form of one tower's ring.
@@ -387,6 +456,11 @@ type towerSnapshot struct {
 	ID         int
 	Ring       []float64
 	Sum, SumSq float64
+	// Quarantine bookkeeping; zero in pre-guard snapshots. The cached
+	// baseline is not persisted — it is recomputed on first judgement.
+	Born, Judged        int64
+	OutlierRun, CalmRun int
+	Quarantined         bool
 }
 
 // The v2 header: the magic string and a version tag in clear ASCII, then
@@ -409,23 +483,31 @@ var snapshotCRCTable = crc32.MakeTable(crc32.Castagnoli)
 func (w *Window) WriteSnapshot(out io.Writer) error {
 	w.mu.Lock()
 	frame := snapshotFrame{
-		Magic:       snapshotMagic,
-		Version:     snapshotVersion,
-		Start:       w.opts.Start,
-		SlotMinutes: w.opts.SlotMinutes,
-		Days:        w.opts.Days,
-		Latest:      w.latest,
-		Ingested:    w.ingested,
-		Dropped:     w.dropped,
+		Magic:              snapshotMagic,
+		Version:            snapshotVersion,
+		Start:              w.opts.Start,
+		SlotMinutes:        w.opts.SlotMinutes,
+		Days:               w.opts.Days,
+		Latest:             w.latest,
+		Ingested:           w.ingested,
+		Dropped:            w.dropped,
+		DroppedFuture:      w.droppedFuture,
+		QuarantineEvents:   w.quarEvents,
+		QuarantineReleases: w.quarReleases,
 	}
 	for _, id := range w.sortedIDsLocked() {
 		ts := w.towers[id]
 		w.advance(ts, w.latest)
 		frame.Towers = append(frame.Towers, towerSnapshot{
-			ID:    id,
-			Ring:  ts.ring,
-			Sum:   ts.sum,
-			SumSq: ts.sumsq,
+			ID:          id,
+			Ring:        ts.ring,
+			Sum:         ts.sum,
+			SumSq:       ts.sumsq,
+			Born:        ts.born,
+			Judged:      ts.judged,
+			OutlierRun:  ts.outlierRun,
+			CalmRun:     ts.calmRun,
+			Quarantined: ts.quarantined,
 		})
 	}
 	var body bytes.Buffer
@@ -498,6 +580,9 @@ func decodeFrame(body []byte, wantVersion int) (*Window, error) {
 	w.latest = frame.Latest
 	w.ingested = frame.Ingested
 	w.dropped = frame.Dropped
+	w.droppedFuture = frame.DroppedFuture
+	w.quarEvents = frame.QuarantineEvents
+	w.quarReleases = frame.QuarantineReleases
 	for _, tsnap := range frame.Towers {
 		if len(tsnap.Ring) != w.ringSlots {
 			return nil, fmt.Errorf("%w: tower %d ring has %d slots, want %d", ErrBadSnapshot, tsnap.ID, len(tsnap.Ring), w.ringSlots)
@@ -506,10 +591,19 @@ func decodeFrame(body []byte, wantVersion int) (*Window, error) {
 			return nil, fmt.Errorf("%w: tower %d appears twice", ErrBadSnapshot, tsnap.ID)
 		}
 		w.towers[tsnap.ID] = &towerState{
-			ring:  tsnap.Ring,
-			upTo:  frame.Latest,
-			sum:   tsnap.Sum,
-			sumsq: tsnap.SumSq,
+			ring:        tsnap.Ring,
+			upTo:        frame.Latest,
+			sum:         tsnap.Sum,
+			sumsq:       tsnap.SumSq,
+			born:        tsnap.Born,
+			judged:      tsnap.Judged,
+			statsAt:     -1,
+			outlierRun:  tsnap.OutlierRun,
+			calmRun:     tsnap.CalmRun,
+			quarantined: tsnap.Quarantined,
+		}
+		if tsnap.Quarantined {
+			w.quarCount++
 		}
 	}
 	return w, nil

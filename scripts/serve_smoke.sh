@@ -15,11 +15,16 @@ trap 'rm -rf "$WORKDIR"' EXIT
 echo "==> building cmd/served (-race)"
 go build -race -o "$WORKDIR/served" ./cmd/served
 
+TOKEN="smoke-token"
 echo "==> starting served on $ADDR"
 "$WORKDIR/served" -addr "$ADDR" -towers 60 -days 21 -window-days 14 \
   -remodel-interval 2s -snapshot "$WORKDIR/window.snap" -workers 2 \
+  -min-coverage 0.5 -max-validity-drift 0.5 -max-backtest-regress 0.5 \
+  -model-history 4 -auto-rollback 3 -quarantine-z 8 -max-future-skew 24h \
+  -api-token "$TOKEN" -rate-limit 2 -rate-burst 20 \
   >"$WORKDIR/served.log" 2>&1 &
 PID=$!
+AUTH=(-H "Authorization: Bearer $TOKEN")
 
 fail() {
   echo "==> FAIL: $1" >&2
@@ -42,15 +47,46 @@ done
 [ -n "$ready" ] || fail "model never became ready"
 
 echo "==> querying the API"
-curl -fsS "http://$ADDR/summary" | grep -q '"clusters"' || fail "/summary has no clusters"
-tower=$(curl -fsS "http://$ADDR/towers" | grep -o '"tower": [0-9]*' | head -1 | grep -o '[0-9]*')
+curl -fsS "${AUTH[@]}" "http://$ADDR/summary" | grep -q '"clusters"' || fail "/summary has no clusters"
+tower=$(curl -fsS "${AUTH[@]}" "http://$ADDR/towers" | grep -o '"tower": [0-9]*' | head -1 | grep -o '[0-9]*')
 [ -n "$tower" ] || fail "/towers listed no towers"
-curl -fsS "http://$ADDR/towers/$tower" | grep -q '"region"' || fail "/towers/$tower has no region"
-curl -sS -o /dev/null -w '%{http_code}' "http://$ADDR/towers/999999" | grep -q 404 || fail "unknown tower did not 404"
+curl -fsS "${AUTH[@]}" "http://$ADDR/towers/$tower" | grep -q '"region"' || fail "/towers/$tower has no region"
+curl -sS "${AUTH[@]}" -o /dev/null -w '%{http_code}' "http://$ADDR/towers/999999" | grep -q 404 || fail "unknown tower did not 404"
 curl -fsS "http://$ADDR/metrics" | grep -q '"cycles"' || fail "/metrics has no model cycles"
 curl -fsS "http://$ADDR/readyz" | grep -q '"status": "ready"' || fail "/readyz not ready with a fresh model"
 curl -fsS "http://$ADDR/metrics?format=prom" | grep -q '# TYPE repro_model_cycles_total counter' \
   || fail "/metrics?format=prom is not Prometheus text"
+
+echo "==> admission gate and model history"
+curl -fsS "${AUTH[@]}" "http://$ADDR/models" | grep -q '"current_seq"' || fail "/models has no current_seq"
+curl -fsS "${AUTH[@]}" "http://$ADDR/models" | grep -q '"generations"' || fail "/models has no generations"
+curl -fsS "http://$ADDR/metrics" | grep -q '"rejected_by_reason"' || fail "/metrics has no admission block"
+curl -fsS "http://$ADDR/metrics?format=prom" -o "$WORKDIR/prom.txt"
+grep -q 'repro_model_rejected_total{reason="coverage"}' "$WORKDIR/prom.txt" \
+  || fail "prom exposition has no per-reason reject counters"
+grep -q 'repro_model_rollback_total{kind="manual"}' "$WORKDIR/prom.txt" \
+  || fail "prom exposition has no rollback counters"
+grep -q 'repro_window_quarantined_towers' "$WORKDIR/prom.txt" \
+  || fail "prom exposition has no quarantine gauge"
+# Only one generation is retained this early: rollback must refuse (409)
+# rather than serve anything it cannot vouch for.
+code=$(curl -sS "${AUTH[@]}" -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/models/rollback")
+[ "$code" -eq 409 ] || fail "rollback with a single generation returned $code, want 409"
+
+echo "==> auth and rate limiting"
+code=$(curl -sS -o /dev/null -w '%{http_code}' "http://$ADDR/summary")
+[ "$code" -eq 401 ] || fail "unauthenticated /summary returned $code, want 401"
+code=$(curl -sS -o /dev/null -w '%{http_code}' "http://$ADDR/healthz")
+[ "$code" -eq 200 ] || fail "unauthenticated /healthz returned $code, want 200 (probe exempt)"
+limited=""
+for _ in $(seq 1 60); do
+  code=$(curl -sS "${AUTH[@]}" -o /dev/null -w '%{http_code}' "http://$ADDR/summary")
+  if [ "$code" -eq 429 ]; then limited=yes; break; fi
+done
+[ -n "$limited" ] || fail "burst of queries never hit the rate limit (429)"
+curl -fsS "http://$ADDR/metrics?format=prom" -o "$WORKDIR/prom.txt"
+grep -q 'repro_requests_ratelimited_total [1-9]' "$WORKDIR/prom.txt" \
+  || fail "rate-limit refusals not counted in prom exposition"
 
 echo "==> rejecting bad flags (usage exit code 2)"
 code=0
